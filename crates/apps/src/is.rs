@@ -1,0 +1,208 @@
+//! Integer Sort (IS), from the NAS parallel benchmarks.
+//!
+//! Each processor ranks its block of keys into a private histogram, then adds
+//! its counts to a shared bucket array inside a critical section (the bucket
+//! array is *migratory* data), and after a barrier reads the final bucket
+//! array to compute the global ranks of its keys.  The shared array (Bmax
+//! buckets) is smaller than a page.
+//!
+//! * LRC version: one exclusive lock around the bucket update; barriers.
+//! * EC version: the bucket array is bound to the lock; the second phase
+//!   additionally takes a read-only lock on the bucket array (Section 3.3).
+
+use dsm_core::{
+    BarrierId, BlockGranularity, Dsm, DsmConfig, ImplKind, LockId, LockMode, Model, RunResult,
+};
+use dsm_sim::Work;
+
+/// IS problem parameters.
+#[derive(Debug, Clone)]
+pub struct IsParams {
+    /// Number of keys (the paper uses 2^20).
+    pub keys: usize,
+    /// Number of buckets / maximum key value (the paper uses 2^9).
+    pub buckets: usize,
+    /// Number of ranking repetitions (the paper uses 10).
+    pub rankings: usize,
+    /// Work units charged per key per ranking.
+    pub work_per_key: u64,
+}
+
+impl IsParams {
+    /// Table 2 parameters: N = 2^20, Bmax = 2^9, 10 rankings.
+    pub fn paper() -> Self {
+        IsParams {
+            keys: 1 << 20,
+            buckets: 1 << 9,
+            rankings: 10,
+            work_per_key: 5,
+        }
+    }
+
+    /// A reduced instance.
+    pub fn small() -> Self {
+        IsParams {
+            keys: 1 << 16,
+            buckets: 1 << 9,
+            rankings: 4,
+            work_per_key: 5,
+        }
+    }
+
+    /// A very small instance for tests.
+    pub fn tiny() -> Self {
+        IsParams {
+            keys: 1 << 10,
+            buckets: 1 << 6,
+            rankings: 2,
+            work_per_key: 5,
+        }
+    }
+
+    /// Deterministic pseudo-random key `i`.
+    fn key(&self, i: usize) -> u32 {
+        // A small multiplicative hash keeps generation deterministic and
+        // independent of any RNG crate version.
+        let x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+        (x % self.buckets as u64) as u32
+    }
+}
+
+/// Sequential bucket counts after one ranking (identical for every
+/// repetition) plus the total work of all repetitions.
+pub fn sequential(p: &IsParams) -> (Vec<u32>, Work) {
+    let mut counts = vec![0u32; p.buckets];
+    for i in 0..p.keys {
+        counts[p.key(i) as usize] += 1;
+    }
+    let work = Work::ops(p.work_per_key * p.keys as u64 * p.rankings as u64);
+    (counts, work)
+}
+
+const BUCKET_LOCK: LockId = LockId(0);
+
+/// Runs IS under the given implementation.  Returns the run result and
+/// whether the final shared bucket counts match the sequential version.
+pub fn run(kind: ImplKind, nprocs: usize, p: &IsParams) -> (RunResult, bool) {
+    let p = p.clone();
+    let cfg = DsmConfig::with_procs(kind, nprocs);
+    let mut dsm = Dsm::new(cfg).expect("valid config");
+    let buckets = dsm.alloc_array::<u32>("is-buckets", p.buckets, BlockGranularity::Word);
+    if kind.model() == Model::Ec {
+        dsm.bind(BUCKET_LOCK, vec![buckets.whole()]);
+    }
+    let barrier = BarrierId::new(0);
+    let ec = kind.model() == Model::Ec;
+
+    let result = dsm.run(|ctx| {
+        let me = ctx.node();
+        let n = ctx.nprocs();
+        let per = p.keys / n;
+        let lo = me * per;
+        let hi = if me == n - 1 { p.keys } else { lo + per };
+
+        for rep in 0..p.rankings {
+            // Phase 0 (first repetition excluded): processor 0 clears the
+            // shared array under the lock so every ranking starts fresh.
+            if rep > 0 {
+                if me == 0 {
+                    ctx.acquire(BUCKET_LOCK, LockMode::Exclusive);
+                    for b in 0..p.buckets {
+                        ctx.write::<u32>(buckets, b, 0);
+                    }
+                    ctx.release(BUCKET_LOCK);
+                }
+                ctx.barrier(barrier);
+            }
+
+            // Phase 1: rank local keys privately, then add the counts to the
+            // shared array inside the critical section (migratory data).
+            let mut local = vec![0u32; p.buckets];
+            for i in lo..hi {
+                local[p.key(i) as usize] += 1;
+            }
+            ctx.compute(Work::ops(p.work_per_key * (hi - lo) as u64));
+
+            ctx.acquire(BUCKET_LOCK, LockMode::Exclusive);
+            for (b, &c) in local.iter().enumerate() {
+                if c != 0 {
+                    let cur = ctx.read::<u32>(buckets, b);
+                    ctx.write::<u32>(buckets, b, cur + c);
+                }
+            }
+            ctx.release(BUCKET_LOCK);
+            ctx.barrier(barrier);
+
+            // Phase 2: read the final counts to compute global ranks of the
+            // local keys (the reads themselves are what matters to the DSM).
+            if ec {
+                ctx.acquire(BUCKET_LOCK, LockMode::ReadOnly);
+            }
+            let mut checksum = 0u64;
+            for b in 0..p.buckets {
+                checksum += ctx.read::<u32>(buckets, b) as u64;
+            }
+            assert_eq!(checksum, p.keys as u64, "bucket counts must sum to N");
+            if ec {
+                ctx.release(BUCKET_LOCK);
+            }
+            ctx.barrier(barrier);
+        }
+    });
+
+    let (expected, _) = sequential(&p);
+    let got = result.final_vec::<u32>(buckets);
+    let ok = expected == got;
+    (result, ok)
+}
+
+/// Simulated single-processor execution time of the sequential program.
+pub fn sequential_time(p: &IsParams, cost: &dsm_sim::CostModel) -> dsm_sim::SimTime {
+    let (_, work) = sequential(p);
+    cost.work(work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_in_range_and_spread() {
+        let p = IsParams::tiny();
+        let (counts, _) = sequential(&p);
+        assert_eq!(counts.iter().map(|&c| c as usize).sum::<usize>(), p.keys);
+        let nonempty = counts.iter().filter(|&&c| c > 0).count();
+        assert!(nonempty > p.buckets / 2, "keys should spread across buckets");
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_all_models() {
+        let p = IsParams::tiny();
+        for kind in [
+            ImplKind::ec_time(),
+            ImplKind::ec_diff(),
+            ImplKind::lrc_time(),
+            ImplKind::lrc_diff(),
+        ] {
+            let (result, ok) = run(kind, 4, &p);
+            assert!(ok, "{kind} IS bucket counts mismatch");
+            assert!(result.traffic.lock_acquires > 0);
+        }
+    }
+
+    #[test]
+    fn migratory_data_makes_diffing_send_more_than_timestamping() {
+        // The key write-collection result for IS (Section 8.2): the diffing
+        // version sends multiple overlapping diffs of the bucket array while
+        // timestamping sends each block once.
+        let p = IsParams::tiny();
+        let (ec_time, _) = run(ImplKind::ec_time(), 4, &p);
+        let (ec_diff, _) = run(ImplKind::ec_diff(), 4, &p);
+        assert!(
+            ec_diff.traffic.bytes > ec_time.traffic.bytes,
+            "EC-diff ({} B) should transfer more than EC-time ({} B) for migratory data",
+            ec_diff.traffic.bytes,
+            ec_time.traffic.bytes
+        );
+    }
+}

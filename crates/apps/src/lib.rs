@@ -1,0 +1,30 @@
+//! The application suite of the EC/LRC comparison study.
+//!
+//! Six applications (plus the SOR+ variant), each written three times:
+//!
+//! * a **sequential** version used for verification and for the paper's
+//!   "1 proc." column,
+//! * an **LRC-style** parallel version (barriers and exclusive locks only, no
+//!   binding — the program a TreadMarks user would write),
+//! * an **EC-style** parallel version (every shared object bound to a lock,
+//!   read-only locks for data read across barriers, extra synchronization for
+//!   task queues, lock rebinding, per-object granularity decisions — the
+//!   program a Midway user would write, Section 3.3 of the paper).
+//!
+//! The [`runner`] module provides a uniform entry point used by the benchmark
+//! harness and the integration tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod barnes_hut;
+pub mod fft;
+pub mod is;
+pub mod params;
+pub mod quicksort;
+pub mod runner;
+pub mod sor;
+pub mod water;
+
+pub use params::{AppParams, Scale};
+pub use runner::{run_app, sequential_time, App, AppReport};

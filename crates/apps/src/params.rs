@@ -1,0 +1,98 @@
+//! Application parameters (Table 2 of the paper) and scaled-down variants.
+
+use crate::{barnes_hut, fft, is, quicksort, sor, water};
+
+/// How large a problem instance to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// The data-set sizes of Table 2 (SOR 1000x1000, QS 262,144 integers,
+    /// Water 343 molecules / 5 steps, Barnes-Hut 8,192 bodies / 5 steps,
+    /// IS N=2^20 / Bmax=2^9 / 10 rankings, 3D-FFT 64x64x32).
+    Paper,
+    /// Reduced sizes for quick runs and Criterion benchmarks.
+    Small,
+    /// Very small sizes for unit/integration tests.
+    Tiny,
+}
+
+/// The per-application parameter bundle for one scale.
+#[derive(Debug, Clone)]
+pub struct AppParams {
+    /// Red-Black SOR parameters (also used for SOR+).
+    pub sor: sor::SorParams,
+    /// Quicksort parameters.
+    pub quicksort: quicksort::QsParams,
+    /// Water parameters.
+    pub water: water::WaterParams,
+    /// Barnes-Hut parameters.
+    pub barnes: barnes_hut::BarnesParams,
+    /// Integer Sort parameters.
+    pub is: is::IsParams,
+    /// 3D-FFT parameters.
+    pub fft: fft::FftParams,
+}
+
+impl AppParams {
+    /// Parameters for the given scale.
+    pub fn at(scale: Scale) -> Self {
+        match scale {
+            Scale::Paper => AppParams {
+                sor: sor::SorParams::paper(),
+                quicksort: quicksort::QsParams::paper(),
+                water: water::WaterParams::paper(),
+                barnes: barnes_hut::BarnesParams::paper(),
+                is: is::IsParams::paper(),
+                fft: fft::FftParams::paper(),
+            },
+            Scale::Small => AppParams {
+                sor: sor::SorParams::small(),
+                quicksort: quicksort::QsParams::small(),
+                water: water::WaterParams::small(),
+                barnes: barnes_hut::BarnesParams::small(),
+                is: is::IsParams::small(),
+                fft: fft::FftParams::small(),
+            },
+            Scale::Tiny => AppParams {
+                sor: sor::SorParams::tiny(),
+                quicksort: quicksort::QsParams::tiny(),
+                water: water::WaterParams::tiny(),
+                barnes: barnes_hut::BarnesParams::tiny(),
+                is: is::IsParams::tiny(),
+                fft: fft::FftParams::tiny(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_table2() {
+        let p = AppParams::at(Scale::Paper);
+        assert_eq!(p.sor.rows, 1000);
+        assert_eq!(p.sor.cols, 1000);
+        assert_eq!(p.quicksort.n, 262_144);
+        assert_eq!(p.quicksort.threshold, 1024);
+        assert_eq!(p.water.molecules, 343);
+        assert_eq!(p.water.steps, 5);
+        assert_eq!(p.barnes.bodies, 8192);
+        assert_eq!(p.barnes.steps, 5);
+        assert_eq!(p.is.keys, 1 << 20);
+        assert_eq!(p.is.buckets, 1 << 9);
+        assert_eq!(p.is.rankings, 10);
+        assert_eq!((p.fft.n1, p.fft.n2, p.fft.n3), (64, 64, 32));
+    }
+
+    #[test]
+    fn smaller_scales_are_smaller() {
+        let paper = AppParams::at(Scale::Paper);
+        let small = AppParams::at(Scale::Small);
+        let tiny = AppParams::at(Scale::Tiny);
+        assert!(small.sor.rows < paper.sor.rows);
+        assert!(tiny.sor.rows <= small.sor.rows);
+        assert!(tiny.quicksort.n <= small.quicksort.n);
+        assert!(tiny.barnes.bodies <= small.barnes.bodies);
+    }
+}

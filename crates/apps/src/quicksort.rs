@@ -1,0 +1,343 @@
+//! Quicksort (QS) with a centralised task queue.
+//!
+//! The array to sort lives in shared memory.  A processor dequeues a
+//! sub-array, partitions it around a pivot, enqueues the smaller partition
+//! and keeps working on the larger one; partitions below a threshold are
+//! sorted in place with bubblesort.
+//!
+//! * LRC version: the queue lock alone orders both the queue *and* the task
+//!   data (the dequeuer sees the data the enqueuer produced).
+//! * EC version: the queue lock is bound to the queue only, so the program
+//!   additionally associates a lock with every queue entry and **rebinds** it
+//!   to the sub-array of the task placed in that entry (Sections 3.3 and
+//!   7.2); the task data is read and written under that lock.
+
+use dsm_core::{
+    BarrierId, BlockGranularity, Dsm, DsmConfig, ImplKind, LockId, LockMode, Model, RunResult,
+};
+use dsm_sim::Work;
+
+/// Quicksort problem parameters.
+#[derive(Debug, Clone)]
+pub struct QsParams {
+    /// Number of integers to sort (the paper uses 262,144).
+    pub n: usize,
+    /// Partitions at or below this size are bubble-sorted (the paper uses
+    /// 1024).
+    pub threshold: usize,
+    /// Work units charged per element visited during partitioning.
+    pub work_partition: u64,
+    /// Work units charged per comparison during bubblesort.
+    pub work_bubble: u64,
+}
+
+impl QsParams {
+    /// Table 2 parameters.
+    pub fn paper() -> Self {
+        QsParams {
+            n: 262_144,
+            threshold: 1024,
+            work_partition: 4,
+            work_bubble: 1,
+        }
+    }
+
+    /// A reduced instance.
+    pub fn small() -> Self {
+        QsParams {
+            n: 32_768,
+            threshold: 512,
+            work_partition: 4,
+            work_bubble: 1,
+        }
+    }
+
+    /// A very small instance for tests.
+    pub fn tiny() -> Self {
+        QsParams {
+            n: 2048,
+            threshold: 128,
+            work_partition: 4,
+            work_bubble: 1,
+        }
+    }
+
+    /// Deterministic pseudo-random initial value of element `i`.
+    fn value(&self, i: usize) -> i32 {
+        let x = (i as u64)
+            .wrapping_mul(0xD134_2543_DE82_EF95)
+            .rotate_left(29)
+            .wrapping_add(0x9E37_79B9);
+        (x % (self.n as u64 * 4)) as i32
+    }
+}
+
+/// Sequential sort of the same input, plus the work a sequential quicksort
+/// with the same threshold/bubblesort structure performs.
+pub fn sequential(p: &QsParams) -> (Vec<i32>, Work) {
+    let mut v: Vec<i32> = (0..p.n).map(|i| p.value(i)).collect();
+    let mut work = 0u64;
+    seq_qsort(&mut v, p, &mut work);
+    (v, Work::ops(work))
+}
+
+fn seq_qsort(v: &mut [i32], p: &QsParams, work: &mut u64) {
+    if v.len() <= p.threshold {
+        *work += bubble_work(v.len(), p);
+        v.sort_unstable();
+        return;
+    }
+    let pivot = v[v.len() / 2];
+    *work += v.len() as u64 * p.work_partition;
+    let (mut i, mut j) = (0usize, v.len() - 1);
+    loop {
+        while v[i] < pivot {
+            i += 1;
+        }
+        while v[j] > pivot {
+            j -= 1;
+        }
+        if i >= j {
+            break;
+        }
+        v.swap(i, j);
+        i += 1;
+        j = j.saturating_sub(1);
+    }
+    let (a, b) = v.split_at_mut(i.max(1).min(v.len() - 1));
+    seq_qsort(a, p, work);
+    seq_qsort(b, p, work);
+}
+
+fn bubble_work(len: usize, p: &QsParams) -> u64 {
+    (len as u64 * len.saturating_sub(1) as u64 / 2) * p.work_bubble
+}
+
+/// Queue slot layout inside the shared queue region (all `u32` words):
+/// `[head, tail, pending, _pad, entry0.start, entry0.len, entry1.start, ...]`.
+const Q_HEAD: usize = 0;
+const Q_TAIL: usize = 1;
+const Q_PENDING: usize = 2;
+const Q_ENTRIES: usize = 4;
+
+const QUEUE_LOCK: LockId = LockId(0);
+
+fn entry_lock(slot: usize) -> LockId {
+    LockId::new(1 + slot as u32)
+}
+
+/// Runs Quicksort under the given implementation.  Returns the run result and
+/// whether the final array is correctly sorted.
+pub fn run(kind: ImplKind, nprocs: usize, p: &QsParams) -> (RunResult, bool) {
+    let p = p.clone();
+    let cfg = DsmConfig::with_procs(kind, nprocs);
+    let mut dsm = Dsm::new(cfg).expect("valid config");
+    let array = dsm.alloc_array::<i32>("qs-array", p.n, BlockGranularity::Word);
+    dsm.init_region::<i32>(array, |i| p.value(i));
+
+    // Enough queue entries for the worst case: every leaf task plus the
+    // partition chain.
+    let capacity = (p.n / p.threshold).max(8) * 4;
+    let queue = dsm.alloc_array::<u32>(
+        "qs-queue",
+        Q_ENTRIES + capacity * 2,
+        BlockGranularity::Word,
+    );
+    // The whole array is initially one task in the queue.
+    dsm.init_region::<u32>(queue, |i| match i {
+        x if x == Q_HEAD => 0,
+        x if x == Q_TAIL => 1,
+        x if x == Q_PENDING => 1,
+        x if x == Q_ENTRIES => 0,               // entry 0: start
+        x if x == Q_ENTRIES + 1 => p.n as u32,  // entry 0: len
+        _ => 0,
+    });
+
+    let ec = kind.model() == Model::Ec;
+    if ec {
+        dsm.bind(QUEUE_LOCK, vec![queue.whole()]);
+        // Entry 0 initially holds the whole array.
+        dsm.bind(entry_lock(0), vec![array.whole()]);
+    }
+    let barrier = BarrierId::new(0);
+
+    let result = dsm.run(|ctx| {
+        loop {
+            // Try to dequeue a task.
+            ctx.acquire(QUEUE_LOCK, LockMode::Exclusive);
+            let head = ctx.read::<u32>(queue, Q_HEAD) as usize;
+            let tail = ctx.read::<u32>(queue, Q_TAIL) as usize;
+            let pending = ctx.read::<u32>(queue, Q_PENDING);
+            let task = if head < tail {
+                let slot = head % capacity;
+                let start = ctx.read::<u32>(queue, Q_ENTRIES + slot * 2) as usize;
+                let len = ctx.read::<u32>(queue, Q_ENTRIES + slot * 2 + 1) as usize;
+                ctx.write::<u32>(queue, Q_HEAD, (head + 1) as u32);
+                Some((slot, start, len))
+            } else {
+                None
+            };
+            ctx.release(QUEUE_LOCK);
+
+            let (slot, mut start, mut len) = match task {
+                Some(t) => t,
+                None if pending == 0 => break,
+                None => {
+                    // Wait (without charging protocol traffic) until another
+                    // processor enqueues a task or everything is done; the
+                    // simulated clock is synchronised by the dequeue that
+                    // follows.
+                    let tail_seen = tail as u32;
+                    while ctx.poll::<u32>(queue, Q_TAIL) == tail_seen
+                        && ctx.poll::<u32>(queue, Q_PENDING) != 0
+                    {
+                        std::thread::yield_now();
+                    }
+                    continue;
+                }
+            };
+
+            if ec {
+                ctx.acquire(entry_lock(slot), LockMode::Exclusive);
+            }
+
+            // Keep splitting the larger partition until it is small enough.
+            while len > p.threshold {
+                // Partition [start, start+len) around a pivot using a local
+                // buffer (one read and one write of each element).
+                let mut buf: Vec<i32> = (0..len)
+                    .map(|k| ctx.read::<i32>(array, start + k))
+                    .collect();
+                ctx.compute(Work::ops(len as u64 * p.work_partition));
+                let pivot = buf[len / 2];
+                let mut lower: Vec<i32> = Vec::with_capacity(len);
+                let mut upper: Vec<i32> = Vec::with_capacity(len);
+                let mut equal = 0usize;
+                for &x in &buf {
+                    if x < pivot {
+                        lower.push(x);
+                    } else if x > pivot {
+                        upper.push(x);
+                    } else {
+                        equal += 1;
+                    }
+                }
+                buf.clear();
+                buf.extend_from_slice(&lower);
+                buf.extend(std::iter::repeat(pivot).take(equal));
+                buf.extend_from_slice(&upper);
+                for (k, &x) in buf.iter().enumerate() {
+                    ctx.write::<i32>(array, start + k, x);
+                }
+                let split = lower.len() + equal / 2 + 1;
+                let split = split.clamp(1, len - 1);
+                // Smaller partition goes to the queue, larger stays with us.
+                let (small_start, small_len, large_start, large_len) = if split <= len / 2 {
+                    (start, split, start + split, len - split)
+                } else {
+                    (start + split, len - split, start, split)
+                };
+
+                if ec {
+                    // Publish the writes made so far and narrow the binding
+                    // of our entry lock to the partition we keep.
+                    ctx.release(entry_lock(slot));
+                    ctx.rebind(
+                        entry_lock(slot),
+                        vec![array.range_of::<i32>(large_start, large_len)],
+                    );
+                    ctx.acquire(entry_lock(slot), LockMode::Exclusive);
+                }
+
+                // Enqueue the smaller partition.
+                ctx.acquire(QUEUE_LOCK, LockMode::Exclusive);
+                let tail = ctx.read::<u32>(queue, Q_TAIL) as usize;
+                let new_slot = tail % capacity;
+                ctx.write::<u32>(queue, Q_ENTRIES + new_slot * 2, small_start as u32);
+                ctx.write::<u32>(queue, Q_ENTRIES + new_slot * 2 + 1, small_len as u32);
+                ctx.write::<u32>(queue, Q_TAIL, (tail + 1) as u32);
+                let pending = ctx.read::<u32>(queue, Q_PENDING);
+                ctx.write::<u32>(queue, Q_PENDING, pending + 1);
+                if ec {
+                    ctx.rebind(
+                        entry_lock(new_slot),
+                        vec![array.range_of::<i32>(small_start, small_len)],
+                    );
+                }
+                ctx.release(QUEUE_LOCK);
+
+                // The entry lock we hold (slot) now covers [start, len).
+                start = large_start;
+                len = large_len;
+            }
+
+            // Leaf: bubblesort the remaining partition in a local buffer.
+            let mut buf: Vec<i32> = (0..len).map(|k| ctx.read::<i32>(array, start + k)).collect();
+            ctx.compute(Work::ops(bubble_work(len, &p)));
+            for i in 0..buf.len() {
+                for j in 0..buf.len().saturating_sub(1 + i) {
+                    if buf[j] > buf[j + 1] {
+                        buf.swap(j, j + 1);
+                    }
+                }
+            }
+            for (k, &x) in buf.iter().enumerate() {
+                ctx.write::<i32>(array, start + k, x);
+            }
+            if ec {
+                ctx.release(entry_lock(slot));
+            }
+
+            // Mark the task done.
+            ctx.acquire(QUEUE_LOCK, LockMode::Exclusive);
+            let pending = ctx.read::<u32>(queue, Q_PENDING);
+            ctx.write::<u32>(queue, Q_PENDING, pending - 1);
+            ctx.release(QUEUE_LOCK);
+        }
+        ctx.barrier(barrier);
+    });
+
+    let (expected, _) = sequential(&p);
+    let got = result.final_vec::<i32>(array);
+    let mut got_sorted_check = got.clone();
+    got_sorted_check.sort_unstable();
+    let ok = got == expected && got == got_sorted_check;
+    (result, ok)
+}
+
+/// Simulated single-processor execution time of the sequential program.
+pub fn sequential_time(p: &QsParams, cost: &dsm_sim::CostModel) -> dsm_sim::SimTime {
+    let (_, work) = sequential(p);
+    cost.work(work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_sorts() {
+        let p = QsParams::tiny();
+        let (v, work) = sequential(&p);
+        assert!(work.units() > 0);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(v.len(), p.n);
+    }
+
+    #[test]
+    fn parallel_sorts_under_lrc_and_ec() {
+        let p = QsParams::tiny();
+        for kind in [ImplKind::lrc_diff(), ImplKind::lrc_time(), ImplKind::ec_diff()] {
+            let (result, ok) = run(kind, 4, &p);
+            assert!(ok, "{kind} quicksort output mismatch");
+            assert!(result.traffic.lock_acquires > 0);
+        }
+    }
+
+    #[test]
+    fn ec_ci_also_sorts() {
+        let p = QsParams::tiny();
+        let (_, ok) = run(ImplKind::ec_ci(), 2, &p);
+        assert!(ok, "EC-ci quicksort output mismatch");
+    }
+}

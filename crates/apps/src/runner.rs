@@ -1,0 +1,165 @@
+//! A uniform entry point over the application suite, used by the benchmark
+//! harness, the examples and the integration tests.
+
+use std::fmt;
+
+use dsm_core::{CostModel, ImplKind, SimTime};
+use dsm_sim::{ClusterStats, TrafficReport};
+
+use crate::params::{AppParams, Scale};
+use crate::{barnes_hut, fft, is, quicksort, sor, water};
+
+/// The applications of the study (Table 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum App {
+    /// Red-Black Successive Over-Relaxation.
+    Sor,
+    /// SOR with only the boundary rows shared.
+    SorPlus,
+    /// Task-queue Quicksort.
+    Quicksort,
+    /// Water molecular dynamics.
+    Water,
+    /// Barnes-Hut N-body simulation.
+    BarnesHut,
+    /// NAS Integer Sort.
+    IntegerSort,
+    /// NAS 3D-FFT.
+    Fft3d,
+}
+
+impl App {
+    /// All applications in the order the paper's tables list them.
+    pub const ALL: [App; 7] = [
+        App::Sor,
+        App::SorPlus,
+        App::Quicksort,
+        App::Water,
+        App::BarnesHut,
+        App::IntegerSort,
+        App::Fft3d,
+    ];
+
+    /// The name used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            App::Sor => "SOR",
+            App::SorPlus => "SOR+",
+            App::Quicksort => "QS",
+            App::Water => "Water",
+            App::BarnesHut => "Barnes-Hut",
+            App::IntegerSort => "IS",
+            App::Fft3d => "3D-FFT",
+        }
+    }
+}
+
+impl fmt::Display for App {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The outcome of one application run under one implementation.
+#[derive(Debug, Clone)]
+pub struct AppReport {
+    /// Which application ran.
+    pub app: App,
+    /// Which implementation ran it.
+    pub kind: ImplKind,
+    /// Number of simulated processors.
+    pub nprocs: usize,
+    /// Simulated parallel execution time.
+    pub time: SimTime,
+    /// Simulated single-processor time of the sequential program.
+    pub seq_time: SimTime,
+    /// Traffic statistics (messages, bytes, misses, ...).
+    pub traffic: TrafficReport,
+    /// Full per-node statistics.
+    pub stats: ClusterStats,
+    /// Whether the parallel output matched the sequential version.
+    pub verified: bool,
+}
+
+impl AppReport {
+    /// Speedup over the sequential version.
+    pub fn speedup(&self) -> f64 {
+        if self.time.as_nanos() == 0 {
+            return 0.0;
+        }
+        self.seq_time.as_secs_f64() / self.time.as_secs_f64()
+    }
+}
+
+/// Simulated single-processor execution time of the sequential version of an
+/// application at the given scale.
+pub fn sequential_time(app: App, scale: Scale, cost: &CostModel) -> SimTime {
+    let p = AppParams::at(scale);
+    match app {
+        App::Sor | App::SorPlus => sor::sequential_time(&p.sor, cost),
+        App::Quicksort => quicksort::sequential_time(&p.quicksort, cost),
+        App::Water => water::sequential_time(&p.water, cost),
+        App::BarnesHut => barnes_hut::sequential_time(&p.barnes, cost),
+        App::IntegerSort => is::sequential_time(&p.is, cost),
+        App::Fft3d => fft::sequential_time(&p.fft, cost),
+    }
+}
+
+/// Runs one application under one implementation at the given scale and
+/// processor count.
+pub fn run_app(app: App, kind: ImplKind, nprocs: usize, scale: Scale) -> AppReport {
+    let p = AppParams::at(scale);
+    let cost = dsm_core::DsmConfig::paper(kind).cost;
+    let seq_time = sequential_time(app, scale, &cost);
+    let (result, verified) = match app {
+        App::Sor => sor::run(kind, nprocs, &p.sor, false),
+        App::SorPlus => sor::run(kind, nprocs, &p.sor, true),
+        App::Quicksort => quicksort::run(kind, nprocs, &p.quicksort),
+        App::Water => water::run(kind, nprocs, &p.water),
+        App::BarnesHut => barnes_hut::run(kind, nprocs, &p.barnes),
+        App::IntegerSort => is::run(kind, nprocs, &p.is),
+        App::Fft3d => fft::run(kind, nprocs, &p.fft),
+    };
+    AppReport {
+        app,
+        kind,
+        nprocs,
+        time: result.time,
+        seq_time,
+        traffic: result.traffic,
+        stats: result.stats,
+        verified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_names_match_the_paper() {
+        let names: Vec<&str> = App::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec!["SOR", "SOR+", "QS", "Water", "Barnes-Hut", "IS", "3D-FFT"]
+        );
+    }
+
+    #[test]
+    fn run_app_produces_a_verified_report() {
+        let report = run_app(App::IntegerSort, ImplKind::lrc_diff(), 2, Scale::Tiny);
+        assert!(report.verified);
+        assert!(report.time.as_nanos() > 0);
+        assert!(report.seq_time.as_nanos() > 0);
+        assert!(report.speedup() > 0.0);
+        assert!(report.traffic.messages > 0);
+    }
+
+    #[test]
+    fn sequential_times_are_positive_for_every_app() {
+        let cost = dsm_sim::CostModel::atm_lan_1996();
+        for app in App::ALL {
+            assert!(sequential_time(app, Scale::Tiny, &cost).as_nanos() > 0, "{app}");
+        }
+    }
+}

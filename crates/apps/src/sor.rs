@@ -1,0 +1,370 @@
+//! Red-Black Successive Over-Relaxation (SOR) and its SOR+ variant.
+//!
+//! The matrix is divided into bands of consecutive rows, one band per
+//! processor; each iteration has a red phase and a black phase separated by
+//! barriers, and communication happens only across band boundaries.  Each row
+//! is laid out with its red elements first and its black elements next, as in
+//! the paper, so that both colours of a row share a page (the source of LRC's
+//! prefetch effect and of the false sharing at band boundaries).
+//!
+//! * LRC version: barriers only.
+//! * EC version: one lock per (row, colour) half-row; a processor takes
+//!   exclusive locks on the half-rows it updates and read-only locks on the
+//!   boundary half-rows it reads (Section 3.3).
+//! * SOR+: only the boundary rows are shared; interior rows live in private
+//!   memory.
+
+use dsm_core::{
+    BarrierId, BlockGranularity, Dsm, DsmConfig, ImplKind, LockId, LockMode, Model, RunResult,
+};
+use dsm_sim::Work;
+
+/// SOR problem parameters.
+#[derive(Debug, Clone)]
+pub struct SorParams {
+    /// Interior rows (the paper uses 1000).
+    pub rows: usize,
+    /// Interior columns (the paper uses 1000).
+    pub cols: usize,
+    /// Red/black iterations.
+    pub iterations: usize,
+    /// Work units charged per element update.
+    pub work_per_element: u64,
+}
+
+impl SorParams {
+    /// Table 2 parameters: 1000x1000 floats.
+    pub fn paper() -> Self {
+        SorParams {
+            rows: 1000,
+            cols: 1000,
+            iterations: 48,
+            work_per_element: 9,
+        }
+    }
+
+    /// A reduced instance for quick runs.
+    pub fn small() -> Self {
+        SorParams {
+            rows: 256,
+            cols: 256,
+            iterations: 12,
+            work_per_element: 9,
+        }
+    }
+
+    /// A very small instance for tests.
+    pub fn tiny() -> Self {
+        SorParams {
+            rows: 32,
+            cols: 32,
+            iterations: 4,
+            work_per_element: 9,
+        }
+    }
+
+    fn total_cols(&self) -> usize {
+        self.cols + 2
+    }
+
+    fn total_rows(&self) -> usize {
+        self.rows + 2
+    }
+
+    /// Element index of `(i, j)` in the red-first/black-next row layout.
+    fn idx(&self, i: usize, j: usize) -> usize {
+        let c = self.total_cols();
+        let base = i * c;
+        if (i + j) % 2 == 0 {
+            base + j / 2
+        } else {
+            base + c / 2 + j / 2
+        }
+    }
+
+    /// Initial value of element `(i, j)`: non-zero interior values chosen so
+    /// that every element changes on every iteration (the paper initialises
+    /// the matrix this way to make the compiler-instrumentation vs. diffing
+    /// comparison fair).
+    fn initial(&self, i: usize, j: usize) -> f32 {
+        if i == 0 || j == 0 || i == self.total_rows() - 1 || j == self.total_cols() - 1 {
+            ((i * 31 + j * 17) % 100) as f32 + 1.0
+        } else {
+            ((i * 7 + j * 13) % 50) as f32 + 1.0
+        }
+    }
+}
+
+/// The initial matrix in the red-first/black-next layout.
+fn initial_layout(p: &SorParams) -> Vec<f32> {
+    let (tr, tc) = (p.total_rows(), p.total_cols());
+    let mut m = vec![0.0f32; tr * tc];
+    for i in 0..tr {
+        for j in 0..tc {
+            m[p.idx(i, j)] = p.initial(i, j);
+        }
+    }
+    m
+}
+
+/// Runs the sequential version: returns the final matrix (in the same layout
+/// as the shared region) and the work performed.
+pub fn sequential(p: &SorParams) -> (Vec<f32>, Work) {
+    let (tr, tc) = (p.total_rows(), p.total_cols());
+    let mut m = initial_layout(p);
+    let mut work = Work::ZERO;
+    for _ in 0..p.iterations {
+        for colour in 0..2usize {
+            for i in 1..tr - 1 {
+                for j in 1..tc - 1 {
+                    if (i + j) % 2 == colour {
+                        let v = 0.25
+                            * (m[p.idx(i - 1, j)]
+                                + m[p.idx(i + 1, j)]
+                                + m[p.idx(i, j - 1)]
+                                + m[p.idx(i, j + 1)]);
+                        m[p.idx(i, j)] = v;
+                        work += Work::flops(p.work_per_element);
+                    }
+                }
+            }
+        }
+    }
+    (m, work)
+}
+
+fn band(p: &SorParams, nprocs: usize, me: usize) -> (usize, usize) {
+    // Interior rows 1..=rows split into nprocs roughly equal bands.
+    let per = p.rows / nprocs;
+    let extra = p.rows % nprocs;
+    let lo = 1 + me * per + me.min(extra);
+    let hi = lo + per + usize::from(me < extra);
+    (lo, hi)
+}
+
+/// Lock id of the red (`colour == 0`) or black half of row `i`.
+fn row_lock(i: usize, colour: usize) -> LockId {
+    LockId::new((2 * i + colour) as u32)
+}
+
+/// Runs SOR (or SOR+ when `plus` is true) under the given implementation and
+/// processor count.  Returns the run result and whether the parallel output
+/// matches the sequential version exactly.
+pub fn run(kind: ImplKind, nprocs: usize, p: &SorParams, plus: bool) -> (RunResult, bool) {
+    let p = p.clone();
+    let (tr, tc) = (p.total_rows(), p.total_cols());
+    let cfg = DsmConfig::with_procs(kind, nprocs);
+    let mut dsm = Dsm::new(cfg).expect("valid config");
+    let matrix = dsm.alloc_array::<f32>("sor-matrix", tr * tc, BlockGranularity::Word);
+    {
+        let init = initial_layout(&p);
+        dsm.init_region::<f32>(matrix, |flat| init[flat]);
+    }
+
+    // EC: bind each half-row to its lock.
+    if kind.model() == Model::Ec {
+        let half = tc / 2;
+        for i in 0..tr {
+            dsm.bind(
+                row_lock(i, 0),
+                vec![matrix.range_of::<f32>(i * tc, half)],
+            );
+            dsm.bind(
+                row_lock(i, 1),
+                vec![matrix.range_of::<f32>(i * tc + half, tc - half)],
+            );
+        }
+    }
+
+    let barrier = BarrierId::new(0);
+    let ec = kind.model() == Model::Ec;
+    let result = dsm.run(|ctx| {
+        let me = ctx.node();
+        let n = ctx.nprocs();
+        let (lo, hi) = band(&p, n, me);
+        // SOR+ keeps interior rows private; only boundary rows go through the
+        // shared region.
+        let mut private: Vec<f32> = if plus {
+            initial_layout(&p)
+        } else {
+            Vec::new()
+        };
+
+        for _ in 0..p.iterations {
+            for colour in 0..2usize {
+                // EC: read-only locks on the boundary half-rows we read.
+                if ec {
+                    let read_colour = 1 - colour;
+                    if lo > 1 {
+                        ctx.acquire(row_lock(lo - 1, read_colour), LockMode::ReadOnly);
+                    }
+                    if hi < tr - 1 {
+                        ctx.acquire(row_lock(hi, read_colour), LockMode::ReadOnly);
+                    }
+                }
+                for i in lo..hi {
+                    if ec && !plus {
+                        ctx.acquire(row_lock(i, colour), LockMode::Exclusive);
+                    }
+                    let boundary_row = i == lo || i == hi - 1;
+                    if ec && plus && boundary_row {
+                        ctx.acquire(row_lock(i, colour), LockMode::Exclusive);
+                    }
+                    for j in 1..tc - 1 {
+                        if (i + j) % 2 != colour {
+                            continue;
+                        }
+                        let read = |ctx: &mut dsm_core::ProcessContext<'_>,
+                                    private: &Vec<f32>,
+                                    ri: usize,
+                                    rj: usize|
+                         -> f32 {
+                            // In SOR+, only rows adjacent to a band edge are
+                            // read from the shared region.
+                            let neighbour_boundary =
+                                ri == lo - 1 || ri == hi || ri == lo || ri == hi - 1;
+                            if plus && !neighbour_boundary {
+                                private[p.idx(ri, rj)]
+                            } else if plus && (ri == lo - 1 || ri == hi) {
+                                ctx.read::<f32>(matrix, p.idx(ri, rj))
+                            } else if plus {
+                                private[p.idx(ri, rj)]
+                            } else {
+                                ctx.read::<f32>(matrix, p.idx(ri, rj))
+                            }
+                        };
+                        let v = 0.25
+                            * (read(ctx, &private, i - 1, j)
+                                + read(ctx, &private, i + 1, j)
+                                + read(ctx, &private, i, j - 1)
+                                + read(ctx, &private, i, j + 1));
+                        ctx.compute(Work::flops(p.work_per_element));
+                        if plus {
+                            private[p.idx(i, j)] = v;
+                            if boundary_row {
+                                ctx.write::<f32>(matrix, p.idx(i, j), v);
+                            }
+                        } else {
+                            ctx.write::<f32>(matrix, p.idx(i, j), v);
+                        }
+                    }
+                    if ec && (!plus || boundary_row) {
+                        ctx.release(row_lock(i, colour));
+                    }
+                }
+                if ec {
+                    let read_colour = 1 - colour;
+                    if lo > 1 {
+                        ctx.release(row_lock(lo - 1, read_colour));
+                    }
+                    if hi < tr - 1 {
+                        ctx.release(row_lock(hi, read_colour));
+                    }
+                }
+                ctx.barrier(barrier);
+            }
+        }
+        // SOR+ publishes nothing for interior rows; copy the final band into
+        // the shared region so the result can be verified uniformly.
+        if plus {
+            if ec {
+                for i in lo..hi {
+                    ctx.acquire(row_lock(i, 0), LockMode::Exclusive);
+                    ctx.acquire(row_lock(i, 1), LockMode::Exclusive);
+                }
+            }
+            for i in lo..hi {
+                for j in 1..tc - 1 {
+                    ctx.write::<f32>(matrix, p.idx(i, j), private[p.idx(i, j)]);
+                }
+            }
+            if ec {
+                for i in lo..hi {
+                    ctx.release(row_lock(i, 0));
+                    ctx.release(row_lock(i, 1));
+                }
+            }
+            ctx.barrier(barrier);
+        }
+        ctx.barrier(barrier);
+    });
+
+    let (expected, _) = sequential(&p);
+    let got = result.final_vec::<f32>(matrix);
+    let ok = expected
+        .iter()
+        .zip(got.iter())
+        .all(|(a, b)| (a - b).abs() <= 1e-4 * a.abs().max(1.0));
+    (result, ok)
+}
+
+/// Simulated single-processor execution time of the sequential program.
+pub fn sequential_time(p: &SorParams, cost: &dsm_sim::CostModel) -> dsm_sim::SimTime {
+    let (_, work) = sequential(p);
+    cost.work(work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_index_is_a_bijection_per_row() {
+        let p = SorParams::tiny();
+        let tc = p.total_cols();
+        for i in 0..4 {
+            let mut seen = vec![false; tc];
+            for j in 0..tc {
+                let idx = p.idx(i, j) - i * tc;
+                assert!(idx < tc);
+                assert!(!seen[idx], "collision at ({i},{j})");
+                seen[idx] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_changes_every_interior_element() {
+        let p = SorParams::tiny();
+        let (m, work) = sequential(&p);
+        assert!(work.units() > 0);
+        // Interior elements should have been relaxed away from their initial
+        // integer-ish values.
+        let changed = (1..p.total_rows() - 1)
+            .flat_map(|i| (1..p.total_cols() - 1).map(move |j| (i, j)))
+            .filter(|&(i, j)| (m[p.idx(i, j)] - p.initial(i, j)).abs() > 1e-6)
+            .count();
+        assert!(changed > (p.rows * p.cols) / 2);
+    }
+
+    #[test]
+    fn bands_partition_the_interior_rows() {
+        let p = SorParams::paper();
+        let mut covered = 0;
+        for me in 0..8 {
+            let (lo, hi) = band(&p, 8, me);
+            covered += hi - lo;
+            assert!(lo >= 1 && hi <= p.rows + 1);
+        }
+        assert_eq!(covered, p.rows);
+    }
+
+    #[test]
+    fn lrc_and_ec_match_sequential() {
+        let p = SorParams::tiny();
+        for kind in [ImplKind::lrc_diff(), ImplKind::ec_time()] {
+            let (result, ok) = run(kind, 2, &p, false);
+            assert!(ok, "{kind} SOR output mismatch");
+            assert!(result.time.as_nanos() > 0);
+        }
+    }
+
+    #[test]
+    fn sor_plus_matches_sequential() {
+        let p = SorParams::tiny();
+        let (_, ok) = run(ImplKind::lrc_diff(), 2, &p, true);
+        assert!(ok, "SOR+ LRC output mismatch");
+        let (_, ok) = run(ImplKind::ec_diff(), 2, &p, true);
+        assert!(ok, "SOR+ EC output mismatch");
+    }
+}

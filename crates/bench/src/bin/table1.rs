@@ -1,0 +1,36 @@
+//! Table 1: the combinations of write trapping and write collection explored.
+
+use dsm_bench::print_table;
+use dsm_core::{Collection, ImplKind, Trapping};
+
+fn main() {
+    let cell = |trap: Trapping, coll: Collection| -> String {
+        let names: Vec<String> = ImplKind::all()
+            .iter()
+            .filter(|k| k.trapping() == trap && k.collection() == coll)
+            .map(|k| k.name())
+            .collect();
+        if names.is_empty() {
+            "not considered".to_string()
+        } else {
+            names.join(", ")
+        }
+    };
+    let rows = vec![
+        vec![
+            "Timestamping".to_string(),
+            cell(Trapping::Instrumentation, Collection::Timestamps),
+            cell(Trapping::Twinning, Collection::Timestamps),
+        ],
+        vec![
+            "Diffing".to_string(),
+            cell(Trapping::Instrumentation, Collection::Diffs),
+            cell(Trapping::Twinning, Collection::Diffs),
+        ],
+    ];
+    print_table(
+        "Table 1: Combinations of Write Trapping and Write Collection",
+        &["Collection \\ Trapping", "Comp. Ins.", "Twinning"],
+        &rows,
+    );
+}

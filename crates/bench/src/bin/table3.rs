@@ -1,0 +1,50 @@
+//! Table 3: execution times for the best EC and best LRC implementation of
+//! every application, plus the single-processor sequential time and the
+//! implementation that achieved the best time ("EC Imp." / "LRC Imp.").
+
+use dsm_apps::sequential_time;
+use dsm_bench::{best, check, print_table, run_family, secs, table_apps, HarnessOpts};
+use dsm_core::{CostModel, ImplKind};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let cost = CostModel::atm_lan_1996();
+    let mut rows = Vec::new();
+    for app in table_apps() {
+        let seq = sequential_time(app, opts.scale, &cost);
+        let ec_reports = run_family(app, &ImplKind::ec_all(), opts);
+        let lrc_reports = run_family(app, &ImplKind::lrc_all(), opts);
+        for r in ec_reports.iter().chain(lrc_reports.iter()) {
+            check(r);
+        }
+        let ec = best(&ec_reports);
+        let lrc = best(&lrc_reports);
+        rows.push(vec![
+            app.name().to_string(),
+            secs(seq),
+            secs(ec.time),
+            secs(lrc.time),
+            ec.kind.name().replace("EC-", ""),
+            lrc.kind.name().replace("LRC-", ""),
+            format!("{:.2}", ec.speedup()),
+            format!("{:.2}", lrc.speedup()),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Table 3: Execution Times for EC and LRC (best implementation, {})",
+            opts.describe()
+        ),
+        &[
+            "Application",
+            "1 proc.",
+            "EC",
+            "LRC",
+            "EC Imp.",
+            "LRC Imp.",
+            "EC spdup",
+            "LRC spdup",
+        ],
+        &rows,
+    );
+}

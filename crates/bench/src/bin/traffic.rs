@@ -1,0 +1,48 @@
+//! Section 7.2 traffic statistics: message counts and megabytes transferred
+//! for the best EC and best LRC implementation of every application (the
+//! quantities quoted in the per-application analysis, e.g. "EC-time transfers
+//! 9.5 MB while LRC-diff transfers 29.9 MB for Barnes-Hut").
+
+use dsm_bench::{best, check, print_table, run_family, table_apps, HarnessOpts};
+use dsm_core::ImplKind;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let mut rows = Vec::new();
+    for app in table_apps() {
+        let ec_reports = run_family(app, &ImplKind::ec_all(), opts);
+        let lrc_reports = run_family(app, &ImplKind::lrc_all(), opts);
+        for r in ec_reports.iter().chain(lrc_reports.iter()) {
+            check(r);
+        }
+        let ec = best(&ec_reports);
+        let lrc = best(&lrc_reports);
+        rows.push(vec![
+            app.name().to_string(),
+            ec.kind.name(),
+            format!("{}", ec.traffic.messages),
+            format!("{:.2}", ec.traffic.megabytes()),
+            lrc.kind.name(),
+            format!("{}", lrc.traffic.messages),
+            format!("{:.2}", lrc.traffic.megabytes()),
+            format!("{}", lrc.traffic.access_misses),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Section 7.2: Messages and Data Transferred (best implementations, {})",
+            opts.describe()
+        ),
+        &[
+            "Application",
+            "EC impl",
+            "EC msgs",
+            "EC MB",
+            "LRC impl",
+            "LRC msgs",
+            "LRC MB",
+            "LRC misses",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,162 @@
+//! Shared harness code for the table-regeneration binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` that re-runs the corresponding experiment on the simulated
+//! cluster and prints the same rows the paper reports:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — the trapping x collection combinations |
+//! | `table2` | Table 2 — application parameters |
+//! | `table3` | Table 3 — best EC vs best LRC execution times (+ 1 proc.) |
+//! | `table4` | Table 4 — EC-ci / EC-time / EC-diff execution times |
+//! | `table5` | Table 5 — LRC-ci / LRC-time / LRC-diff execution times |
+//! | `traffic` | Section 7.2 — message counts and megabytes per application |
+//! | `water_restructured` | Section 7.2 — the restructured Water experiment |
+//! | `ablation_ci_opt` | Section 8.1 — the dirty-bit loop-splitting optimisation |
+//! | `ablation_small_objects` | Section 4.2 — eager small-object twins vs page faults |
+//!
+//! All binaries accept `--scale tiny|small|paper` (default `small`) and
+//! `--procs N` (default 8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dsm_apps::{run_app, App, AppReport, Scale};
+use dsm_core::ImplKind;
+
+/// Command-line options shared by the table binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessOpts {
+    /// Problem scale.
+    pub scale: Scale,
+    /// Number of simulated processors.
+    pub nprocs: usize,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        HarnessOpts {
+            scale: Scale::Small,
+            nprocs: 8,
+        }
+    }
+}
+
+impl HarnessOpts {
+    /// Parses `--scale` and `--procs` from the process arguments.
+    pub fn from_args() -> Self {
+        let mut opts = HarnessOpts::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" if i + 1 < args.len() => {
+                    opts.scale = match args[i + 1].as_str() {
+                        "tiny" => Scale::Tiny,
+                        "small" => Scale::Small,
+                        "paper" => Scale::Paper,
+                        other => panic!("unknown scale '{other}' (use tiny|small|paper)"),
+                    };
+                    i += 2;
+                }
+                "--procs" if i + 1 < args.len() => {
+                    opts.nprocs = args[i + 1].parse().expect("--procs takes a number");
+                    i += 2;
+                }
+                other => panic!("unknown argument '{other}'"),
+            }
+        }
+        opts
+    }
+
+    /// A short human-readable description of the options.
+    pub fn describe(&self) -> String {
+        format!("{:?} scale, {} processors", self.scale, self.nprocs)
+    }
+}
+
+/// The applications in the order the paper's tables use.
+pub fn table_apps() -> Vec<App> {
+    App::ALL.to_vec()
+}
+
+/// Runs one application under every implementation of one model family and
+/// returns the reports in the same order.
+pub fn run_family(app: App, kinds: &[ImplKind], opts: HarnessOpts) -> Vec<AppReport> {
+    kinds
+        .iter()
+        .map(|&kind| run_app(app, kind, opts.nprocs, opts.scale))
+        .collect()
+}
+
+/// Picks the report with the lowest simulated time.
+pub fn best(reports: &[AppReport]) -> &AppReport {
+    reports
+        .iter()
+        .min_by(|a, b| a.time.cmp(&b.time))
+        .expect("at least one report")
+}
+
+/// Formats a simulated time in seconds with two decimals, like the paper.
+pub fn secs(t: dsm_core::SimTime) -> String {
+    format!("{:.2}", t.as_secs_f64())
+}
+
+/// Prints a table header followed by aligned rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n{title}");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&header_cells));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Warns (loudly) if a run failed verification against the sequential output.
+pub fn check(report: &AppReport) {
+    if !report.verified {
+        eprintln!(
+            "WARNING: {} under {} did not match the sequential output",
+            report.app, report.kind
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_picks_the_fastest() {
+        let opts = HarnessOpts {
+            scale: Scale::Tiny,
+            nprocs: 2,
+        };
+        let reports = run_family(App::IntegerSort, &ImplKind::ec_all(), opts);
+        let b = best(&reports);
+        assert!(reports.iter().all(|r| r.time >= b.time));
+    }
+
+    #[test]
+    fn secs_formats_two_decimals() {
+        assert_eq!(secs(dsm_core::SimTime::from_millis(1500)), "1.50");
+    }
+}

@@ -1,0 +1,372 @@
+//! Configuration: consistency model, write trapping, write collection.
+
+use std::fmt;
+
+use dsm_sim::CostModel;
+
+use crate::DsmError;
+
+/// The consistency model (Section 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// Entry consistency (Midway): shared data is bound to locks, only the
+    /// bound data is made consistent at an acquire, update protocol.
+    Ec,
+    /// Lazy release consistency (TreadMarks): no binding, all shared data is
+    /// made consistent lazily, invalidate protocol with multiple writers.
+    Lrc,
+}
+
+impl Model {
+    /// Short label ("EC" / "LRC").
+    pub fn label(self) -> &'static str {
+        match self {
+            Model::Ec => "EC",
+            Model::Lrc => "LRC",
+        }
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The write-trapping mechanism (Section 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trapping {
+    /// Compiler instrumentation: every shared store also sets a software
+    /// dirty bit (one word of memory per block).
+    Instrumentation,
+    /// Twinning: an unmodified copy of the object/page is made (at write-lock
+    /// acquire for small EC objects, at a write-protection fault otherwise)
+    /// and later compared against the current copy.
+    Twinning,
+}
+
+impl Trapping {
+    /// Short label used in implementation names ("ci" / "tw").
+    pub fn label(self) -> &'static str {
+        match self {
+            Trapping::Instrumentation => "ci",
+            Trapping::Twinning => "tw",
+        }
+    }
+}
+
+impl fmt::Display for Trapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The write-collection mechanism (Section 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Collection {
+    /// Per-block timestamps (EC: lock incarnation numbers, LRC: `(processor,
+    /// interval)` pairs); the responder scans timestamps and sends newer
+    /// blocks plus run-length encoded timestamps.
+    Timestamps,
+    /// Run-length encoded diffs, created lazily and saved for future
+    /// transmission.
+    Diffs,
+}
+
+impl Collection {
+    /// Short label used in implementation names ("time" / "diff").
+    pub fn label(self) -> &'static str {
+        match self {
+            Collection::Timestamps => "time",
+            Collection::Diffs => "diff",
+        }
+    }
+}
+
+impl fmt::Display for Collection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One of the implementations studied in the paper (Table 1): a consistency
+/// model crossed with a write-trapping and a write-collection mechanism.
+///
+/// The combination of compiler instrumentation and diffing is rejected, as in
+/// the paper, "because its memory requirements appear prohibitive" (it would
+/// need both the software dirty bits and the diffs).
+///
+/// # Examples
+///
+/// ```
+/// use dsm_core::{Collection, ImplKind, Model, Trapping};
+///
+/// let ec_ci = ImplKind::new(Model::Ec, Trapping::Instrumentation, Collection::Timestamps)?;
+/// assert_eq!(ec_ci.name(), "EC-ci");
+///
+/// // The six implementations of Table 1:
+/// assert_eq!(ImplKind::all().len(), 6);
+/// # Ok::<(), dsm_core::DsmError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ImplKind {
+    model: Model,
+    trapping: Trapping,
+    collection: Collection,
+}
+
+impl ImplKind {
+    /// Creates an implementation descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsmError::UnsupportedCombination`] for compiler
+    /// instrumentation combined with diffing.
+    pub fn new(model: Model, trapping: Trapping, collection: Collection) -> Result<Self, DsmError> {
+        if trapping == Trapping::Instrumentation && collection == Collection::Diffs {
+            return Err(DsmError::UnsupportedCombination);
+        }
+        Ok(ImplKind {
+            model,
+            trapping,
+            collection,
+        })
+    }
+
+    /// EC with compiler instrumentation and timestamps (the Midway design).
+    pub fn ec_ci() -> Self {
+        ImplKind {
+            model: Model::Ec,
+            trapping: Trapping::Instrumentation,
+            collection: Collection::Timestamps,
+        }
+    }
+
+    /// EC with twinning and timestamps.
+    pub fn ec_time() -> Self {
+        ImplKind {
+            model: Model::Ec,
+            trapping: Trapping::Twinning,
+            collection: Collection::Timestamps,
+        }
+    }
+
+    /// EC with twinning and diffs (improves on the Midway VM implementation).
+    pub fn ec_diff() -> Self {
+        ImplKind {
+            model: Model::Ec,
+            trapping: Trapping::Twinning,
+            collection: Collection::Diffs,
+        }
+    }
+
+    /// LRC with compiler instrumentation and timestamps (hierarchical dirty
+    /// bits).
+    pub fn lrc_ci() -> Self {
+        ImplKind {
+            model: Model::Lrc,
+            trapping: Trapping::Instrumentation,
+            collection: Collection::Timestamps,
+        }
+    }
+
+    /// LRC with twinning and timestamps.
+    pub fn lrc_time() -> Self {
+        ImplKind {
+            model: Model::Lrc,
+            trapping: Trapping::Twinning,
+            collection: Collection::Timestamps,
+        }
+    }
+
+    /// LRC with twinning and diffs (the TreadMarks design).
+    pub fn lrc_diff() -> Self {
+        ImplKind {
+            model: Model::Lrc,
+            trapping: Trapping::Twinning,
+            collection: Collection::Diffs,
+        }
+    }
+
+    /// All six implementations explored in the paper, in Table-1 order.
+    pub fn all() -> [ImplKind; 6] {
+        [
+            Self::ec_ci(),
+            Self::ec_time(),
+            Self::ec_diff(),
+            Self::lrc_ci(),
+            Self::lrc_time(),
+            Self::lrc_diff(),
+        ]
+    }
+
+    /// The three EC implementations (Table 4 columns).
+    pub fn ec_all() -> [ImplKind; 3] {
+        [Self::ec_ci(), Self::ec_time(), Self::ec_diff()]
+    }
+
+    /// The three LRC implementations (Table 5 columns).
+    pub fn lrc_all() -> [ImplKind; 3] {
+        [Self::lrc_ci(), Self::lrc_time(), Self::lrc_diff()]
+    }
+
+    /// The consistency model.
+    pub fn model(self) -> Model {
+        self.model
+    }
+
+    /// The write-trapping mechanism.
+    pub fn trapping(self) -> Trapping {
+        self.trapping
+    }
+
+    /// The write-collection mechanism.
+    pub fn collection(self) -> Collection {
+        self.collection
+    }
+
+    /// The name used in the paper's tables: `EC-ci`, `EC-time`, `EC-diff`,
+    /// `LRC-ci`, `LRC-time`, `LRC-diff`.
+    pub fn name(self) -> String {
+        let suffix = match (self.trapping, self.collection) {
+            (Trapping::Instrumentation, _) => "ci",
+            (Trapping::Twinning, Collection::Timestamps) => "time",
+            (Trapping::Twinning, Collection::Diffs) => "diff",
+        };
+        format!("{}-{}", self.model.label(), suffix)
+    }
+}
+
+impl fmt::Display for ImplKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Configuration of one DSM run.
+#[derive(Debug, Clone)]
+pub struct DsmConfig {
+    /// Number of simulated processors (the paper uses 8).
+    pub nprocs: usize,
+    /// Which of the six implementations to run.
+    pub kind: ImplKind,
+    /// The cost model converting protocol events into simulated time.
+    pub cost: CostModel,
+    /// Objects whose bound data is at most this many bytes are twinned
+    /// eagerly at write-lock acquire instead of via copy-on-write protection
+    /// faults (the EC twinning improvement over Midway, Section 4.2).  The
+    /// paper draws the boundary at the page size.
+    pub ec_small_object_limit: usize,
+    /// Use the hierarchical (page-level + word-level) dirty-bit scheme for
+    /// LRC with compiler instrumentation (Section 4.1).
+    pub hierarchical_dirty_bits: bool,
+    /// Apply the loop-splitting compiler optimisation of Section 4.1/8.1,
+    /// which batches dirty-bit stores and reduces their per-write cost.
+    pub ci_loop_optimization: bool,
+    /// How many publish records (diffs) to retain per lock/page for traffic
+    /// accounting.  Older records fall back to a merged-size estimate.
+    pub diff_ring: usize,
+}
+
+impl DsmConfig {
+    /// Configuration matching the paper's environment: 8 processors on the
+    /// 1996 ATM-LAN cost model.
+    ///
+    /// Two environment variables let the ablation benches toggle design
+    /// choices without changing application code: `DSM_NAIVE_CI=1` disables
+    /// the dirty-bit loop-splitting optimisation (Section 8.1) and
+    /// `DSM_NO_SMALL_OBJECTS=1` disables the eager small-object twinning
+    /// improvement, falling back to Midway-style copy-on-write faults for
+    /// every object (Section 4.2).
+    pub fn paper(kind: ImplKind) -> Self {
+        let naive_ci = std::env::var_os("DSM_NAIVE_CI").is_some();
+        let no_small = std::env::var_os("DSM_NO_SMALL_OBJECTS").is_some();
+        DsmConfig {
+            nprocs: 8,
+            kind,
+            cost: CostModel::atm_lan_1996(),
+            ec_small_object_limit: if no_small { 0 } else { dsm_mem::PAGE_SIZE },
+            hierarchical_dirty_bits: true,
+            ci_loop_optimization: !naive_ci,
+            diff_ring: 64,
+        }
+    }
+
+    /// Same as [`DsmConfig::paper`] but with an explicit processor count.
+    pub fn with_procs(kind: ImplKind, nprocs: usize) -> Self {
+        DsmConfig {
+            nprocs,
+            ..Self::paper(kind)
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the processor count is zero.
+    pub fn validate(&self) -> Result<(), DsmError> {
+        if self.nprocs == 0 {
+            return Err(DsmError::InvalidConfig("nprocs must be at least 1".into()));
+        }
+        if self.diff_ring == 0 {
+            return Err(DsmError::InvalidConfig("diff_ring must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_plus_diff_is_rejected() {
+        let err = ImplKind::new(Model::Ec, Trapping::Instrumentation, Collection::Diffs);
+        assert!(matches!(err, Err(DsmError::UnsupportedCombination)));
+        let err = ImplKind::new(Model::Lrc, Trapping::Instrumentation, Collection::Diffs);
+        assert!(matches!(err, Err(DsmError::UnsupportedCombination)));
+    }
+
+    #[test]
+    fn table1_names() {
+        let names: Vec<String> = ImplKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec!["EC-ci", "EC-time", "EC-diff", "LRC-ci", "LRC-time", "LRC-diff"]
+        );
+    }
+
+    #[test]
+    fn accessors_are_consistent() {
+        let k = ImplKind::lrc_diff();
+        assert_eq!(k.model(), Model::Lrc);
+        assert_eq!(k.trapping(), Trapping::Twinning);
+        assert_eq!(k.collection(), Collection::Diffs);
+        assert_eq!(k.to_string(), "LRC-diff");
+    }
+
+    #[test]
+    fn ec_and_lrc_subsets() {
+        assert!(ImplKind::ec_all().iter().all(|k| k.model() == Model::Ec));
+        assert!(ImplKind::lrc_all().iter().all(|k| k.model() == Model::Lrc));
+    }
+
+    #[test]
+    fn paper_config_defaults() {
+        let cfg = DsmConfig::paper(ImplKind::ec_time());
+        assert_eq!(cfg.nprocs, 8);
+        assert_eq!(cfg.ec_small_object_limit, dsm_mem::PAGE_SIZE);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = DsmConfig::paper(ImplKind::ec_time());
+        cfg.nprocs = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = DsmConfig::paper(ImplKind::ec_time());
+        cfg.diff_ring = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

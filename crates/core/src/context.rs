@@ -1,0 +1,425 @@
+//! The per-processor programming interface.
+
+use dsm_mem::{MemRange, VectorClock, WriteNotice, PAGE_SIZE};
+use dsm_sim::{CostModel, MsgKind, SimTime, Work};
+
+use crate::config::{DsmConfig, Model, Trapping};
+use crate::ids::{BarrierId, LockId, LockMode};
+use crate::local::NodeLocal;
+use crate::runtime::{Region, RunGlobal};
+use crate::scalar::Scalar;
+
+/// Size of a small control message payload (lock request/forward, barrier
+/// bookkeeping) in bytes.
+pub(crate) const CTRL_MSG_BYTES: usize = 16;
+
+/// The interface a worker closure uses to access shared memory and
+/// synchronize, playing the role of the TreadMarks/Midway runtime API
+/// (`Tmk_malloc`, `Tmk_lock_acquire`, `Tmk_barrier`, ...).
+///
+/// One `ProcessContext` exists per simulated processor; it owns that
+/// processor's copy of every shared region, its simulated clock and its
+/// statistics.  All methods panic on protocol misuse (releasing a lock that is
+/// not held, out-of-bounds accesses) because such misuse is a bug in the
+/// application, not a runtime condition.
+#[derive(Debug)]
+pub struct ProcessContext<'a> {
+    pub(crate) global: &'a RunGlobal,
+    pub(crate) local: NodeLocal,
+}
+
+impl<'a> ProcessContext<'a> {
+    pub(crate) fn new(global: &'a RunGlobal, local: NodeLocal) -> Self {
+        ProcessContext { global, local }
+    }
+
+    pub(crate) fn into_local(self) -> NodeLocal {
+        self.local
+    }
+
+    /// The index of this simulated processor (0-based).
+    pub fn node(&self) -> usize {
+        self.local.node.index()
+    }
+
+    /// The number of simulated processors in the run.
+    pub fn nprocs(&self) -> usize {
+        self.local.nprocs
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &DsmConfig {
+        &self.global.cfg
+    }
+
+    /// The current simulated time of this processor.
+    pub fn now(&self) -> SimTime {
+        self.local.clock.now()
+    }
+
+    pub(crate) fn cost(&self) -> &CostModel {
+        &self.global.cfg.cost
+    }
+
+    fn is_lrc(&self) -> bool {
+        self.global.cfg.kind.model() == Model::Lrc
+    }
+
+    /// Charges `work` units of application computation to this processor's
+    /// simulated clock.
+    pub fn compute(&mut self, work: Work) {
+        self.local.stats.work_units += work.units();
+        let t = self.cost().work(work);
+        self.local.clock.advance(t);
+    }
+
+    fn check_bounds(&self, region: Region, offset: usize, size: usize) {
+        let len = self.global.regions[region.id().index()].len;
+        assert!(
+            offset + size <= len,
+            "shared access at byte {offset}..{} is outside region {} of {len} bytes",
+            offset + size,
+            self.global.regions[region.id().index()].name
+        );
+    }
+
+    /// Reads element `idx` of type `T` from a shared region.
+    ///
+    /// Under LRC this may take an access miss (the page is invalid because a
+    /// write notice arrived for it), in which case the modifications are
+    /// fetched and the miss costs are charged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access is out of bounds.
+    pub fn read<T: Scalar>(&mut self, region: Region, idx: usize) -> T {
+        let off = idx * T::SIZE;
+        self.check_bounds(region, off, T::SIZE);
+        self.local.stats.shared_accesses += 1;
+        self.local.clock.advance(self.cost().shared_access(1));
+        let ridx = region.id().index();
+        if self.is_lrc() {
+            self.lrc_ensure_fresh(ridx, off / PAGE_SIZE);
+        }
+        let data = &self.local.regions[ridx].data;
+        T::read_le(&data[off..off + T::SIZE])
+    }
+
+    /// Writes element `idx` of type `T` to a shared region.
+    ///
+    /// The write is trapped according to the configured mechanism: a software
+    /// dirty bit is set (compiler instrumentation) or a twin is created on the
+    /// first write to the page/object (twinning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access is out of bounds.
+    pub fn write<T: Scalar>(&mut self, region: Region, idx: usize, value: T) {
+        let off = idx * T::SIZE;
+        self.check_bounds(region, off, T::SIZE);
+        self.local.stats.shared_accesses += 1;
+        self.local.clock.advance(self.cost().shared_access(1));
+        let ridx = region.id().index();
+        if self.is_lrc() {
+            self.lrc_ensure_fresh(ridx, off / PAGE_SIZE);
+            self.lrc_trap_write(ridx, off, T::SIZE);
+        } else {
+            self.ec_trap_write(ridx, off, T::SIZE);
+        }
+        let data = &mut self.local.regions[ridx].data;
+        value.write_le(&mut data[off..off + T::SIZE]);
+    }
+
+    /// Read-modify-write convenience: applies `f` to the current value.
+    pub fn update<T: Scalar>(&mut self, region: Region, idx: usize, f: impl FnOnce(T) -> T) {
+        let v = self.read::<T>(region, idx);
+        self.write(region, idx, f(v));
+    }
+
+    /// Reads the most recently *published* value of an element without any
+    /// consistency action, message, or simulated cost.
+    ///
+    /// This is a simulation-only convenience used by applications that poll a
+    /// flag or queue state while idle (e.g. Quicksort's task queue): in a real
+    /// system the idle processor would block or poll cheaply, and charging a
+    /// full protocol acquire per poll iteration would let host-scheduling
+    /// noise leak into the simulated clock.  Never use it for data the
+    /// algorithm actually consumes — follow it with a proper
+    /// [`acquire`](ProcessContext::acquire)/[`read`](ProcessContext::read).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access is out of bounds.
+    pub fn poll<T: Scalar>(&mut self, region: Region, idx: usize) -> T {
+        let off = idx * T::SIZE;
+        self.check_bounds(region, off, T::SIZE);
+        let global = self.global;
+        let mut shared = global.shared.lock();
+        let master: &[u8] = match &mut shared.model {
+            crate::shared::ModelShared::Ec(ec) => &ec.regions[region.id().index()].master,
+            crate::shared::ModelShared::Lrc(lrc) => &lrc.regions[region.id().index()].master,
+        };
+        T::read_le(&master[off..off + T::SIZE])
+    }
+
+    /// Acquires a lock.
+    ///
+    /// Under EC the acquire makes the data bound to the lock consistent (the
+    /// update protocol piggybacks the modifications on the grant message);
+    /// under LRC it merges the releaser's vector and receives write notices
+    /// that invalidate stale pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is already held by this processor, or if a
+    /// read-only acquire is attempted under LRC (which provides only
+    /// exclusive locks, as in the paper).
+    pub fn acquire(&mut self, lock: LockId, mode: LockMode) {
+        assert!(
+            !self.local.held.contains_key(&lock.0),
+            "lock {lock} acquired twice by {}",
+            self.local.node
+        );
+        match self.global.cfg.kind.model() {
+            Model::Ec => self.ec_acquire(lock, mode),
+            Model::Lrc => self.lrc_acquire(lock, mode),
+        }
+    }
+
+    /// Releases a lock previously acquired with [`ProcessContext::acquire`].
+    ///
+    /// Under EC an exclusive release publishes the modifications made to the
+    /// bound data (to be shipped to the next acquirer); under LRC a release
+    /// ends the current interval and creates write notices for the pages
+    /// modified in it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is not held.
+    pub fn release(&mut self, lock: LockId) {
+        assert!(
+            self.local.held.contains_key(&lock.0),
+            "release of lock {lock} that {} does not hold",
+            self.local.node
+        );
+        match self.global.cfg.kind.model() {
+            Model::Ec => self.ec_release(lock),
+            Model::Lrc => self.lrc_release(lock),
+        }
+    }
+
+    /// Rebinds a lock to a new set of memory ranges (EC only; a no-op under
+    /// LRC, which has no notion of binding).
+    ///
+    /// After a rebind the next grant conservatively transfers all bound data,
+    /// because neither side knows which part of it the acquirer already has
+    /// (Section 7.1, "Rebinding").
+    pub fn rebind(&mut self, lock: LockId, ranges: Vec<MemRange>) {
+        if self.global.cfg.kind.model() != Model::Ec {
+            return;
+        }
+        let global = self.global;
+        let mut shared = global.shared.lock();
+        shared.ensure_lock(lock.index());
+        let ec = shared.ec();
+        let meta = &mut ec.locks[lock.index()];
+        if meta.bound != ranges {
+            meta.bound = ranges;
+            meta.rebind_epoch += 1;
+        }
+    }
+
+    /// Waits at a barrier until every processor has arrived.
+    ///
+    /// Under LRC the barrier also exchanges write notices for every interval
+    /// completed before it, and each node leaves with the global maximum
+    /// vector.
+    pub fn barrier(&mut self, barrier: BarrierId) {
+        let cost = self.cost().clone();
+        self.local.clock.advance(cost.barrier_overhead());
+        self.local.stats.barriers += 1;
+        let me = self.local.node;
+        let nprocs = self.local.nprocs;
+        let is_mgr = barrier.manager(nprocs) == me;
+        let lrc = self.is_lrc();
+
+        let global = self.global;
+        let mut shared = global.shared.lock();
+
+        // Under LRC, arriving at a barrier ends the current interval.
+        let arrival_payload = if lrc {
+            self.lrc_publish_interval(&mut shared);
+            let lrc_state = shared.lrc();
+            let prev = self.local.intervals_at_last_barrier;
+            let cur = self.local.vector.entry(me);
+            let mut pages = 0u64;
+            for interval in (prev + 1)..=cur {
+                if let Some(&c) = lrc_state.interval_pages[me.index()].get(interval as usize - 1) {
+                    pages += c as u64;
+                }
+            }
+            self.local.intervals_at_last_barrier = cur;
+            self.local.vector.wire_size() + pages as usize * WriteNotice::WIRE_SIZE
+        } else {
+            CTRL_MSG_BYTES
+        };
+
+        shared.ensure_barrier(barrier.index());
+        let old_vector = self.local.vector.clone();
+
+        let mut arrive_t = self.local.clock.now();
+        if !is_mgr {
+            self.local
+                .stats
+                .record_msg(MsgKind::BarrierArrival, arrival_payload);
+            arrive_t += cost.message(arrival_payload);
+        }
+
+        let my_gen;
+        {
+            let bar = &mut shared.barriers[barrier.index()];
+            my_gen = bar.generation;
+            bar.pending_max = bar.pending_max.max(arrive_t);
+            if lrc {
+                bar.pending_vector.merge_max(&self.local.vector);
+            }
+            bar.arrived += 1;
+        }
+
+        if shared.barriers[barrier.index()].arrived == nprocs {
+            let bar = &mut shared.barriers[barrier.index()];
+            bar.release_time = bar.pending_max;
+            bar.released_vector = bar.pending_vector.clone();
+            bar.generation = bar.generation.wrapping_add(1);
+            bar.arrived = 0;
+            bar.pending_max = SimTime::ZERO;
+            bar.pending_vector = VectorClock::new(nprocs);
+            global.condvar.notify_all();
+        } else {
+            while shared.barriers[barrier.index()].generation == my_gen {
+                global.condvar.wait(&mut shared);
+            }
+        }
+
+        let (release_time, released_vector) = {
+            let bar = &shared.barriers[barrier.index()];
+            (bar.release_time, bar.released_vector.clone())
+        };
+        self.local.clock.sync_to(release_time);
+
+        let depart_payload = if lrc {
+            let lrc_state = shared.lrc();
+            let notices = lrc_state.notices_between(&old_vector, &released_vector);
+            self.local.stats.write_notices_received += notices;
+            self.local.vector.merge_max(&released_vector);
+            released_vector.wire_size() + notices as usize * WriteNotice::WIRE_SIZE
+        } else {
+            CTRL_MSG_BYTES
+        };
+        drop(shared);
+
+        if !is_mgr {
+            self.local
+                .stats
+                .record_msg(MsgKind::BarrierRelease, depart_payload);
+            self.local.clock.advance(cost.message(depart_payload));
+        }
+        self.local.epoch += 1;
+    }
+
+    /// Write-trapping for EC (the bound data is writable only while the
+    /// exclusive lock is held, so there is no freshness check).
+    fn ec_trap_write(&mut self, ridx: usize, off: usize, size: usize) {
+        let cost = self.cost().clone();
+        let trapping = self.global.cfg.kind.trapping();
+        let page = off / PAGE_SIZE;
+        let region = &mut self.local.regions[ridx];
+        match trapping {
+            Trapping::Instrumentation => {
+                let factor = if self.global.cfg.ci_loop_optimization {
+                    1
+                } else {
+                    2
+                };
+                self.local.stats.instrumented_writes += 1;
+                self.local
+                    .clock
+                    .advance(cost.instrumented_writes(factor));
+                let base_word = page * (PAGE_SIZE / 4);
+                let first_word = off / 4;
+                let lp = &mut region.pages[page];
+                for w in 0..size.div_ceil(4) {
+                    lp.written_mut().set(first_word + w - base_word);
+                }
+            }
+            Trapping::Twinning => {
+                let needs_twin =
+                    region.pages[page].armed && region.pages[page].twin.is_none();
+                if needs_twin {
+                    let span = dsm_mem::page_range(page, region.data.len());
+                    let words = span.len().div_ceil(4) as u64;
+                    let copy = region.data[span].to_vec();
+                    region.pages[page].twin = Some(copy);
+                    self.local.stats.write_faults += 1;
+                    self.local.stats.twins_created += 1;
+                    self.local.stats.twin_words += words;
+                    self.local.clock.advance(
+                        cost.page_fault() + cost.twin_copy(words) + cost.mprotect(),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Write-trapping for LRC: record the write in the current interval.
+    fn lrc_trap_write(&mut self, ridx: usize, off: usize, size: usize) {
+        let cost = self.cost().clone();
+        let trapping = self.global.cfg.kind.trapping();
+        let hierarchical = self.global.cfg.hierarchical_dirty_bits;
+        let page = off / PAGE_SIZE;
+        let region = &mut self.local.regions[ridx];
+        let span = dsm_mem::page_range(page, region.data.len());
+        let base_word = span.start / 4;
+        let first_word = off / 4;
+
+        match trapping {
+            Trapping::Instrumentation => {
+                let mut factor = if self.global.cfg.ci_loop_optimization {
+                    1
+                } else {
+                    2
+                };
+                if hierarchical {
+                    // The hierarchical scheme also sets a page-level dirty bit.
+                    factor += 1;
+                }
+                self.local.stats.instrumented_writes += 1;
+                self.local
+                    .clock
+                    .advance(cost.instrumented_writes(factor));
+            }
+            Trapping::Twinning => {
+                if region.pages[page].twin.is_none() {
+                    let words = span.len().div_ceil(4) as u64;
+                    let copy = region.data[span.clone()].to_vec();
+                    region.pages[page].twin = Some(copy);
+                    self.local.stats.write_faults += 1;
+                    self.local.stats.twins_created += 1;
+                    self.local.stats.twin_words += words;
+                    self.local.clock.advance(
+                        cost.page_fault() + cost.twin_copy(words) + cost.mprotect(),
+                    );
+                }
+            }
+        }
+
+        let lp = &mut region.pages[page];
+        for w in 0..size.div_ceil(4) {
+            lp.written_mut().set(first_word + w - base_word);
+        }
+        if !lp.dirty {
+            lp.dirty = true;
+            self.local.dirty_pages.push((ridx, page));
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! The entry-consistency protocol (Midway-style), Section 3.1 / 4 / 5 of the
+//! paper.
+//!
+//! Shared data is bound to locks.  An exclusive acquire arms write trapping on
+//! the bound data (twin copy for small objects, copy-on-write protection for
+//! large ones, or nothing for compiler instrumentation); the release publishes
+//! the modifications; the next acquirer receives them with the lock grant
+//! message (update protocol), selected either by per-block incarnation
+//! timestamps or as a chain of diffs.
+
+use dsm_mem::BlockGranularity;
+use dsm_sim::{MsgKind, SimTime};
+
+use crate::config::{Collection, Trapping};
+use crate::context::{ProcessContext, CTRL_MSG_BYTES};
+use crate::ids::{LockId, LockMode};
+use crate::local::HeldLock;
+use crate::shared::{EcShared, PublishRec, Shared};
+
+impl ProcessContext<'_> {
+    /// EC lock acquire: block until the lock is available, account for the
+    /// request/forward/grant messages, pull the bound data (update protocol)
+    /// and arm write trapping for exclusive acquires.
+    pub(crate) fn ec_acquire(&mut self, lock: LockId, mode: LockMode) {
+        let cost = self.cost().clone();
+        self.local.clock.advance(cost.lock_overhead());
+        self.local.stats.lock_acquires += 1;
+        let me = self.local.node;
+        let nprocs = self.local.nprocs;
+        let lidx = lock.index();
+        let global = self.global;
+        let mut shared = global.shared.lock();
+        shared.ensure_lock(lidx);
+
+        loop {
+            let l = &shared.locks[lidx];
+            let ok = match mode {
+                LockMode::Exclusive => l.can_acquire_exclusive(),
+                LockMode::ReadOnly => l.can_acquire_read(),
+            };
+            if ok {
+                break;
+            }
+            global.condvar.wait(&mut shared);
+        }
+
+        let manager = lock.manager(nprocs);
+        let (local_grant, free_time, last_owner) = {
+            let l = &shared.locks[lidx];
+            (l.last_owner == Some(me), l.free_time, l.last_owner)
+        };
+
+        let mut arrival = self.local.clock.now();
+        if local_grant {
+            self.local.stats.local_lock_acquires += 1;
+        } else {
+            if me != manager {
+                self.local
+                    .stats
+                    .record_msg(MsgKind::LockRequest, CTRL_MSG_BYTES);
+                arrival += cost.message(CTRL_MSG_BYTES);
+            }
+            // Never-owned locks are granted by their manager; otherwise the
+            // manager forwards the request to the last owner.
+            let owner = last_owner.unwrap_or(manager);
+            if manager != owner {
+                self.local
+                    .stats
+                    .record_msg(MsgKind::LockForward, CTRL_MSG_BYTES);
+                arrival += cost.message(CTRL_MSG_BYTES);
+            }
+        }
+        let grant_time = arrival.max(free_time);
+        self.local.clock.sync_to(grant_time);
+
+        {
+            let l = &mut shared.locks[lidx];
+            if l.last_owner != Some(me) {
+                l.transfers += 1;
+            }
+            match mode {
+                LockMode::Exclusive => {
+                    l.exclusive_holder = Some(me);
+                    l.last_owner = Some(me);
+                }
+                LockMode::ReadOnly => {
+                    l.readers += 1;
+                }
+            }
+        }
+
+        if !local_grant {
+            self.local
+                .clock
+                .advance(SimTime::from_nanos(cost.interrupt_ns));
+            shared.ec().locks[lidx].incarnation += 1;
+            let payload = self.ec_pull(&mut shared, lock);
+            self.local.stats.record_msg(MsgKind::LockGrant, payload);
+            self.local.clock.advance(cost.message(payload));
+        }
+
+        let mut held = HeldLock {
+            mode,
+            small_twins: None,
+            armed_pages: Vec::new(),
+        };
+        if mode == LockMode::Exclusive {
+            self.ec_arm(&mut shared, lock, &mut held);
+        }
+        drop(shared);
+        self.local.held.insert(lock.0, held);
+    }
+
+    /// EC lock release: publish the modifications to the bound data and make
+    /// the lock available.
+    pub(crate) fn ec_release(&mut self, lock: LockId) {
+        let cost = self.cost().clone();
+        self.local.clock.advance(cost.lock_overhead());
+        let held = self
+            .local
+            .held
+            .remove(&lock.0)
+            .expect("release of a lock that is not held");
+        let global = self.global;
+        let mut shared = global.shared.lock();
+        shared.ensure_lock(lock.index());
+        if held.mode == LockMode::Exclusive {
+            self.ec_publish(&mut shared, lock, &held);
+        }
+        {
+            let l = &mut shared.locks[lock.index()];
+            match held.mode {
+                LockMode::Exclusive => l.exclusive_holder = None,
+                LockMode::ReadOnly => l.readers = l.readers.saturating_sub(1),
+            }
+            l.free_time = l.free_time.max(self.local.clock.now());
+        }
+        drop(shared);
+        global.condvar.notify_all();
+    }
+
+    /// Makes the data bound to `lock` consistent at this node (the payload of
+    /// the lock grant message under the update protocol).  Returns the grant
+    /// payload size in bytes.
+    fn ec_pull(&mut self, shared: &mut Shared, lock: LockId) -> usize {
+        let cost = self.global.cfg.cost.clone();
+        let trapping = self.global.cfg.kind.trapping();
+        let collection = self.global.cfg.kind.collection();
+        let me = self.local.node.index();
+        let lidx = lock.index();
+
+        let ec = shared.ec();
+        let publish_seq = ec.publish_seq;
+        let EcShared { regions, locks, .. } = ec;
+        let meta = &mut locks[lidx];
+        let bound = meta.bound.clone();
+        let seen = meta.seen_seq[me];
+        let rebound = meta.seen_epoch[me] != meta.rebind_epoch;
+        let bound_bytes: usize = bound.iter().map(|r| r.len).sum();
+
+        let mut applied_words = 0usize;
+        let mut ts_runs = 0usize;
+        let mut scan_blocks = 0u64;
+        let mut prev: Option<(usize, usize, u64)> = None;
+
+        for range in &bound {
+            let ridx = range.region.index();
+            let rs = &regions[ridx];
+            let local_data = &mut self.local.regions[ridx].data;
+            let gran_div = if trapping == Trapping::Instrumentation {
+                self.global.regions[ridx].granularity.bytes() / 4
+            } else {
+                1
+            };
+            let blocks = range.blocks(BlockGranularity::Word);
+            scan_blocks += (blocks.len() / gran_div.max(1)) as u64;
+            for block in blocks {
+                let stamp = rs.stamp[block];
+                if stamp == 0 {
+                    prev = None;
+                    continue;
+                }
+                if rebound || stamp > seen {
+                    let start = block * 4;
+                    let end = (start + 4).min(local_data.len());
+                    local_data[start..end].copy_from_slice(&rs.master[start..end]);
+                    applied_words += 1;
+                    let contiguous =
+                        matches!(prev, Some((r, b, s)) if r == ridx && b + 1 == block && s == stamp);
+                    if !contiguous {
+                        ts_runs += 1;
+                    }
+                    prev = Some((ridx, block, stamp));
+                } else {
+                    prev = None;
+                }
+            }
+        }
+
+        self.local.stats.words_applied += applied_words as u64;
+        self.local.clock.advance(cost.apply_words(applied_words as u64));
+
+        let payload = match collection {
+            Collection::Timestamps => {
+                // The responder scans the timestamps of every block bound to
+                // the lock on every request.
+                self.local.stats.ts_blocks_scanned += scan_blocks;
+                self.local.clock.advance(cost.ts_scan(scan_blocks));
+                if rebound {
+                    bound_bytes + 12
+                } else {
+                    applied_words * 4 + ts_runs * (4 + 6)
+                }
+            }
+            Collection::Diffs => {
+                let mut bytes = 0usize;
+                let mut count = 0u64;
+                let mut creation_words = 0u64;
+                for rec in meta.publishes.iter_mut().filter(|r| r.stamp > seen) {
+                    bytes += rec.encoded_size;
+                    count += 1;
+                    if !rec.creation_charged {
+                        rec.creation_charged = true;
+                        creation_words += rec.compare_words as u64;
+                    }
+                }
+                self.local.stats.diffs_applied += count;
+                self.local.clock.advance(cost.diff_compare(creation_words));
+                let bytes = bytes.max(applied_words * 4);
+                if rebound {
+                    bound_bytes.max(bytes)
+                } else {
+                    bytes
+                }
+            }
+        };
+
+        meta.seen_seq[me] = publish_seq;
+        meta.seen_epoch[me] = meta.rebind_epoch;
+        payload
+    }
+
+    /// Arms write trapping for the bound data of an exclusive acquire.
+    fn ec_arm(&mut self, shared: &mut Shared, lock: LockId, held: &mut HeldLock) {
+        if self.global.cfg.kind.trapping() != Trapping::Twinning {
+            return;
+        }
+        let cost = self.global.cfg.cost.clone();
+        let small_limit = self.global.cfg.ec_small_object_limit;
+        let bound = shared.ec().locks[lock.index()].bound.clone();
+        let total: usize = bound.iter().map(|r| r.len).sum();
+        if total == 0 {
+            return;
+        }
+        if total <= small_limit {
+            // Small object: copy it eagerly at acquire, avoiding the
+            // protection fault the Midway VM implementation takes.
+            let mut twins = Vec::with_capacity(bound.len());
+            for range in &bound {
+                let data = &self.local.regions[range.region.index()].data;
+                twins.push(data[range.start..range.end()].to_vec());
+            }
+            let words = (total / 4) as u64;
+            self.local.stats.twins_created += 1;
+            self.local.stats.twin_words += words;
+            self.local.clock.advance(cost.twin_copy(words));
+            held.small_twins = Some(twins);
+        } else {
+            // Large object: write-protect its pages; the first write to each
+            // page faults and creates a per-page twin.
+            let mut mprotects = 0u64;
+            for range in &bound {
+                let ridx = range.region.index();
+                for page in range.pages() {
+                    let lp = &mut self.local.regions[ridx].pages[page];
+                    if !lp.armed {
+                        lp.armed = true;
+                        lp.twin = None;
+                        held.armed_pages.push((ridx, page));
+                        mprotects += 1;
+                    }
+                }
+            }
+            self.local.clock.advance(cost.mprotect().times(mprotects));
+        }
+    }
+
+    /// Publishes the modifications made to the bound data while the exclusive
+    /// lock was held (write collection on the releaser side).
+    fn ec_publish(&mut self, shared: &mut Shared, lock: LockId, held: &HeldLock) {
+        let cost = self.global.cfg.cost.clone();
+        let trapping = self.global.cfg.kind.trapping();
+        let collection = self.global.cfg.kind.collection();
+        let diff_ring = self.global.cfg.diff_ring;
+        let me = self.local.node;
+        let lidx = lock.index();
+
+        let ec = shared.ec();
+        let EcShared {
+            regions,
+            locks,
+            publish_seq,
+        } = ec;
+        let meta = &mut locks[lidx];
+        let bound = meta.bound.clone();
+        if bound.is_empty() {
+            return;
+        }
+        *publish_seq += 1;
+        let seq = *publish_seq;
+
+        let mut changed_words = 0usize;
+        let mut runs = 0usize;
+        let mut compare_words = 0usize;
+        let mut prev_changed: Option<(usize, usize)> = None;
+
+        for (range_i, range) in bound.iter().enumerate() {
+            let ridx = range.region.index();
+            let local_region = &mut self.local.regions[ridx];
+            let rs = &mut regions[ridx];
+            for block in range.blocks(BlockGranularity::Word) {
+                let start = block * 4;
+                let end = (start + 4).min(local_region.data.len());
+                let changed = match trapping {
+                    Trapping::Instrumentation => {
+                        let page = start / dsm_mem::PAGE_SIZE;
+                        let w_in_page = block - page * (dsm_mem::PAGE_SIZE / 4);
+                        local_region.pages[page].was_written(w_in_page)
+                    }
+                    Trapping::Twinning => {
+                        if let Some(twins) = &held.small_twins {
+                            let twin = &twins[range_i];
+                            let toff = start.saturating_sub(range.start);
+                            compare_words += 1;
+                            twin.get(toff..toff + (end - start))
+                                != Some(&local_region.data[start..end])
+                        } else {
+                            let page = start / dsm_mem::PAGE_SIZE;
+                            match &local_region.pages[page].twin {
+                                Some(twin) => {
+                                    let span_start = page * dsm_mem::PAGE_SIZE;
+                                    compare_words += 1;
+                                    twin[start - span_start..end - span_start]
+                                        != local_region.data[start..end]
+                                }
+                                None => false,
+                            }
+                        }
+                    }
+                };
+                if changed {
+                    rs.master[start..end].copy_from_slice(&local_region.data[start..end]);
+                    rs.stamp[block] = seq;
+                    changed_words += 1;
+                    let contiguous =
+                        matches!(prev_changed, Some((r, b)) if r == ridx && b + 1 == block);
+                    if !contiguous {
+                        runs += 1;
+                    }
+                    prev_changed = Some((ridx, block));
+                }
+            }
+        }
+
+        // Reset the per-holding trapping state.
+        match trapping {
+            Trapping::Instrumentation => {
+                for range in &bound {
+                    let ridx = range.region.index();
+                    let region = &mut self.local.regions[ridx];
+                    for block in range.blocks(BlockGranularity::Word) {
+                        let start = block * 4;
+                        let page = start / dsm_mem::PAGE_SIZE;
+                        let w_in_page = block - page * (dsm_mem::PAGE_SIZE / 4);
+                        if let Some(bits) = &mut region.pages[page].written {
+                            if w_in_page < bits.len() {
+                                bits.clear(w_in_page);
+                            }
+                        }
+                    }
+                }
+            }
+            Trapping::Twinning => {
+                for &(ridx, page) in &held.armed_pages {
+                    let lp = &mut self.local.regions[ridx].pages[page];
+                    lp.armed = false;
+                    lp.twin = None;
+                }
+            }
+        }
+
+        // With timestamps the comparison that stamps the changed blocks runs
+        // at the release; with diffs it is deferred to the first request
+        // (lazy diffing).
+        if trapping == Trapping::Twinning && collection == Collection::Timestamps {
+            self.local
+                .clock
+                .advance(cost.diff_compare(compare_words as u64));
+        }
+
+        if changed_words > 0 {
+            self.local.stats.diff_words += changed_words as u64;
+            if collection == Collection::Diffs {
+                self.local.stats.diffs_created += 1;
+            }
+            meta.publishes.push_back(PublishRec {
+                stamp: seq,
+                node: me,
+                encoded_size: changed_words * 4 + runs * 8,
+                compare_words,
+                creation_charged: collection == Collection::Timestamps
+                    || trapping == Trapping::Instrumentation,
+            });
+            while meta.publishes.len() > diff_ring {
+                meta.publishes.pop_front();
+            }
+        }
+    }
+}

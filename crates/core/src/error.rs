@@ -1,0 +1,79 @@
+//! Error type for the DSM runtime.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the DSM runtime and configuration layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DsmError {
+    /// The requested trapping/collection combination is not supported
+    /// (compiler instrumentation + diffing, as in the paper).
+    UnsupportedCombination,
+    /// The configuration is invalid (e.g. zero processors).
+    InvalidConfig(String),
+    /// An EC program accessed or released a lock it does not hold, bound a
+    /// lock twice inconsistently, or similar protocol misuse.
+    ProtocolMisuse(String),
+    /// A shared-memory access was out of the bounds of its region.
+    OutOfBounds {
+        /// The region that was accessed.
+        region: String,
+        /// The offending byte offset.
+        offset: usize,
+        /// The region length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for DsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsmError::UnsupportedCombination => {
+                f.write_str("compiler instrumentation cannot be combined with diffing")
+            }
+            DsmError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DsmError::ProtocolMisuse(msg) => write!(f, "protocol misuse: {msg}"),
+            DsmError::OutOfBounds {
+                region,
+                offset,
+                len,
+            } => write!(
+                f,
+                "shared access at byte {offset} is outside region {region} of {len} bytes"
+            ),
+        }
+    }
+}
+
+impl Error for DsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errs: Vec<DsmError> = vec![
+            DsmError::UnsupportedCombination,
+            DsmError::InvalidConfig("nprocs".into()),
+            DsmError::ProtocolMisuse("release without acquire".into()),
+            DsmError::OutOfBounds {
+                region: "R0".into(),
+                offset: 10,
+                len: 4,
+            },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase() || msg.starts_with("shared"));
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<DsmError>();
+    }
+}

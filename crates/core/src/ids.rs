@@ -1,0 +1,120 @@
+//! Synchronization object identifiers and lock modes.
+
+use std::fmt;
+
+use dsm_sim::NodeId;
+
+/// Identifier of a lock.
+///
+/// Locks are created on demand the first time an id is used; managers are
+/// assigned round-robin by id, as in the paper's runtime ("assignment of locks
+/// to processors is done in a round-robin way to distribute the load").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LockId(pub u32);
+
+impl LockId {
+    /// Creates a lock id.
+    pub fn new(id: u32) -> Self {
+        LockId(id)
+    }
+
+    /// Dense index for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The statically assigned manager of this lock in a cluster of `nprocs`
+    /// processors.
+    pub fn manager(self, nprocs: usize) -> NodeId {
+        NodeId::new(self.0 % nprocs as u32)
+    }
+}
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Identifier of a barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BarrierId(pub u32);
+
+impl BarrierId {
+    /// Creates a barrier id.
+    pub fn new(id: u32) -> Self {
+        BarrierId(id)
+    }
+
+    /// Dense index for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The statically assigned manager of this barrier.
+    pub fn manager(self, nprocs: usize) -> NodeId {
+        NodeId::new(self.0 % nprocs as u32)
+    }
+}
+
+impl fmt::Display for BarrierId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// Acquisition mode of a lock.
+///
+/// The EC implementations provide exclusive and read-only locks (read-only
+/// locks are what EC programs use to read data another processor produced
+/// before a barrier, Section 3.3); the LRC implementation only needs exclusive
+/// locks for the application suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Exclusive (write) access.
+    Exclusive,
+    /// Shared read-only access.
+    ReadOnly,
+}
+
+impl LockMode {
+    /// True for [`LockMode::Exclusive`].
+    pub fn is_exclusive(self) -> bool {
+        matches!(self, LockMode::Exclusive)
+    }
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockMode::Exclusive => f.write_str("exclusive"),
+            LockMode::ReadOnly => f.write_str("read-only"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn managers_are_round_robin() {
+        assert_eq!(LockId::new(0).manager(8), NodeId::new(0));
+        assert_eq!(LockId::new(9).manager(8), NodeId::new(1));
+        assert_eq!(BarrierId::new(3).manager(2), NodeId::new(1));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(LockId::new(5).to_string(), "L5");
+        assert_eq!(BarrierId::new(2).to_string(), "B2");
+        assert_eq!(LockMode::Exclusive.to_string(), "exclusive");
+        assert_eq!(LockMode::ReadOnly.to_string(), "read-only");
+    }
+
+    #[test]
+    fn mode_predicate() {
+        assert!(LockMode::Exclusive.is_exclusive());
+        assert!(!LockMode::ReadOnly.is_exclusive());
+    }
+}

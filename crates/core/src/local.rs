@@ -1,0 +1,201 @@
+//! Per-node (per simulated processor) private state.
+//!
+//! Each node owns a full copy of every shared region, plus the bookkeeping
+//! the write-trapping mechanisms need: per-page twins, written-block bits
+//! (software dirty bits), and — for LRC — per-page records of which remote
+//! intervals have already been applied.
+
+use std::collections::HashMap;
+
+use dsm_mem::{pages_in, BitSet, RegionDesc, PAGE_SIZE};
+use dsm_sim::{NodeClock, NodeId, NodeStats};
+
+use crate::ids::LockMode;
+
+/// Number of word-granularity blocks in one page.
+pub(crate) const WORDS_PER_PAGE: usize = PAGE_SIZE / 4;
+
+/// Per-page private state of one node.
+#[derive(Debug, Default)]
+pub(crate) struct LocalPage {
+    /// Twin (unmodified copy) of the page, present while the page is dirty
+    /// under twinning write trapping.
+    pub twin: Option<Vec<u8>>,
+    /// Word-level written bits (software dirty bits) for this page, allocated
+    /// lazily on the first write.
+    pub written: Option<BitSet>,
+    /// True if the page has been modified since the start of the current
+    /// interval (LRC) and is awaiting publication.
+    pub dirty: bool,
+    /// True if the page is write-protected so that the next write takes a
+    /// simulated protection fault and creates a twin (twinning trapping for
+    /// LRC pages and large EC objects).
+    pub armed: bool,
+    /// LRC: per-processor interval index whose modifications to this page
+    /// have been applied to the local copy.
+    pub applied: Vec<u32>,
+    /// LRC: the node-local epoch at which this page's freshness was last
+    /// verified; if it equals the node's current epoch the page is known
+    /// up to date and accesses proceed without consulting the shared state.
+    pub checked_epoch: u64,
+}
+
+impl LocalPage {
+    /// Returns the written-bit set, allocating it on first use.
+    pub fn written_mut(&mut self) -> &mut BitSet {
+        self.written.get_or_insert_with(|| BitSet::new(WORDS_PER_PAGE))
+    }
+
+    /// True if the given word block (page-relative) was written in the
+    /// current interval.
+    pub fn was_written(&self, word_in_page: usize) -> bool {
+        self.written.as_ref().is_some_and(|w| w.get(word_in_page))
+    }
+
+    /// Clears all per-interval write-trapping state.
+    pub fn clear_interval_state(&mut self) {
+        self.twin = None;
+        if let Some(w) = &mut self.written {
+            w.clear_all();
+        }
+        self.dirty = false;
+    }
+}
+
+/// One node's private copy of a shared region plus its page table.
+#[derive(Debug)]
+pub(crate) struct LocalRegion {
+    /// The node's copy of the region contents.
+    pub data: Vec<u8>,
+    /// Per-page private state.
+    pub pages: Vec<LocalPage>,
+}
+
+impl LocalRegion {
+    /// Creates the node's copy of a region, initialised with `init`.
+    pub fn new(desc: &RegionDesc, init: &[u8], nprocs: usize) -> Self {
+        let npages = pages_in(desc.len).max(1);
+        let mut pages = Vec::with_capacity(npages);
+        for _ in 0..npages {
+            pages.push(LocalPage {
+                applied: vec![0; nprocs],
+                ..LocalPage::default()
+            });
+        }
+        LocalRegion {
+            data: init.to_vec(),
+            pages,
+        }
+    }
+
+    /// The byte range of page `page`, clamped to the region length.
+    pub fn page_span(&self, page: usize) -> std::ops::Range<usize> {
+        dsm_mem::page_range(page, self.data.len())
+    }
+}
+
+/// State of a lock currently held by this node.
+#[derive(Debug)]
+pub(crate) struct HeldLock {
+    /// The mode it was acquired in.
+    pub mode: LockMode,
+    /// EC small-object twinning: a copy of each bound range taken at acquire
+    /// time, compared against the current data at release.
+    pub small_twins: Option<Vec<Vec<u8>>>,
+    /// EC large-object twinning: the pages that were armed (write-protected)
+    /// at acquire, so release can disarm exactly those.
+    pub armed_pages: Vec<(usize, usize)>,
+}
+
+/// All private state of one simulated processor.
+#[derive(Debug)]
+pub(crate) struct NodeLocal {
+    /// This node's identity.
+    pub node: NodeId,
+    /// Number of processors in the run.
+    pub nprocs: usize,
+    /// The node's simulated clock.
+    pub clock: NodeClock,
+    /// The node's statistics counters.
+    pub stats: NodeStats,
+    /// The node's copy of every shared region.
+    pub regions: Vec<LocalRegion>,
+    /// LRC: completed-interval vector (own entry = number of completed
+    /// intervals of this node).
+    pub vector: dsm_mem::VectorClock,
+    /// Bumped at every acquire and barrier; used to avoid re-checking page
+    /// freshness on every access (LRC).
+    pub epoch: u64,
+    /// Locks currently held by this node.
+    pub held: HashMap<u32, HeldLock>,
+    /// Pages dirtied during the current interval, awaiting publication at the
+    /// next release or barrier (LRC).
+    pub dirty_pages: Vec<(usize, usize)>,
+    /// The value of this node's own interval counter at its last barrier
+    /// arrival (used to size barrier arrival messages).
+    pub intervals_at_last_barrier: u32,
+}
+
+impl NodeLocal {
+    /// Creates the private state of node `node`.
+    pub fn new(node: NodeId, nprocs: usize, regions: &[RegionDesc], init: &[Vec<u8>]) -> Self {
+        let local_regions = regions
+            .iter()
+            .zip(init.iter())
+            .map(|(desc, init)| LocalRegion::new(desc, init, nprocs))
+            .collect();
+        NodeLocal {
+            node,
+            nprocs,
+            clock: NodeClock::new(),
+            stats: NodeStats::new(),
+            regions: local_regions,
+            vector: dsm_mem::VectorClock::new(nprocs),
+            epoch: 1,
+            held: HashMap::new(),
+            dirty_pages: Vec::new(),
+            intervals_at_last_barrier: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_mem::{BlockGranularity, RegionId};
+
+    fn desc(len: usize) -> RegionDesc {
+        RegionDesc::new(RegionId::new(0), "r", len, BlockGranularity::Word)
+    }
+
+    #[test]
+    fn local_region_has_one_page_table_entry_per_page() {
+        let d = desc(PAGE_SIZE * 2 + 10);
+        let r = LocalRegion::new(&d, &vec![0u8; d.len], 4);
+        assert_eq!(r.pages.len(), 3);
+        assert_eq!(r.page_span(2), 2 * PAGE_SIZE..2 * PAGE_SIZE + 10);
+        assert_eq!(r.pages[0].applied.len(), 4);
+    }
+
+    #[test]
+    fn written_bits_are_lazy() {
+        let d = desc(100);
+        let mut r = LocalRegion::new(&d, &vec![0u8; 100], 2);
+        assert!(r.pages[0].written.is_none());
+        assert!(!r.pages[0].was_written(3));
+        r.pages[0].written_mut().set(3);
+        assert!(r.pages[0].was_written(3));
+        r.pages[0].clear_interval_state();
+        assert!(!r.pages[0].was_written(3));
+    }
+
+    #[test]
+    fn node_local_copies_initial_contents() {
+        let d = desc(16);
+        let init = vec![vec![7u8; 16]];
+        let n = NodeLocal::new(NodeId::new(1), 2, &[d], &init);
+        assert_eq!(n.regions[0].data, vec![7u8; 16]);
+        assert_eq!(n.vector.len(), 2);
+        assert_eq!(n.epoch, 1);
+    }
+}

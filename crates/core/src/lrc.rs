@@ -1,0 +1,444 @@
+//! The lazy-release-consistency protocol (TreadMarks-style), Sections 3.2 /
+//! 4 / 5 of the paper.
+//!
+//! Execution is divided into intervals ended by releases and barrier
+//! arrivals.  At the end of an interval the modifications to every dirty page
+//! are recorded (a diff, or timestamped blocks) and announced through write
+//! notices; an acquire merges the releaser's vector and receives the notices;
+//! the data itself moves lazily, at the access miss that follows the
+//! invalidation (invalidate protocol, multiple-writer pages).
+
+use dsm_mem::{IntervalId, WriteNotice};
+use dsm_sim::{MsgKind, NodeId, SimTime};
+
+use crate::config::{Collection, Trapping};
+use crate::context::{ProcessContext, CTRL_MSG_BYTES};
+use crate::ids::{LockId, LockMode};
+use crate::local::HeldLock;
+use crate::shared::{pack_stamp, unpack_stamp, PublishRec, Shared};
+
+impl ProcessContext<'_> {
+    /// LRC lock acquire: block until available, account for the lock
+    /// messages, merge the releaser's vector and receive its write notices.
+    pub(crate) fn lrc_acquire(&mut self, lock: LockId, mode: LockMode) {
+        assert!(
+            mode.is_exclusive(),
+            "the LRC implementation provides exclusive locks only (no read-only locks are needed \
+             for the application suite, Section 3.2)"
+        );
+        let cost = self.cost().clone();
+        self.local.clock.advance(cost.lock_overhead());
+        self.local.stats.lock_acquires += 1;
+        let me = self.local.node;
+        let nprocs = self.local.nprocs;
+        let lidx = lock.index();
+        let global = self.global;
+        let mut shared = global.shared.lock();
+        shared.ensure_lock(lidx);
+
+        while !shared.locks[lidx].can_acquire_exclusive() {
+            global.condvar.wait(&mut shared);
+        }
+
+        let manager = lock.manager(nprocs);
+        let (local_grant, free_time, last_owner) = {
+            let l = &shared.locks[lidx];
+            (l.last_owner == Some(me), l.free_time, l.last_owner)
+        };
+
+        let mut arrival = self.local.clock.now();
+        if local_grant {
+            self.local.stats.local_lock_acquires += 1;
+        } else {
+            if me != manager {
+                self.local
+                    .stats
+                    .record_msg(MsgKind::LockRequest, CTRL_MSG_BYTES);
+                arrival += cost.message(CTRL_MSG_BYTES);
+            }
+            // Never-owned locks are granted by their manager; otherwise the
+            // manager forwards the request to the last owner.
+            let owner = last_owner.unwrap_or(manager);
+            if manager != owner {
+                self.local
+                    .stats
+                    .record_msg(MsgKind::LockForward, CTRL_MSG_BYTES);
+                arrival += cost.message(CTRL_MSG_BYTES);
+            }
+        }
+        let grant_time = arrival.max(free_time);
+        self.local.clock.sync_to(grant_time);
+
+        {
+            let l = &mut shared.locks[lidx];
+            if l.last_owner != Some(me) {
+                l.transfers += 1;
+            }
+            l.exclusive_holder = Some(me);
+            l.last_owner = Some(me);
+        }
+
+        if !local_grant {
+            self.local
+                .clock
+                .advance(SimTime::from_nanos(cost.interrupt_ns));
+            let lrc = shared.lrc();
+            let relvec = lrc.lock_release_vec[lidx].clone();
+            let notices = lrc.notices_between(&self.local.vector, &relvec);
+            let payload = relvec.wire_size() + notices as usize * WriteNotice::WIRE_SIZE;
+            self.local.stats.write_notices_received += notices;
+            self.local.vector.merge_max(&relvec);
+            self.local.stats.record_msg(MsgKind::LockGrant, payload);
+            self.local.clock.advance(cost.message(payload));
+        }
+        drop(shared);
+
+        self.local.held.insert(
+            lock.0,
+            HeldLock {
+                mode,
+                small_twins: None,
+                armed_pages: Vec::new(),
+            },
+        );
+        self.local.epoch += 1;
+    }
+
+    /// LRC lock release: end the current interval (publishing the
+    /// modifications of its dirty pages) and make the lock available.
+    pub(crate) fn lrc_release(&mut self, lock: LockId) {
+        let cost = self.cost().clone();
+        self.local.clock.advance(cost.lock_overhead());
+        let _held = self
+            .local
+            .held
+            .remove(&lock.0)
+            .expect("release of a lock that is not held");
+        let global = self.global;
+        let mut shared = global.shared.lock();
+        shared.ensure_lock(lock.index());
+        self.lrc_publish_interval(&mut shared);
+        {
+            let lrc = shared.lrc();
+            lrc.lock_release_vec[lock.index()] = self.local.vector.clone();
+        }
+        {
+            let l = &mut shared.locks[lock.index()];
+            l.exclusive_holder = None;
+            l.free_time = l.free_time.max(self.local.clock.now());
+        }
+        drop(shared);
+        global.condvar.notify_all();
+    }
+
+    /// Ends the current interval: for every page dirtied since the last
+    /// release/barrier, record the modifications in the shared store and
+    /// register a write notice.
+    pub(crate) fn lrc_publish_interval(&mut self, shared: &mut Shared) {
+        if self.local.dirty_pages.is_empty() {
+            return;
+        }
+        let cost = self.global.cfg.cost.clone();
+        let trapping = self.global.cfg.kind.trapping();
+        let collection = self.global.cfg.kind.collection();
+        let hierarchical = self.global.cfg.hierarchical_dirty_bits;
+        let diff_ring = self.global.cfg.diff_ring;
+        let me = self.local.node;
+        let me_idx = me.index();
+        let next_interval = self.local.vector.entry(me) + 1;
+        let total_region_pages: u64 = self
+            .global
+            .regions
+            .iter()
+            .map(|d| d.num_pages() as u64)
+            .sum();
+
+        let dirty = std::mem::take(&mut self.local.dirty_pages);
+        let lrc = shared.lrc();
+        let mut published_pages = 0u32;
+        let mut total_compare_words = 0u64;
+        let mut reprotects = 0u64;
+
+        for (ridx, page) in dirty {
+            let local_region = &mut self.local.regions[ridx];
+            let span = local_region.page_span(page);
+            let rs = &mut lrc.regions[ridx];
+            let base_word = span.start / 4;
+            let nwords = span.len().div_ceil(4);
+
+            let mut changed_words = 0usize;
+            let mut runs = 0usize;
+            let mut compare_words = 0usize;
+            let mut prev_changed = false;
+
+            {
+                let crate::local::LocalRegion { data, pages } = local_region;
+                let lp = &mut pages[page];
+                for w in 0..nwords {
+                    let start = span.start + w * 4;
+                    let end = (start + 4).min(data.len());
+                    let changed = match trapping {
+                        Trapping::Instrumentation => lp.was_written(w),
+                        Trapping::Twinning => match &lp.twin {
+                            Some(twin) => {
+                                compare_words += 1;
+                                twin[start - span.start..end - span.start] != data[start..end]
+                            }
+                            None => false,
+                        },
+                    };
+                    if changed {
+                        rs.master[start..end].copy_from_slice(&data[start..end]);
+                        rs.stamp[base_word + w] = pack_stamp(me, next_interval);
+                        changed_words += 1;
+                        if !prev_changed {
+                            runs += 1;
+                        }
+                        prev_changed = true;
+                    } else {
+                        prev_changed = false;
+                    }
+                }
+                lp.applied[me_idx] = next_interval;
+                if trapping == Trapping::Twinning && lp.twin.is_some() {
+                    reprotects += 1;
+                }
+                lp.clear_interval_state();
+            }
+
+            total_compare_words += compare_words as u64;
+
+            if changed_words > 0 {
+                published_pages += 1;
+                self.local.stats.diff_words += changed_words as u64;
+                if collection == Collection::Diffs {
+                    self.local.stats.diffs_created += 1;
+                }
+                let ps = &mut rs.pages[page];
+                ps.latest[me_idx] = next_interval;
+                ps.last_publisher = Some(me);
+                let mut pub_vec = self.local.vector.clone();
+                pub_vec.set_entry(me, next_interval);
+                ps.last_pub_vector = pub_vec;
+                ps.diffs.push_back(PublishRec {
+                    stamp: next_interval as u64,
+                    node: me,
+                    encoded_size: changed_words * 4 + runs * 8,
+                    compare_words,
+                    creation_charged: collection == Collection::Timestamps
+                        || trapping == Trapping::Instrumentation,
+                });
+                while ps.diffs.len() > diff_ring {
+                    ps.diffs.pop_front();
+                }
+            }
+        }
+
+        match trapping {
+            Trapping::Twinning => {
+                self.local.clock.advance(cost.mprotect().times(reprotects));
+                if collection == Collection::Timestamps {
+                    // Stamping the modified blocks requires the twin
+                    // comparison at the end of the interval.
+                    self.local
+                        .clock
+                        .advance(cost.diff_compare(total_compare_words));
+                }
+            }
+            Trapping::Instrumentation => {
+                if hierarchical {
+                    // Finding the dirty pages means checking the page-level
+                    // dirty bit of every page in the shared data set.
+                    self.local.stats.page_bits_checked += total_region_pages;
+                    self.local
+                        .clock
+                        .advance(cost.page_bit_checks(total_region_pages));
+                }
+            }
+        }
+
+        lrc.interval_pages[me_idx].push(published_pages);
+        self.local.vector.bump(me);
+    }
+
+    /// Ensures the local copy of a page reflects every modification this node
+    /// is entitled to see, taking an access miss (invalidate protocol) if it
+    /// does not.
+    pub(crate) fn lrc_ensure_fresh(&mut self, ridx: usize, page: usize) {
+        {
+            let lp = &self.local.regions[ridx].pages[page];
+            if lp.checked_epoch == self.local.epoch {
+                return;
+            }
+        }
+        let cost = self.global.cfg.cost.clone();
+        let trapping = self.global.cfg.kind.trapping();
+        let collection = self.global.cfg.kind.collection();
+        let gran = self.global.regions[ridx].granularity;
+        let nprocs = self.local.nprocs;
+        let me_idx = self.local.node.index();
+        let epoch = self.local.epoch;
+
+        let global = self.global;
+        let mut shared = global.shared.lock();
+        let lrc = shared.lrc();
+
+        // Which processors have published modifications to this page that we
+        // are entitled to see (their interval happens-before our acquire) but
+        // have not yet applied?  `(proc, from, upto)` per stale source.
+        let mut stale: Vec<(usize, u32, u32)> = Vec::new();
+        {
+            let ps = &lrc.regions[ridx].pages[page];
+            let lp = &self.local.regions[ridx].pages[page];
+            for q in 0..nprocs {
+                if q == me_idx {
+                    continue;
+                }
+                let qn = NodeId::new(q as u32);
+                let upto = self.local.vector.entry(qn).min(ps.latest[q]);
+                if upto > lp.applied[q] {
+                    stale.push((q, lp.applied[q], upto));
+                }
+            }
+        }
+        if stale.is_empty() {
+            drop(shared);
+            self.local.regions[ridx].pages[page].checked_epoch = epoch;
+            return;
+        }
+
+        // Access miss.
+        self.local.stats.access_misses += 1;
+        self.local.stats.pages_invalidated += 1;
+        self.local.clock.advance(cost.page_fault());
+
+        // How many processors must be asked?  The most recent publisher can
+        // forward every diff its publish-time vector dominates (it saved
+        // them); intervals concurrent with its publish require contacting the
+        // writer directly.
+        let responders = {
+            let ps = &lrc.regions[ridx].pages[page];
+            let last_pub = ps.last_publisher;
+            let mut extra = 0usize;
+            let mut primary = false;
+            for &(q, _, upto) in &stale {
+                let qn = NodeId::new(q as u32);
+                if Some(qn) == last_pub || (last_pub.is_some() && upto <= ps.last_pub_vector.entry(qn))
+                {
+                    primary = true;
+                } else {
+                    extra += 1;
+                }
+            }
+            (usize::from(primary) + extra).max(1)
+        };
+
+        let span = {
+            let local_region = &self.local.regions[ridx];
+            local_region.page_span(page)
+        };
+        let base_word = span.start / 4;
+        let nwords = span.len().div_ceil(4);
+
+        let mut applied_words = 0usize;
+        let mut ts_runs = 0usize;
+        let mut diff_bytes = 0usize;
+        let mut diff_count = 0u64;
+        let mut creation_words = 0u64;
+
+        {
+            let region_shared = &mut lrc.regions[ridx];
+            let local_region = &mut self.local.regions[ridx];
+            let crate::local::LocalRegion { data, pages } = local_region;
+            let lp = &mut pages[page];
+
+            // Apply every block whose latest publish happens-before us and is
+            // newer than what we have, skipping blocks we have dirty local
+            // writes to (they belong to our current, unpublished interval).
+            let mut prev: Option<u64> = None;
+            for w in 0..nwords {
+                let block = base_word + w;
+                let st = region_shared.stamp[block];
+                let Some((qn, i)) = unpack_stamp(st) else {
+                    prev = None;
+                    continue;
+                };
+                let q = qn.index();
+                if q == me_idx {
+                    prev = None;
+                    continue;
+                }
+                let entitled = i <= self.local.vector.entry(qn) && i > lp.applied[q];
+                if entitled && !lp.was_written(w) {
+                    let start = span.start + w * 4;
+                    let end = (start + 4).min(data.len());
+                    data[start..end].copy_from_slice(&region_shared.master[start..end]);
+                    applied_words += 1;
+                    if prev != Some(st) {
+                        ts_runs += 1;
+                    }
+                    prev = Some(st);
+                } else {
+                    prev = None;
+                }
+            }
+
+            // Diff-mode traffic accounting: every pending diff of a stale
+            // source is transferred (the overlapping-diff effect for
+            // migratory data).
+            if collection == Collection::Diffs {
+                let ps = &mut region_shared.pages[page];
+                for rec in ps.diffs.iter_mut() {
+                    let q = rec.node.index();
+                    let i = rec.stamp as u32;
+                    let needed = stale
+                        .iter()
+                        .any(|&(sq, from, upto)| sq == q && i > from && i <= upto);
+                    if needed {
+                        diff_bytes += rec.encoded_size;
+                        diff_count += 1;
+                        if !rec.creation_charged {
+                            rec.creation_charged = true;
+                            creation_words += rec.compare_words as u64;
+                        }
+                    }
+                }
+            }
+
+            for &(q, _, upto) in &stale {
+                lp.applied[q] = lp.applied[q].max(upto);
+            }
+            lp.checked_epoch = epoch;
+        }
+
+        let reply_bytes = match collection {
+            Collection::Timestamps => {
+                let gran_div = if trapping == Trapping::Instrumentation {
+                    (gran.bytes() / 4).max(1)
+                } else {
+                    1
+                };
+                let scan = (nwords / gran_div) as u64;
+                self.local.stats.ts_blocks_scanned += scan;
+                self.local.clock.advance(cost.ts_scan(scan));
+                applied_words * 4 + ts_runs * (IntervalId::WIRE_SIZE + 6)
+            }
+            Collection::Diffs => {
+                self.local.stats.diffs_applied += diff_count;
+                self.local.clock.advance(cost.diff_compare(creation_words));
+                diff_bytes.max(applied_words * 4)
+            }
+        };
+        self.local.stats.words_applied += applied_words as u64;
+        self.local.clock.advance(cost.apply_words(applied_words as u64));
+
+        let req_bytes = self.local.vector.wire_size();
+        for r in 0..responders {
+            let bytes = if r == 0 { reply_bytes } else { CTRL_MSG_BYTES };
+            self.local.stats.record_msg(MsgKind::DataRequest, req_bytes);
+            self.local.stats.record_msg(MsgKind::DataReply, bytes);
+            self.local.clock.advance(cost.round_trip(req_bytes, bytes));
+        }
+        drop(shared);
+    }
+}

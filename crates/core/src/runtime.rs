@@ -1,0 +1,383 @@
+//! The DSM runtime: region allocation, initialisation, and SPMD execution.
+
+use parking_lot::{Condvar, Mutex};
+
+use dsm_mem::{BlockGranularity, MemRange, RegionDesc, RegionId};
+use dsm_sim::{ClusterStats, SimTime, TrafficReport};
+
+use crate::config::DsmConfig;
+use crate::context::ProcessContext;
+use crate::error::DsmError;
+use crate::ids::LockId;
+use crate::local::NodeLocal;
+use crate::scalar::Scalar;
+use crate::shared::{ModelShared, Shared};
+
+/// Handle to a shared-memory region.
+///
+/// Regions are allocated on the [`Dsm`] before the parallel section starts
+/// (mirroring Midway/TreadMarks programs, which allocate shared data up
+/// front), and accessed from worker code through the typed accessors on
+/// [`ProcessContext`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    id: RegionId,
+    len: usize,
+    granularity: BlockGranularity,
+}
+
+impl Region {
+    /// The region's identifier.
+    pub fn id(&self) -> RegionId {
+        self.id
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of elements of type `T` the region holds.
+    pub fn elems<T: Scalar>(&self) -> usize {
+        self.len / T::SIZE
+    }
+
+    /// The block granularity writes to this region are trapped at under
+    /// compiler instrumentation.
+    pub fn granularity(&self) -> BlockGranularity {
+        self.granularity
+    }
+
+    /// A [`MemRange`] covering elements `start..start + count` of type `T`
+    /// (used to bind data to EC locks).
+    pub fn range_of<T: Scalar>(&self, start: usize, count: usize) -> MemRange {
+        MemRange::new(self.id, start * T::SIZE, count * T::SIZE)
+    }
+
+    /// A [`MemRange`] covering the whole region.
+    pub fn whole(&self) -> MemRange {
+        MemRange::new(self.id, 0, self.len)
+    }
+}
+
+/// Result of one DSM run: simulated execution time, per-node times, traffic
+/// statistics, and the final contents of every shared region.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Simulated execution time (the slowest node's clock), the quantity
+    /// reported in the paper's Tables 3-5.
+    pub time: SimTime,
+    /// Per-node simulated completion times.
+    pub node_times: Vec<SimTime>,
+    /// Per-node statistics.
+    pub stats: ClusterStats,
+    /// Aggregate traffic report (messages, bytes, misses, ...).
+    pub traffic: TrafficReport,
+    region_data: Vec<Vec<u8>>,
+}
+
+impl RunResult {
+    /// Simulated execution time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.time.as_secs_f64()
+    }
+
+    /// Final contents of a region (the published master copy).
+    ///
+    /// For LRC runs the application must end with a barrier (all the paper's
+    /// applications do) so that every node's last interval has been published.
+    pub fn region_bytes(&self, region: Region) -> &[u8] {
+        &self.region_data[region.id().index()]
+    }
+
+    /// Reads element `idx` of type `T` from the final contents of `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn read_final<T: Scalar>(&self, region: Region, idx: usize) -> T {
+        let bytes = self.region_bytes(region);
+        let off = idx * T::SIZE;
+        T::read_le(&bytes[off..off + T::SIZE])
+    }
+
+    /// Copies the final contents of `region` out as a typed vector.
+    pub fn final_vec<T: Scalar>(&self, region: Region) -> Vec<T> {
+        let bytes = self.region_bytes(region);
+        (0..region.elems::<T>())
+            .map(|i| T::read_le(&bytes[i * T::SIZE..(i + 1) * T::SIZE]))
+            .collect()
+    }
+}
+
+/// Global state shared by all worker threads of one run.
+pub(crate) struct RunGlobal {
+    pub cfg: DsmConfig,
+    pub regions: Vec<RegionDesc>,
+    pub shared: Mutex<Shared>,
+    pub condvar: Condvar,
+}
+
+impl std::fmt::Debug for RunGlobal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunGlobal")
+            .field("cfg", &self.cfg)
+            .field("regions", &self.regions.len())
+            .finish()
+    }
+}
+
+/// The software distributed shared memory system.
+///
+/// A `Dsm` is configured with one of the six implementations of the paper
+/// ([`ImplKind`](crate::ImplKind)), populated with shared regions, lock
+/// bindings (for EC) and initial data, and then executes an SPMD worker
+/// closure on every simulated processor.
+///
+/// # Examples
+///
+/// ```
+/// use dsm_core::{Dsm, DsmConfig, ImplKind, LockId, LockMode, BarrierId};
+/// use dsm_mem::BlockGranularity;
+/// use dsm_sim::Work;
+///
+/// let mut dsm = Dsm::new(DsmConfig::with_procs(ImplKind::lrc_diff(), 4))?;
+/// let counter = dsm.alloc_array::<u32>("counter", 1, BlockGranularity::Word);
+///
+/// let result = dsm.run(|ctx| {
+///     // Every processor increments the shared counter under a lock.
+///     ctx.acquire(LockId::new(0), LockMode::Exclusive);
+///     let v: u32 = ctx.read(counter, 0);
+///     ctx.write(counter, 0, v + 1);
+///     ctx.compute(Work::ops(10));
+///     ctx.release(LockId::new(0));
+///     ctx.barrier(BarrierId::new(0));
+/// });
+///
+/// assert_eq!(result.read_final::<u32>(counter, 0), 4);
+/// assert!(result.seconds() > 0.0);
+/// # Ok::<(), dsm_core::DsmError>(())
+/// ```
+#[derive(Debug)]
+pub struct Dsm {
+    cfg: DsmConfig,
+    regions: Vec<RegionDesc>,
+    init: Vec<Vec<u8>>,
+    binds: Vec<(LockId, Vec<MemRange>)>,
+}
+
+impl Dsm {
+    /// Creates a DSM with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid.
+    pub fn new(cfg: DsmConfig) -> Result<Self, DsmError> {
+        cfg.validate()?;
+        Ok(Dsm {
+            cfg,
+            regions: Vec::new(),
+            init: Vec::new(),
+            binds: Vec::new(),
+        })
+    }
+
+    /// The configuration of this DSM.
+    pub fn config(&self) -> &DsmConfig {
+        &self.cfg
+    }
+
+    /// Allocates a shared region of `len` bytes, zero-initialised.
+    pub fn alloc(
+        &mut self,
+        name: impl Into<String>,
+        len: usize,
+        granularity: BlockGranularity,
+    ) -> Region {
+        let id = RegionId::new(self.regions.len() as u32);
+        self.regions
+            .push(RegionDesc::new(id, name, len, granularity));
+        self.init.push(vec![0; len]);
+        Region {
+            id,
+            len,
+            granularity,
+        }
+    }
+
+    /// Allocates a shared region holding `count` elements of type `T`.
+    pub fn alloc_array<T: Scalar>(
+        &mut self,
+        name: impl Into<String>,
+        count: usize,
+        granularity: BlockGranularity,
+    ) -> Region {
+        self.alloc(name, count * T::SIZE, granularity)
+    }
+
+    /// Initialises element `idx..` of `region` with values produced by `f`
+    /// (called with each element index).  Initial data is distributed to all
+    /// nodes before the run starts and is not charged any communication cost,
+    /// mirroring the paper's practice of excluding input distribution from
+    /// the timed section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region does not belong to this DSM.
+    pub fn init_region<T: Scalar>(&mut self, region: Region, f: impl Fn(usize) -> T) {
+        let buf = &mut self.init[region.id().index()];
+        for i in 0..region.elems::<T>() {
+            f(i).write_le(&mut buf[i * T::SIZE..(i + 1) * T::SIZE]);
+        }
+    }
+
+    /// Initialises a region from raw bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is longer than the region.
+    pub fn init_bytes(&mut self, region: Region, bytes: &[u8]) {
+        let buf = &mut self.init[region.id().index()];
+        assert!(
+            bytes.len() <= buf.len(),
+            "initialisation data larger than region"
+        );
+        buf[..bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Binds shared data to a lock (EC only; ignored under LRC so that the
+    /// same setup code can be reused).  The binding may list several
+    /// non-contiguous ranges.
+    pub fn bind(&mut self, lock: LockId, ranges: Vec<MemRange>) {
+        self.binds.push((lock, ranges));
+    }
+
+    /// Runs `worker` on every simulated processor and returns the result.
+    ///
+    /// The closure is executed by `nprocs` OS threads, each with its own copy
+    /// of the shared regions; it receives a [`ProcessContext`] identifying the
+    /// processor and providing the shared-memory and synchronization API.
+    pub fn run<F>(&self, worker: F) -> RunResult
+    where
+        F: Fn(&mut ProcessContext<'_>) + Sync,
+    {
+        let mut shared = Shared::new(&self.cfg, &self.regions, &self.init);
+        // Apply the EC bindings declared during setup.
+        if let ModelShared::Ec(_) = shared.model {
+            for (lock, ranges) in &self.binds {
+                shared.ensure_lock(lock.index());
+                let ec = shared.ec();
+                let meta = &mut ec.locks[lock.index()];
+                meta.bound = ranges.clone();
+            }
+        }
+
+        let global = RunGlobal {
+            cfg: self.cfg.clone(),
+            regions: self.regions.clone(),
+            shared: Mutex::new(shared),
+            condvar: Condvar::new(),
+        };
+
+        let nprocs = self.cfg.nprocs;
+        let mut locals: Vec<Option<NodeLocal>> = Vec::with_capacity(nprocs);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(nprocs);
+            for p in 0..nprocs {
+                let global = &global;
+                let worker = &worker;
+                let regions = &self.regions;
+                let init = &self.init;
+                handles.push(scope.spawn(move || {
+                    let local = NodeLocal::new(
+                        dsm_sim::NodeId::new(p as u32),
+                        nprocs,
+                        regions,
+                        init,
+                    );
+                    let mut ctx = ProcessContext::new(global, local);
+                    worker(&mut ctx);
+                    ctx.into_local()
+                }));
+            }
+            for h in handles {
+                locals.push(Some(h.join().expect("worker thread panicked")));
+            }
+        });
+
+        let locals: Vec<NodeLocal> = locals.into_iter().map(|l| l.expect("joined")).collect();
+        let node_times: Vec<SimTime> = locals.iter().map(|l| l.clock.now()).collect();
+        let time = node_times
+            .iter()
+            .copied()
+            .fold(SimTime::ZERO, SimTime::max);
+        let stats = ClusterStats::from_nodes(locals.iter().map(|l| l.stats.clone()).collect());
+        let traffic = stats.traffic();
+
+        let shared = global.shared.into_inner();
+        let region_data = match shared.model {
+            ModelShared::Ec(ec) => ec.regions.into_iter().map(|r| r.master).collect(),
+            ModelShared::Lrc(lrc) => lrc.regions.into_iter().map(|r| r.master).collect(),
+        };
+
+        RunResult {
+            time,
+            node_times,
+            stats,
+            traffic,
+            region_data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ImplKind;
+
+    #[test]
+    fn region_handles_and_ranges() {
+        let mut dsm = Dsm::new(DsmConfig::with_procs(ImplKind::ec_time(), 2)).unwrap();
+        let r = dsm.alloc_array::<f64>("m", 100, BlockGranularity::DoubleWord);
+        assert_eq!(r.len(), 800);
+        assert_eq!(r.elems::<f64>(), 100);
+        assert!(!r.is_empty());
+        let range = r.range_of::<f64>(10, 5);
+        assert_eq!(range.start, 80);
+        assert_eq!(range.len, 40);
+        assert_eq!(r.whole().len, 800);
+    }
+
+    #[test]
+    fn init_region_fills_typed_values() {
+        let mut dsm = Dsm::new(DsmConfig::with_procs(ImplKind::lrc_diff(), 1)).unwrap();
+        let r = dsm.alloc_array::<u32>("a", 8, BlockGranularity::Word);
+        dsm.init_region::<u32>(r, |i| i as u32 * 10);
+        let result = dsm.run(|ctx| {
+            assert_eq!(ctx.read::<u32>(r, 3), 30);
+            ctx.barrier(crate::BarrierId::new(0));
+        });
+        assert_eq!(result.read_final::<u32>(r, 7), 70);
+        assert_eq!(result.final_vec::<u32>(r).len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than region")]
+    fn oversized_init_panics() {
+        let mut dsm = Dsm::new(DsmConfig::with_procs(ImplKind::lrc_diff(), 1)).unwrap();
+        let r = dsm.alloc("a", 4, BlockGranularity::Word);
+        dsm.init_bytes(r, &[0u8; 8]);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = DsmConfig::paper(ImplKind::ec_ci());
+        cfg.nprocs = 0;
+        assert!(Dsm::new(cfg).is_err());
+    }
+}

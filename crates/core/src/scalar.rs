@@ -1,0 +1,67 @@
+//! Typed access to shared memory.
+
+/// A plain-old-data scalar that can be stored in shared memory.
+///
+/// The DSM stores shared regions as byte arrays (as a real DSM does); this
+/// trait provides the little-endian encode/decode used by the typed accessors
+/// on [`ProcessContext`](crate::ProcessContext) and
+/// [`Dsm::init_region`](crate::Dsm::init_region).
+pub trait Scalar: Copy + Default + PartialEq + std::fmt::Debug + Send + Sync + 'static {
+    /// Size of the scalar in bytes.
+    const SIZE: usize;
+
+    /// Encodes the scalar into `out` (which is exactly `SIZE` bytes).
+    fn write_le(self, out: &mut [u8]);
+
+    /// Decodes the scalar from `bytes` (which is exactly `SIZE` bytes).
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($($t:ty),*) => {
+        $(
+            impl Scalar for $t {
+                const SIZE: usize = std::mem::size_of::<$t>();
+
+                fn write_le(self, out: &mut [u8]) {
+                    out.copy_from_slice(&self.to_le_bytes());
+                }
+
+                fn read_le(bytes: &[u8]) -> Self {
+                    <$t>::from_le_bytes(bytes.try_into().expect("scalar byte width"))
+                }
+            }
+        )*
+    };
+}
+
+impl_scalar!(f32, f64, i32, u32, i64, u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Scalar>(v: T) {
+        let mut buf = vec![0u8; T::SIZE];
+        v.write_le(&mut buf);
+        assert_eq!(T::read_le(&buf), v);
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip(3.25_f64);
+        roundtrip(-7.5_f32);
+        roundtrip(-42_i32);
+        roundtrip(42_u32);
+        roundtrip(-1_000_000_000_000_i64);
+        roundtrip(u64::MAX);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(<f64 as Scalar>::SIZE, 8);
+        assert_eq!(<f32 as Scalar>::SIZE, 4);
+        assert_eq!(<i32 as Scalar>::SIZE, 4);
+        assert_eq!(<u64 as Scalar>::SIZE, 8);
+    }
+}

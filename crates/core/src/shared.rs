@@ -1,0 +1,433 @@
+//! Cluster-wide shared protocol state.
+//!
+//! In the real systems this state is distributed across the nodes and kept
+//! consistent by the protocol messages themselves; in the simulation it lives
+//! behind a single mutex and the *cost* of every message that would have been
+//! exchanged is charged through the cost model (see `DESIGN.md`, substitution
+//! table).
+
+use std::collections::VecDeque;
+
+use dsm_mem::{pages_in, MemRange, RegionDesc, VectorClock};
+use dsm_sim::{NodeId, SimTime};
+
+use crate::config::{DsmConfig, Model};
+
+/// Synchronization status of one lock (shared between EC and LRC).
+#[derive(Debug, Clone)]
+pub(crate) struct LockSync {
+    /// The node currently holding the lock exclusively, if any.
+    pub exclusive_holder: Option<NodeId>,
+    /// Number of read-only holders.
+    pub readers: usize,
+    /// The node that last held the lock exclusively (the processor a request
+    /// is forwarded to, and the grantor of the next acquire).
+    pub last_owner: Option<NodeId>,
+    /// Simulated time at which the lock last became available.
+    pub free_time: SimTime,
+    /// Number of times the lock has been transferred between processors.
+    pub transfers: u64,
+}
+
+impl LockSync {
+    fn new() -> Self {
+        LockSync {
+            exclusive_holder: None,
+            readers: 0,
+            last_owner: None,
+            free_time: SimTime::ZERO,
+            transfers: 0,
+        }
+    }
+
+    /// True if an exclusive acquire can proceed.
+    pub fn can_acquire_exclusive(&self) -> bool {
+        self.exclusive_holder.is_none() && self.readers == 0
+    }
+
+    /// True if a read-only acquire can proceed.
+    pub fn can_acquire_read(&self) -> bool {
+        self.exclusive_holder.is_none()
+    }
+}
+
+/// Synchronization status of one barrier.
+#[derive(Debug, Clone)]
+pub(crate) struct BarrierSync {
+    /// Nodes that have arrived in the current episode.
+    pub arrived: usize,
+    /// Episode counter; waiters block until it advances.
+    pub generation: u64,
+    /// Accumulated maximum of (arrival time + arrival-message latency) for
+    /// the current episode.
+    pub pending_max: SimTime,
+    /// Accumulated vector-clock maximum over arrivals (LRC).
+    pub pending_vector: VectorClock,
+    /// Release time of the last completed episode.
+    pub release_time: SimTime,
+    /// Vector released by the last completed episode (LRC).
+    pub released_vector: VectorClock,
+}
+
+impl BarrierSync {
+    fn new(nprocs: usize) -> Self {
+        BarrierSync {
+            arrived: 0,
+            generation: 0,
+            pending_max: SimTime::ZERO,
+            pending_vector: VectorClock::new(nprocs),
+            release_time: SimTime::ZERO,
+            released_vector: VectorClock::new(nprocs),
+        }
+    }
+}
+
+/// One publish record: the modifications one release (EC) or one interval
+/// (LRC) made to a lock's bound data or to a page.  Retained in a bounded
+/// ring for diff-collection traffic accounting.
+#[derive(Debug, Clone)]
+pub(crate) struct PublishRec {
+    /// EC: global publish sequence number; LRC: interval index of the writer.
+    pub stamp: u64,
+    /// The writer (LRC; unused for EC where the lock identifies the chain).
+    pub node: NodeId,
+    /// Wire size of the run-length encoded diff for this publish.
+    pub encoded_size: usize,
+    /// Number of words that had to be compared against the twin to build the
+    /// diff (charged lazily to the first requester under diff collection).
+    pub compare_words: usize,
+    /// Whether the lazy diff-creation cost has been charged yet.
+    pub creation_charged: bool,
+}
+
+/// Entry-consistency shared state for one lock.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EcLockShared {
+    /// The memory ranges bound to the lock (possibly non-contiguous).
+    pub bound: Vec<MemRange>,
+    /// Incremented whenever the binding changes; a node whose `seen_epoch`
+    /// lags must conservatively receive all bound data (Section 7.1,
+    /// "Rebinding").
+    pub rebind_epoch: u64,
+    /// Lock incarnation number: incremented on every transfer.
+    pub incarnation: u64,
+    /// Ring of recent publish records for diff-mode traffic accounting.
+    pub publishes: VecDeque<PublishRec>,
+    /// Per node: the global publish sequence this node has applied through
+    /// for this lock's data.
+    pub seen_seq: Vec<u64>,
+    /// Per node: the rebind epoch this node has seen.
+    pub seen_epoch: Vec<u64>,
+}
+
+/// Entry-consistency shared state for one region: the published master copy
+/// and per-word-block publish-sequence stamps.
+#[derive(Debug)]
+pub(crate) struct EcRegionShared {
+    /// Latest published value of every byte.
+    pub master: Vec<u8>,
+    /// Per word block: the publish sequence number that last wrote it
+    /// (0 = never published).
+    pub stamp: Vec<u64>,
+}
+
+/// All EC shared state.
+#[derive(Debug)]
+pub(crate) struct EcShared {
+    /// Per region published data.
+    pub regions: Vec<EcRegionShared>,
+    /// Per lock metadata, indexed by lock id.
+    pub locks: Vec<EcLockShared>,
+    /// Global publish sequence counter.
+    pub publish_seq: u64,
+}
+
+impl EcShared {
+    fn new(regions: &[RegionDesc], init: &[Vec<u8>]) -> Self {
+        let regions = regions
+            .iter()
+            .zip(init.iter())
+            .map(|(d, init)| EcRegionShared {
+                master: init.clone(),
+                stamp: vec![0; d.len.div_ceil(4)],
+            })
+            .collect();
+        EcShared {
+            regions,
+            locks: Vec::new(),
+            publish_seq: 0,
+        }
+    }
+
+    /// Ensures per-lock metadata exists for `lock_index`.
+    pub fn ensure_lock(&mut self, lock_index: usize, nprocs: usize) -> &mut EcLockShared {
+        while self.locks.len() <= lock_index {
+            self.locks.push(EcLockShared {
+                seen_seq: vec![0; nprocs],
+                seen_epoch: vec![0; nprocs],
+                ..EcLockShared::default()
+            });
+        }
+        &mut self.locks[lock_index]
+    }
+}
+
+/// Lazy-release-consistency shared state for one page.
+#[derive(Debug, Clone)]
+pub(crate) struct LrcPageShared {
+    /// Per node: the latest interval in which that node published
+    /// modifications to this page (0 = never).
+    pub latest: Vec<u32>,
+    /// The node that published most recently.
+    pub last_publisher: Option<NodeId>,
+    /// The publisher's vector at the time of the most recent publish; used to
+    /// decide how many processors a faulting node must contact.
+    pub last_pub_vector: VectorClock,
+    /// Ring of recent per-interval publish records for traffic accounting.
+    pub diffs: VecDeque<PublishRec>,
+}
+
+/// Lazy-release-consistency shared state for one region.
+#[derive(Debug)]
+pub(crate) struct LrcRegionShared {
+    /// Latest published value of every byte.
+    pub master: Vec<u8>,
+    /// Per word block: packed `(node, interval)` timestamp of the last
+    /// publish (0 = never).  See [`pack_stamp`]/[`unpack_stamp`].
+    pub stamp: Vec<u64>,
+    /// Per page metadata.
+    pub pages: Vec<LrcPageShared>,
+}
+
+/// All LRC shared state.
+#[derive(Debug)]
+pub(crate) struct LrcShared {
+    /// Per region published data.
+    pub regions: Vec<LrcRegionShared>,
+    /// Per node, per interval (1-based): how many pages that interval
+    /// published.  Used to size write-notice payloads.
+    pub interval_pages: Vec<Vec<u32>>,
+    /// Per lock: the releaser's vector at the last release of the lock.
+    pub lock_release_vec: Vec<VectorClock>,
+}
+
+impl LrcShared {
+    fn new(regions: &[RegionDesc], init: &[Vec<u8>], nprocs: usize) -> Self {
+        let regions = regions
+            .iter()
+            .zip(init.iter())
+            .map(|(d, init)| LrcRegionShared {
+                master: init.clone(),
+                stamp: vec![0; d.len.div_ceil(4)],
+                pages: (0..pages_in(d.len).max(1))
+                    .map(|_| LrcPageShared {
+                        latest: vec![0; nprocs],
+                        last_publisher: None,
+                        last_pub_vector: VectorClock::new(nprocs),
+                        diffs: VecDeque::new(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        LrcShared {
+            regions,
+            interval_pages: vec![Vec::new(); nprocs],
+            lock_release_vec: Vec::new(),
+        }
+    }
+
+    /// Ensures the per-lock release-vector table covers `lock_index`.
+    pub fn ensure_lock(&mut self, lock_index: usize, nprocs: usize) {
+        while self.lock_release_vec.len() <= lock_index {
+            self.lock_release_vec.push(VectorClock::new(nprocs));
+        }
+    }
+
+    /// Number of write notices carried by a message that brings a node whose
+    /// vector is `from` up to vector `to`: one notice per page published in
+    /// every interval in between.
+    pub fn notices_between(&self, from: &VectorClock, to: &VectorClock) -> u64 {
+        let mut notices = 0u64;
+        for (node_idx, counts) in self.interval_pages.iter().enumerate() {
+            let node = NodeId::new(node_idx as u32);
+            let lo = from.entry(node);
+            let hi = to.entry(node);
+            for interval in (lo + 1)..=hi {
+                if let Some(&c) = counts.get(interval as usize - 1) {
+                    notices += c as u64;
+                }
+            }
+        }
+        notices
+    }
+}
+
+/// Packs an LRC `(node, interval)` timestamp into a `u64` (0 = never written).
+pub(crate) fn pack_stamp(node: NodeId, interval: u32) -> u64 {
+    ((node.index() as u64 + 1) << 32) | interval as u64
+}
+
+/// Unpacks a stamp produced by [`pack_stamp`]; `None` for the never-written
+/// sentinel.
+pub(crate) fn unpack_stamp(stamp: u64) -> Option<(NodeId, u32)> {
+    if stamp == 0 {
+        None
+    } else {
+        Some((
+            NodeId::new((stamp >> 32) as u32 - 1),
+            (stamp & 0xffff_ffff) as u32,
+        ))
+    }
+}
+
+/// Model-specific shared state.
+#[derive(Debug)]
+pub(crate) enum ModelShared {
+    /// Entry consistency.
+    Ec(EcShared),
+    /// Lazy release consistency.
+    Lrc(LrcShared),
+}
+
+/// The complete shared state of one run.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    /// Lock synchronization status, indexed by lock id.
+    pub locks: Vec<LockSync>,
+    /// Barrier synchronization status, indexed by barrier id.
+    pub barriers: Vec<BarrierSync>,
+    /// Model-specific state.
+    pub model: ModelShared,
+    /// Number of processors.
+    pub nprocs: usize,
+}
+
+impl Shared {
+    /// Builds the shared state for a run.
+    pub fn new(cfg: &DsmConfig, regions: &[RegionDesc], init: &[Vec<u8>]) -> Self {
+        let model = match cfg.kind.model() {
+            Model::Ec => ModelShared::Ec(EcShared::new(regions, init)),
+            Model::Lrc => ModelShared::Lrc(LrcShared::new(regions, init, cfg.nprocs)),
+        };
+        Shared {
+            locks: Vec::new(),
+            barriers: Vec::new(),
+            model,
+            nprocs: cfg.nprocs,
+        }
+    }
+
+    /// Ensures the lock table covers `lock_index` and returns the entry.
+    pub fn ensure_lock(&mut self, lock_index: usize) -> &mut LockSync {
+        while self.locks.len() <= lock_index {
+            self.locks.push(LockSync::new());
+        }
+        match &mut self.model {
+            ModelShared::Ec(ec) => {
+                ec.ensure_lock(lock_index, self.nprocs);
+            }
+            ModelShared::Lrc(lrc) => {
+                lrc.ensure_lock(lock_index, self.nprocs);
+            }
+        }
+        &mut self.locks[lock_index]
+    }
+
+    /// Ensures the barrier table covers `barrier_index` and returns the entry.
+    pub fn ensure_barrier(&mut self, barrier_index: usize) -> &mut BarrierSync {
+        while self.barriers.len() <= barrier_index {
+            self.barriers.push(BarrierSync::new(self.nprocs));
+        }
+        &mut self.barriers[barrier_index]
+    }
+
+    /// The EC state; panics if the run is configured for LRC.
+    pub fn ec(&mut self) -> &mut EcShared {
+        match &mut self.model {
+            ModelShared::Ec(ec) => ec,
+            ModelShared::Lrc(_) => panic!("EC operation invoked on an LRC-configured run"),
+        }
+    }
+
+    /// The LRC state; panics if the run is configured for EC.
+    pub fn lrc(&mut self) -> &mut LrcShared {
+        match &mut self.model {
+            ModelShared::Lrc(lrc) => lrc,
+            ModelShared::Ec(_) => panic!("LRC operation invoked on an EC-configured run"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ImplKind;
+    use dsm_mem::{BlockGranularity, RegionId};
+
+    fn setup(kind: ImplKind) -> Shared {
+        let cfg = DsmConfig::with_procs(kind, 4);
+        let regions = vec![RegionDesc::new(
+            RegionId::new(0),
+            "r",
+            8192,
+            BlockGranularity::Word,
+        )];
+        let init = vec![vec![0u8; 8192]];
+        Shared::new(&cfg, &regions, &init)
+    }
+
+    #[test]
+    fn stamp_packing_roundtrips() {
+        assert_eq!(unpack_stamp(0), None);
+        let s = pack_stamp(NodeId::new(3), 17);
+        assert_eq!(unpack_stamp(s), Some((NodeId::new(3), 17)));
+        let s = pack_stamp(NodeId::new(0), 0);
+        assert_ne!(s, 0, "node 0 interval 0 must not collide with the sentinel");
+    }
+
+    #[test]
+    fn lock_and_barrier_tables_grow_on_demand() {
+        let mut sh = setup(ImplKind::ec_time());
+        sh.ensure_lock(5);
+        assert_eq!(sh.locks.len(), 6);
+        assert!(sh.locks[5].can_acquire_exclusive());
+        sh.ensure_barrier(2);
+        assert_eq!(sh.barriers.len(), 3);
+        assert_eq!(sh.ec().locks.len(), 6);
+    }
+
+    #[test]
+    fn lock_sync_admission_rules() {
+        let mut l = LockSync::new();
+        assert!(l.can_acquire_exclusive());
+        l.readers = 1;
+        assert!(!l.can_acquire_exclusive());
+        assert!(l.can_acquire_read());
+        l.readers = 0;
+        l.exclusive_holder = Some(NodeId::new(1));
+        assert!(!l.can_acquire_read());
+    }
+
+    #[test]
+    fn lrc_notice_counting() {
+        let mut sh = setup(ImplKind::lrc_diff());
+        let lrc = sh.lrc();
+        lrc.interval_pages[0] = vec![2, 3, 1]; // node 0: intervals 1..=3
+        lrc.interval_pages[1] = vec![5];
+        let mut from = VectorClock::new(4);
+        let mut to = VectorClock::new(4);
+        to.set_entry(NodeId::new(0), 3);
+        to.set_entry(NodeId::new(1), 1);
+        assert_eq!(lrc.notices_between(&from, &to), 2 + 3 + 1 + 5);
+        from.set_entry(NodeId::new(0), 2);
+        assert_eq!(lrc.notices_between(&from, &to), 1 + 5);
+        assert_eq!(lrc.notices_between(&to, &to), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "EC operation")]
+    fn model_mismatch_panics() {
+        let mut sh = setup(ImplKind::lrc_diff());
+        let _ = sh.ec();
+    }
+}

@@ -1,0 +1,179 @@
+//! A compact bitset used for software dirty bits.
+//!
+//! Both write-trapping mechanisms need to remember which blocks (and, for the
+//! hierarchical LRC scheme, which pages) were touched: compiler
+//! instrumentation sets a software dirty bit on every shared store, and the
+//! twinning implementation records which pages have live twins.
+
+/// A growable bitset over dense `usize` indices.
+///
+/// # Examples
+///
+/// ```
+/// use dsm_mem::BitSet;
+///
+/// let mut bits = BitSet::new(100);
+/// bits.set(3);
+/// bits.set(64);
+/// assert!(bits.get(3));
+/// assert!(!bits.get(4));
+/// assert_eq!(bits.iter_set().collect::<Vec<_>>(), vec![3, 64]);
+/// assert_eq!(bits.count(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates a bitset able to hold `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits the set can hold.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the set holds no bits at all (zero capacity).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `index`, returning whether it was previously clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn set(&mut self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        let (w, b) = (index / 64, index % 64);
+        let was_clear = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        was_clear
+    }
+
+    /// Clears bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn clear(&mut self, index: usize) {
+        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        let (w, b) = (index / 64, index % 64);
+        self.words[w] &= !(1 << b);
+    }
+
+    /// Reads bit `index` (out-of-range indices read as clear).
+    pub fn get(&self, index: usize) -> bool {
+        if index >= self.len {
+            return false;
+        }
+        let (w, b) = (index / 64, index % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Clears all bits.
+    pub fn clear_all(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bit is set.
+    pub fn none_set(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterator over the indices of the set bits, in increasing order.
+    pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Sets every bit in `range` (clamped to the capacity).
+    pub fn set_range(&mut self, range: std::ops::Range<usize>) {
+        for i in range.start..range.end.min(self.len) {
+            self.set(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = BitSet::new(130);
+        assert!(b.set(0));
+        assert!(!b.set(0));
+        assert!(b.set(129));
+        assert!(b.get(0));
+        assert!(b.get(129));
+        assert!(!b.get(1));
+        assert!(!b.get(1000)); // out of range reads as clear
+        b.clear(0);
+        assert!(!b.get(0));
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        let mut b = BitSet::new(8);
+        b.set(8);
+    }
+
+    #[test]
+    fn iter_set_in_order() {
+        let mut b = BitSet::new(200);
+        for i in [5usize, 63, 64, 65, 199] {
+            b.set(i);
+        }
+        assert_eq!(b.iter_set().collect::<Vec<_>>(), vec![5, 63, 64, 65, 199]);
+    }
+
+    #[test]
+    fn clear_all_and_none_set() {
+        let mut b = BitSet::new(70);
+        b.set_range(10..20);
+        assert_eq!(b.count(), 10);
+        assert!(!b.none_set());
+        b.clear_all();
+        assert!(b.none_set());
+    }
+
+    #[test]
+    fn set_range_clamps() {
+        let mut b = BitSet::new(16);
+        b.set_range(10..100);
+        assert_eq!(b.count(), 6);
+    }
+
+    #[test]
+    fn empty_set() {
+        let b = BitSet::new(0);
+        assert!(b.is_empty());
+        assert!(b.none_set());
+        assert_eq!(b.iter_set().count(), 0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Run-length encoded records of modifications to shared data ("diffs").
+//!
+//! A diff records the changes made to an object (EC) or a page (LRC) during
+//! one execution interval, as a run-length encoding of the modified blocks and
+//! their new values (Section 5.2 of the paper).  Diffs are created lazily from
+//! a *twin* (an unmodified copy) or from software dirty bits, shipped to the
+//! acquirer/faulting processor, applied there, and saved for possible future
+//! transmission to other processors.
+
+use crate::BlockGranularity;
+
+/// One run of consecutive modified bytes within a diff.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffRun {
+    /// Region-absolute byte offset of the start of the run.
+    pub offset: usize,
+    /// The new bytes for the run.
+    pub data: Vec<u8>,
+}
+
+impl DiffRun {
+    /// Length of the run in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the run carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// A run-length encoded record of the changes to a contiguous piece of shared
+/// data (an EC object or an LRC page).
+///
+/// # Examples
+///
+/// ```
+/// use dsm_mem::{BlockGranularity, Diff};
+///
+/// // Twin (old) and current (new) copy of a 32-byte object.
+/// let twin = vec![0u8; 32];
+/// let mut current = twin.clone();
+/// current[4..8].copy_from_slice(&1u32.to_le_bytes());
+/// current[8..12].copy_from_slice(&2u32.to_le_bytes());
+/// current[28..32].copy_from_slice(&3u32.to_le_bytes());
+///
+/// let diff = Diff::from_compare(&twin, &current, 0, BlockGranularity::Word);
+/// assert_eq!(diff.runs().len(), 2);       // [4..12] and [28..32]
+/// assert_eq!(diff.modified_blocks(), 3);
+///
+/// let mut target = vec![0u8; 32];
+/// diff.apply(&mut target);
+/// assert_eq!(target, current);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Diff {
+    runs: Vec<DiffRun>,
+    granularity: BlockGranularity,
+}
+
+/// Per-run header bytes in the encoded (wire) representation of a diff:
+/// a 4-byte offset and a 4-byte length, as a run-length encoding would carry.
+const RUN_HEADER_BYTES: usize = 8;
+
+impl Diff {
+    /// Creates an empty diff.
+    pub fn empty(granularity: BlockGranularity) -> Self {
+        Diff {
+            runs: Vec::new(),
+            granularity,
+        }
+    }
+
+    /// Builds a diff by comparing `current` against its `twin`, block by
+    /// block.  `base_offset` is the region-absolute offset of byte 0 of the
+    /// two slices (e.g. the page's start offset).
+    ///
+    /// This is the write-collection step of the twinning implementations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the twin and current slices have different lengths.
+    pub fn from_compare(
+        twin: &[u8],
+        current: &[u8],
+        base_offset: usize,
+        granularity: BlockGranularity,
+    ) -> Self {
+        assert_eq!(
+            twin.len(),
+            current.len(),
+            "twin and current copies must be the same size"
+        );
+        let bs = granularity.bytes();
+        let nblocks = granularity.blocks_in(current.len());
+        let changed = (0..nblocks).map(|b| {
+            let start = b * bs;
+            let end = (start + bs).min(current.len());
+            twin[start..end] != current[start..end]
+        });
+        Self::from_changed_blocks(current, base_offset, changed, granularity)
+    }
+
+    /// Builds a diff from an explicit set of modified block indices (indices
+    /// are relative to `current`, i.e. block 0 starts at byte 0 of the slice).
+    ///
+    /// This is the write-collection step when software dirty bits (compiler
+    /// instrumentation) identify the modified blocks.
+    pub fn from_blocks<I>(
+        current: &[u8],
+        base_offset: usize,
+        blocks: I,
+        granularity: BlockGranularity,
+    ) -> Self
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let nblocks = granularity.blocks_in(current.len());
+        let mut dirty = vec![false; nblocks];
+        for b in blocks {
+            if b < nblocks {
+                dirty[b] = true;
+            }
+        }
+        Self::from_changed_blocks(current, base_offset, dirty.into_iter(), granularity)
+    }
+
+    fn from_changed_blocks<I>(
+        current: &[u8],
+        base_offset: usize,
+        changed: I,
+        granularity: BlockGranularity,
+    ) -> Self
+    where
+        I: IntoIterator<Item = bool>,
+    {
+        let bs = granularity.bytes();
+        let mut runs: Vec<DiffRun> = Vec::new();
+        let mut open: Option<(usize, usize)> = None; // (start byte, end byte), slice-relative
+        for (b, is_changed) in changed.into_iter().enumerate() {
+            let start = b * bs;
+            let end = (start + bs).min(current.len());
+            if is_changed {
+                match &mut open {
+                    Some((_, e)) if *e == start => *e = end,
+                    Some((s, e)) => {
+                        runs.push(DiffRun {
+                            offset: base_offset + *s,
+                            data: current[*s..*e].to_vec(),
+                        });
+                        open = Some((start, end));
+                    }
+                    None => open = Some((start, end)),
+                }
+            }
+        }
+        if let Some((s, e)) = open {
+            runs.push(DiffRun {
+                offset: base_offset + s,
+                data: current[s..e].to_vec(),
+            });
+        }
+        Diff { runs, granularity }
+    }
+
+    /// The runs of this diff, in increasing offset order.
+    pub fn runs(&self) -> &[DiffRun] {
+        &self.runs
+    }
+
+    /// The block granularity the diff was created at.
+    pub fn granularity(&self) -> BlockGranularity {
+        self.granularity
+    }
+
+    /// True if the diff records no modifications.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Total number of modified bytes carried by the diff.
+    pub fn modified_bytes(&self) -> usize {
+        self.runs.iter().map(DiffRun::len).sum()
+    }
+
+    /// Total number of modified blocks carried by the diff.
+    pub fn modified_blocks(&self) -> usize {
+        self.runs
+            .iter()
+            .map(|r| self.granularity.blocks_in(r.len()))
+            .sum()
+    }
+
+    /// Size of the diff on the wire: modified bytes plus a per-run header.
+    pub fn encoded_size(&self) -> usize {
+        self.modified_bytes() + self.runs.len() * RUN_HEADER_BYTES
+    }
+
+    /// Applies the diff to a region-sized buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a run extends past the end of `target`.
+    pub fn apply(&self, target: &mut [u8]) {
+        for run in &self.runs {
+            target[run.offset..run.offset + run.data.len()].copy_from_slice(&run.data);
+        }
+    }
+
+    /// Iterator over `(block_index, block_bytes)` pairs, where block indices
+    /// are region-absolute (i.e. `offset / granularity`).
+    pub fn blocks(&self) -> impl Iterator<Item = (usize, &[u8])> + '_ {
+        let bs = self.granularity.bytes();
+        self.runs.iter().flat_map(move |run| {
+            (0..run.data.len().div_ceil(bs)).map(move |i| {
+                let start = i * bs;
+                let end = (start + bs).min(run.data.len());
+                ((run.offset + start) / bs, &run.data[start..end])
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word_diff(twin: &[u8], current: &[u8]) -> Diff {
+        Diff::from_compare(twin, current, 0, BlockGranularity::Word)
+    }
+
+    #[test]
+    fn identical_data_gives_empty_diff() {
+        let data = vec![42u8; 128];
+        let d = word_diff(&data, &data);
+        assert!(d.is_empty());
+        assert_eq!(d.encoded_size(), 0);
+        assert_eq!(d.modified_blocks(), 0);
+    }
+
+    #[test]
+    fn adjacent_changes_coalesce_into_one_run() {
+        let twin = vec![0u8; 64];
+        let mut cur = twin.clone();
+        cur[16..28].fill(9);
+        let d = word_diff(&twin, &cur);
+        assert_eq!(d.runs().len(), 1);
+        assert_eq!(d.runs()[0].offset, 16);
+        assert_eq!(d.runs()[0].len(), 12);
+        assert_eq!(d.modified_blocks(), 3);
+    }
+
+    #[test]
+    fn base_offset_is_added_to_run_offsets() {
+        let twin = vec![0u8; 16];
+        let mut cur = twin.clone();
+        cur[0..4].fill(1);
+        let d = Diff::from_compare(&twin, &cur, 4096, BlockGranularity::Word);
+        assert_eq!(d.runs()[0].offset, 4096);
+        let mut target = vec![0u8; 4096 + 16];
+        d.apply(&mut target);
+        assert_eq!(&target[4096..4100], &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn from_blocks_matches_explicit_dirty_set() {
+        let mut cur = vec![0u8; 32];
+        cur[8..12].fill(5);
+        cur[12..16].fill(6);
+        cur[24..28].fill(7);
+        // Blocks 2,3 and 6 marked dirty; block 5 dirty but unchanged in value
+        // (instrumentation reports it anyway).
+        let d = Diff::from_blocks(&cur, 0, [2usize, 3, 5, 6], BlockGranularity::Word);
+        assert_eq!(d.modified_blocks(), 4);
+        assert_eq!(d.runs().len(), 2); // [8..16], [20..28]
+        let mut target = vec![0u8; 32];
+        d.apply(&mut target);
+        assert_eq!(target, cur);
+    }
+
+    #[test]
+    fn double_word_granularity_coarsens() {
+        let twin = vec![0u8; 32];
+        let mut cur = twin.clone();
+        cur[4..8].fill(3); // one word touched -> whole double-word included
+        let d = Diff::from_compare(&twin, &cur, 0, BlockGranularity::DoubleWord);
+        assert_eq!(d.runs().len(), 1);
+        assert_eq!(d.runs()[0].offset, 0);
+        assert_eq!(d.runs()[0].len(), 8);
+    }
+
+    #[test]
+    fn tail_shorter_than_block_is_handled() {
+        let twin = vec![0u8; 10];
+        let mut cur = twin.clone();
+        cur[9] = 1;
+        let d = word_diff(&twin, &cur);
+        assert_eq!(d.runs().len(), 1);
+        assert_eq!(d.runs()[0].offset, 8);
+        assert_eq!(d.runs()[0].len(), 2);
+        let mut target = vec![0u8; 10];
+        d.apply(&mut target);
+        assert_eq!(target, cur);
+    }
+
+    #[test]
+    fn blocks_iterator_yields_absolute_block_indices() {
+        let twin = vec![0u8; 32];
+        let mut cur = twin.clone();
+        cur[8..16].fill(1);
+        let d = Diff::from_compare(&twin, &cur, 64, BlockGranularity::Word);
+        let blocks: Vec<usize> = d.blocks().map(|(b, _)| b).collect();
+        assert_eq!(blocks, vec![18, 19]); // (64 + 8)/4 and (64 + 12)/4
+    }
+
+    #[test]
+    fn encoded_size_includes_run_headers() {
+        let twin = vec![0u8; 64];
+        let mut cur = twin.clone();
+        cur[0..4].fill(1);
+        cur[32..36].fill(2);
+        let d = word_diff(&twin, &cur);
+        assert_eq!(d.encoded_size(), 8 + 2 * RUN_HEADER_BYTES);
+    }
+
+    #[test]
+    #[should_panic(expected = "same size")]
+    fn mismatched_lengths_panic() {
+        let _ = Diff::from_compare(&[0u8; 8], &[0u8; 12], 0, BlockGranularity::Word);
+    }
+}

@@ -1,0 +1,104 @@
+//! Execution intervals and write notices (LRC).
+
+use std::fmt;
+
+use dsm_sim::NodeId;
+
+use crate::RegionId;
+
+/// Identifies one execution interval of one processor.
+///
+/// An interval ends (and the next begins) every time the processor performs a
+/// release or an acquire.  `(node, index)` pairs are also the LRC per-block
+/// timestamps: "processor `p` wrote the current value of the block during its
+/// interval `i`" (Section 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntervalId {
+    /// The processor the interval belongs to.
+    pub node: NodeId,
+    /// The interval index within that processor's execution (starts at 1; 0
+    /// means "before any interval").
+    pub index: u32,
+}
+
+impl IntervalId {
+    /// Creates an interval id.
+    pub fn new(node: NodeId, index: u32) -> Self {
+        IntervalId { node, index }
+    }
+
+    /// Size of a `(processor, interval)` timestamp on the wire: the paper
+    /// notes that "each of the timestamps consists of a processor identifier
+    /// and an interval index" (Section 5.3); we charge 2 + 4 bytes.
+    pub const WIRE_SIZE: usize = 6;
+}
+
+impl fmt::Display for IntervalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.node, self.index)
+    }
+}
+
+/// A write notice: "page `page` of region `region` was modified during
+/// interval `interval`".
+///
+/// With LRC's invalidate protocol a write notice does *not* carry the actual
+/// modifications; its arrival invalidates the local copy of the page, and the
+/// data is fetched later at an access miss (Section 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WriteNotice {
+    /// The region containing the modified page.
+    pub region: RegionId,
+    /// The page index within the region.
+    pub page: usize,
+    /// The interval in which the page was modified.
+    pub interval: IntervalId,
+}
+
+impl WriteNotice {
+    /// Creates a write notice.
+    pub fn new(region: RegionId, page: usize, interval: IntervalId) -> Self {
+        WriteNotice {
+            region,
+            page,
+            interval,
+        }
+    }
+
+    /// Size of a write notice on the wire (region id + page index + interval).
+    pub const WIRE_SIZE: usize = 4 + 4 + IntervalId::WIRE_SIZE;
+}
+
+impl fmt::Display for WriteNotice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wn({} pg{} @ {})", self.region, self.page, self.interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_ordering_is_lexicographic() {
+        let a = IntervalId::new(NodeId::new(0), 5);
+        let b = IntervalId::new(NodeId::new(0), 6);
+        let c = IntervalId::new(NodeId::new(1), 1);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn display_formats() {
+        let i = IntervalId::new(NodeId::new(2), 7);
+        assert_eq!(i.to_string(), "P2:7");
+        let wn = WriteNotice::new(RegionId::new(1), 3, i);
+        assert_eq!(wn.to_string(), "wn(R1 pg3 @ P2:7)");
+    }
+
+    #[test]
+    fn wire_sizes_are_positive() {
+        assert!(IntervalId::WIRE_SIZE > 0);
+        assert!(WriteNotice::WIRE_SIZE > IntervalId::WIRE_SIZE);
+    }
+}

@@ -1,0 +1,50 @@
+//! Data-plane building blocks for the EC/LRC software DSM reproduction.
+//!
+//! This crate contains the *mechanism* pieces that both consistency models
+//! share: shared-memory regions and addressing, pages and protection state,
+//! block granularities, bitsets for software dirty bits, twins and run-length
+//! **diffs**, per-block **timestamps** (EC lock incarnation numbers and LRC
+//! `(processor, interval)` pairs), vector clocks and write notices.
+//!
+//! The protocol logic that decides *when* these mechanisms are invoked lives
+//! in `dsm-core`; the applications that drive them live in `dsm-apps`.
+//!
+//! # Example: diffing a page against its twin
+//!
+//! ```
+//! use dsm_mem::{BlockGranularity, Diff};
+//!
+//! let twin = vec![0u8; 64];
+//! let mut current = twin.clone();
+//! current[8..12].copy_from_slice(&7u32.to_le_bytes());
+//! current[12..16].copy_from_slice(&9u32.to_le_bytes());
+//!
+//! let diff = Diff::from_compare(&twin, &current, 0, BlockGranularity::Word);
+//! assert_eq!(diff.modified_blocks(), 2);
+//!
+//! let mut other = vec![0u8; 64];
+//! diff.apply(&mut other);
+//! assert_eq!(other, current);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bitset;
+mod diff;
+mod granularity;
+mod interval;
+mod merge;
+mod page;
+mod region;
+mod vclock;
+
+pub use bitset::BitSet;
+pub use diff::{Diff, DiffRun};
+pub use granularity::BlockGranularity;
+pub use interval::{IntervalId, WriteNotice};
+pub use merge::{ReplyCost, UpdateMerge};
+pub use page::{page_of, page_range, pages_in, Protection, PAGE_SIZE};
+pub use region::{MemRange, RegionDesc, RegionId};
+pub use vclock::{ClockOrd, VectorClock};

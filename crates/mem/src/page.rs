@@ -1,0 +1,134 @@
+//! Virtual-memory pages and software protection state.
+//!
+//! The paper's implementations use `mprotect` and `SIGSEGV` to write-protect
+//! shared pages; here the same state machine is kept in a *software* page
+//! table that the typed accessors in `dsm-core` consult on every access, with
+//! the fault and protection-change costs charged through the cost model.
+
+use std::fmt;
+
+/// Size of a virtual-memory page, matching the DECstation's 4 KiB pages.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Page index containing byte offset `offset`.
+///
+/// ```
+/// use dsm_mem::{page_of, PAGE_SIZE};
+/// assert_eq!(page_of(0), 0);
+/// assert_eq!(page_of(PAGE_SIZE), 1);
+/// assert_eq!(page_of(PAGE_SIZE - 1), 0);
+/// ```
+pub fn page_of(offset: usize) -> usize {
+    offset / PAGE_SIZE
+}
+
+/// Byte range of page `page` clamped to a region of `region_len` bytes.
+///
+/// ```
+/// use dsm_mem::{page_range, PAGE_SIZE};
+/// assert_eq!(page_range(1, PAGE_SIZE + 100), PAGE_SIZE..PAGE_SIZE + 100);
+/// assert_eq!(page_range(0, 10 * PAGE_SIZE), 0..PAGE_SIZE);
+/// ```
+pub fn page_range(page: usize, region_len: usize) -> std::ops::Range<usize> {
+    let start = (page * PAGE_SIZE).min(region_len);
+    let end = ((page + 1) * PAGE_SIZE).min(region_len);
+    start..end
+}
+
+/// Number of pages needed to cover `len` bytes.
+///
+/// ```
+/// use dsm_mem::{pages_in, PAGE_SIZE};
+/// assert_eq!(pages_in(0), 0);
+/// assert_eq!(pages_in(1), 1);
+/// assert_eq!(pages_in(PAGE_SIZE + 1), 2);
+/// ```
+pub fn pages_in(len: usize) -> usize {
+    len.div_ceil(PAGE_SIZE)
+}
+
+/// Access rights of a page in a node's (software) page table.
+///
+/// The transitions mirror what the real implementations do with `mprotect`:
+///
+/// * LRC invalidate protocol: a write notice drops the page to
+///   [`Protection::None`]; the access miss upgrades it to read (after the
+///   diffs are applied) or read-write.
+/// * Twinning write trapping: after the twin is discarded the page is
+///   downgraded to [`Protection::Read`] so the next write faults and creates a
+///   fresh twin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Protection {
+    /// No access: any read or write faults (an invalid page under LRC).
+    None,
+    /// Read-only: reads proceed, writes fault (write-protected for twinning).
+    Read,
+    /// Full access: neither reads nor writes fault.
+    #[default]
+    ReadWrite,
+}
+
+impl Protection {
+    /// True if a read access is allowed without a fault.
+    pub fn allows_read(self) -> bool {
+        !matches!(self, Protection::None)
+    }
+
+    /// True if a write access is allowed without a fault.
+    pub fn allows_write(self) -> bool {
+        matches!(self, Protection::ReadWrite)
+    }
+}
+
+impl fmt::Display for Protection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protection::None => f.write_str("---"),
+            Protection::Read => f.write_str("r--"),
+            Protection::ReadWrite => f.write_str("rw-"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_math() {
+        assert_eq!(page_of(0), 0);
+        assert_eq!(page_of(PAGE_SIZE - 1), 0);
+        assert_eq!(page_of(PAGE_SIZE), 1);
+        assert_eq!(pages_in(PAGE_SIZE * 3), 3);
+        assert_eq!(pages_in(PAGE_SIZE * 3 + 1), 4);
+    }
+
+    #[test]
+    fn page_range_clamps_to_region() {
+        assert_eq!(page_range(0, 100), 0..100);
+        assert_eq!(page_range(1, 100), 100..100);
+        assert_eq!(page_range(2, 3 * PAGE_SIZE), 2 * PAGE_SIZE..3 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn protection_semantics() {
+        assert!(!Protection::None.allows_read());
+        assert!(!Protection::None.allows_write());
+        assert!(Protection::Read.allows_read());
+        assert!(!Protection::Read.allows_write());
+        assert!(Protection::ReadWrite.allows_read());
+        assert!(Protection::ReadWrite.allows_write());
+    }
+
+    #[test]
+    fn protection_display() {
+        assert_eq!(Protection::None.to_string(), "---");
+        assert_eq!(Protection::Read.to_string(), "r--");
+        assert_eq!(Protection::ReadWrite.to_string(), "rw-");
+    }
+
+    #[test]
+    fn default_protection_is_read_write() {
+        assert_eq!(Protection::default(), Protection::ReadWrite);
+    }
+}

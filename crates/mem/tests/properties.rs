@@ -1,0 +1,82 @@
+//! Property-based tests for the data-plane building blocks.
+
+use dsm_mem::{page_of, pages_in, BitSet, BlockGranularity, Diff, MemRange, RegionId, PAGE_SIZE};
+use proptest::prelude::*;
+
+proptest! {
+    /// Diffs built from explicit dirty blocks (compiler instrumentation)
+    /// always cover at least the blocks a value comparison would find.
+    #[test]
+    fn instrumented_diff_covers_value_diff(
+        data in prop::collection::vec(any::<u8>(), 32..256),
+        flips in prop::collection::vec((0usize..256, any::<u8>()), 0..32),
+    ) {
+        let twin = data.clone();
+        let mut current = data;
+        let mut dirty_blocks = Vec::new();
+        for (pos, val) in flips {
+            let p = pos % current.len();
+            current[p] = val;
+            dirty_blocks.push(p / 4);
+        }
+        let by_value = Diff::from_compare(&twin, &current, 0, BlockGranularity::Word);
+        let by_bits = Diff::from_blocks(&current, 0, dirty_blocks, BlockGranularity::Word);
+        prop_assert!(by_bits.modified_blocks() >= by_value.modified_blocks());
+        let mut rebuilt = twin.clone();
+        by_bits.apply(&mut rebuilt);
+        prop_assert_eq!(rebuilt, current);
+    }
+
+    /// The encoded size of a diff is at least its payload and grows with the
+    /// number of runs.
+    #[test]
+    fn diff_encoded_size_bounds(data in prop::collection::vec(any::<u8>(), 64..512),
+                                flips in prop::collection::vec(0usize..512, 0..64)) {
+        let twin = data.clone();
+        let mut current = data;
+        for pos in flips {
+            let p = pos % current.len();
+            current[p] ^= 0xff;
+        }
+        let d = Diff::from_compare(&twin, &current, 0, BlockGranularity::Word);
+        prop_assert!(d.encoded_size() >= d.modified_bytes());
+        prop_assert!(d.encoded_size() <= d.modified_bytes() + 8 * d.runs().len());
+    }
+
+    /// BitSet set/clear/count behave like a reference `Vec<bool>`.
+    #[test]
+    fn bitset_matches_reference(ops in prop::collection::vec((0usize..200, any::<bool>()), 0..200)) {
+        let mut bits = BitSet::new(200);
+        let mut reference = vec![false; 200];
+        for (idx, set) in ops {
+            if set {
+                bits.set(idx);
+                reference[idx] = true;
+            } else {
+                bits.clear(idx);
+                reference[idx] = false;
+            }
+        }
+        prop_assert_eq!(bits.count(), reference.iter().filter(|&&b| b).count());
+        let from_iter: Vec<usize> = bits.iter_set().collect();
+        let expected: Vec<usize> = reference.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+        prop_assert_eq!(from_iter, expected);
+    }
+
+    /// Page arithmetic is consistent: every byte of a range falls in one of
+    /// the pages the range reports.
+    #[test]
+    fn ranges_cover_their_pages(start in 0usize..100_000, len in 0usize..20_000) {
+        let range = MemRange::new(RegionId::new(0), start, len);
+        let pages = range.pages();
+        if len == 0 {
+            prop_assert!(pages.is_empty());
+        } else {
+            for offset in [start, start + len / 2, start + len - 1] {
+                prop_assert!(pages.contains(&page_of(offset)));
+            }
+            prop_assert!(pages.end <= pages_in(start + len) + 1);
+            prop_assert!(pages.len() <= len / PAGE_SIZE + 2);
+        }
+    }
+}

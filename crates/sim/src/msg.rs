@@ -1,0 +1,113 @@
+//! Classification of the messages the DSM protocols exchange.
+
+use std::fmt;
+
+/// The kind of a protocol message, used to break down traffic statistics the
+/// way the paper's analysis does (lock traffic vs. barrier traffic vs. data
+/// fetches at access misses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MsgKind {
+    /// Lock request from the acquirer to the lock's manager.
+    LockRequest,
+    /// Lock request forwarded from the manager to the last owner.
+    LockForward,
+    /// Lock grant from the last owner to the acquirer; under EC's update
+    /// protocol this carries the consistency payload (diffs or timestamped
+    /// blocks) for the data bound to the lock.
+    LockGrant,
+    /// Release notification for read-only locks (EC) back to the owner.
+    LockRelease,
+    /// Barrier arrival message from a node to the barrier manager; under LRC
+    /// this carries the node's write notices and vector.
+    BarrierArrival,
+    /// Barrier departure message from the manager to a node; under LRC this
+    /// carries the write notices the node has not yet seen.
+    BarrierRelease,
+    /// Page/data fetch request issued on an access miss (LRC invalidate
+    /// protocol), carrying the faulting node's vector.
+    DataRequest,
+    /// Reply to a [`MsgKind::DataRequest`]: diffs or timestamped blocks.
+    DataReply,
+}
+
+impl MsgKind {
+    /// All message kinds, in a stable order (useful for report tables).
+    pub const ALL: [MsgKind; 8] = [
+        MsgKind::LockRequest,
+        MsgKind::LockForward,
+        MsgKind::LockGrant,
+        MsgKind::LockRelease,
+        MsgKind::BarrierArrival,
+        MsgKind::BarrierRelease,
+        MsgKind::DataRequest,
+        MsgKind::DataReply,
+    ];
+
+    /// Dense index of this kind within [`MsgKind::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            MsgKind::LockRequest => 0,
+            MsgKind::LockForward => 1,
+            MsgKind::LockGrant => 2,
+            MsgKind::LockRelease => 3,
+            MsgKind::BarrierArrival => 4,
+            MsgKind::BarrierRelease => 5,
+            MsgKind::DataRequest => 6,
+            MsgKind::DataReply => 7,
+        }
+    }
+
+    /// Short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgKind::LockRequest => "lock-req",
+            MsgKind::LockForward => "lock-fwd",
+            MsgKind::LockGrant => "lock-grant",
+            MsgKind::LockRelease => "lock-rel",
+            MsgKind::BarrierArrival => "barrier-arr",
+            MsgKind::BarrierRelease => "barrier-rel",
+            MsgKind::DataRequest => "data-req",
+            MsgKind::DataReply => "data-reply",
+        }
+    }
+
+    /// True if this message is part of synchronization (locks/barriers) as
+    /// opposed to data movement at access misses.
+    pub fn is_synchronization(self) -> bool {
+        !matches!(self, MsgKind::DataRequest | MsgKind::DataReply)
+    }
+}
+
+impl fmt::Display for MsgKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_all_order() {
+        for (i, k) in MsgKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = MsgKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), MsgKind::ALL.len());
+    }
+
+    #[test]
+    fn sync_classification() {
+        assert!(MsgKind::LockGrant.is_synchronization());
+        assert!(MsgKind::BarrierArrival.is_synchronization());
+        assert!(!MsgKind::DataRequest.is_synchronization());
+        assert!(!MsgKind::DataReply.is_synchronization());
+    }
+}

@@ -1,0 +1,96 @@
+//! Application work accounting.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// An amount of application computation, measured in abstract "work units"
+/// (roughly one floating-point operation together with its share of loads,
+/// stores and loop overhead).
+///
+/// The applications in `dsm-apps` charge work explicitly — e.g. one SOR
+/// element update charges [`Work::flops`]`(6)` — and the
+/// [`CostModel`](crate::CostModel) converts accumulated work into simulated
+/// time.  This keeps the reproduction deterministic and independent of the
+/// speed of the host running the simulation.
+///
+/// # Examples
+///
+/// ```
+/// use dsm_sim::Work;
+///
+/// let per_element = Work::flops(6);
+/// let row: Work = (0..1000).map(|_| per_element).sum();
+/// assert_eq!(row.units(), 6000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Work(u64);
+
+impl Work {
+    /// No work.
+    pub const ZERO: Work = Work(0);
+
+    /// Work equivalent to `n` floating-point operations.
+    pub fn flops(n: u64) -> Self {
+        Work(n)
+    }
+
+    /// Work equivalent to `n` generic integer/pointer operations
+    /// (charged at the same unit rate; the distinction is documentation).
+    pub fn ops(n: u64) -> Self {
+        Work(n)
+    }
+
+    /// Raw number of work units.
+    pub fn units(self) -> u64 {
+        self.0
+    }
+
+    /// Scales the work by an integer factor (saturating).
+    pub fn times(self, n: u64) -> Work {
+        Work(self.0.saturating_mul(n))
+    }
+}
+
+impl Add for Work {
+    type Output = Work;
+    fn add(self, rhs: Work) -> Work {
+        Work(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Work {
+    fn add_assign(&mut self, rhs: Work) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sum for Work {
+    fn sum<I: Iterator<Item = Work>>(iter: I) -> Work {
+        iter.fold(Work::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation() {
+        let mut w = Work::ZERO;
+        w += Work::flops(10);
+        w += Work::ops(5);
+        assert_eq!(w.units(), 15);
+    }
+
+    #[test]
+    fn scaling_saturates() {
+        assert_eq!(Work::flops(3).times(4).units(), 12);
+        assert_eq!(Work::flops(u64::MAX).times(2).units(), u64::MAX);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let w: Work = (1..=4).map(Work::flops).sum();
+        assert_eq!(w.units(), 10);
+    }
+}

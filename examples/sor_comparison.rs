@@ -1,0 +1,37 @@
+//! Runs Red-Black SOR (one of the paper's applications) under all six
+//! implementations and prints a small comparison table — a miniature of the
+//! paper's Tables 4 and 5 for one application.
+//!
+//! Run with `cargo run --release -p dsm-examples --bin sor_comparison -- [small|tiny|paper]`.
+
+use dsm_apps::sor::{self, SorParams};
+use dsm_core::ImplKind;
+
+fn main() {
+    let scale = std::env::args().nth(1).unwrap_or_else(|| "small".into());
+    let params = match scale.as_str() {
+        "paper" => SorParams::paper(),
+        "tiny" => SorParams::tiny(),
+        _ => SorParams::small(),
+    };
+    let nprocs = 8;
+    println!(
+        "Red-Black SOR, {}x{} grid, {} iterations, {} processors",
+        params.rows, params.cols, params.iterations, nprocs
+    );
+    println!(
+        "{:>10}  {:>10}  {:>10}  {:>12}  {:>9}",
+        "impl", "time (s)", "messages", "data (MB)", "verified"
+    );
+    for kind in ImplKind::all() {
+        let (result, ok) = sor::run(kind, nprocs, &params, false);
+        println!(
+            "{:>10}  {:>10.2}  {:>10}  {:>12.2}  {:>9}",
+            kind.name(),
+            result.seconds(),
+            result.traffic.messages,
+            result.traffic.megabytes(),
+            ok
+        );
+    }
+}

@@ -1,0 +1,4 @@
+//! Cross-crate integration tests for the EC/LRC DSM reproduction.
+//!
+//! The tests live in the `tests/` subdirectory of this package; this library
+//! target only exists so the package has a compilation unit.

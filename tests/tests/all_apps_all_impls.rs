@@ -1,0 +1,48 @@
+//! Every application of the suite, under every one of the six
+//! implementations, must produce the same answer as its sequential version.
+
+use dsm_apps::{run_app, App, Scale};
+use dsm_core::ImplKind;
+
+#[test]
+fn every_app_matches_sequential_under_every_implementation() {
+    for app in App::ALL {
+        for kind in ImplKind::all() {
+            let report = run_app(app, kind, 4, Scale::Tiny);
+            assert!(
+                report.verified,
+                "{app} under {kind} diverged from the sequential version"
+            );
+            assert!(report.time.as_nanos() > 0, "{app} under {kind} took no time");
+        }
+    }
+}
+
+#[test]
+fn single_processor_runs_work_for_both_models() {
+    for app in [App::Sor, App::IntegerSort, App::Quicksort] {
+        for kind in [ImplKind::ec_time(), ImplKind::lrc_diff()] {
+            let report = run_app(app, kind, 1, Scale::Tiny);
+            assert!(report.verified, "{app} under {kind} on 1 processor");
+        }
+    }
+}
+
+#[test]
+fn more_processors_mean_more_traffic_not_less_correctness() {
+    for nprocs in [2usize, 4, 6] {
+        let report = run_app(App::IntegerSort, ImplKind::lrc_diff(), nprocs, Scale::Tiny);
+        assert!(report.verified);
+        if nprocs > 1 {
+            assert!(report.traffic.messages > 0);
+        }
+    }
+}
+
+#[test]
+fn speedup_is_reported_relative_to_the_sequential_time() {
+    let report = run_app(App::Water, ImplKind::lrc_diff(), 4, Scale::Tiny);
+    assert!(report.verified);
+    assert!(report.speedup() > 0.0);
+    assert!(report.seq_time.as_nanos() > 0);
+}

@@ -1,0 +1,129 @@
+//! Property-based tests over the DSM protocols and their building blocks.
+
+use dsm_core::{BarrierId, BlockGranularity, Dsm, DsmConfig, ImplKind, LockId, LockMode};
+use dsm_mem::{Diff, UpdateMerge, VectorClock};
+use dsm_sim::NodeId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Applying a diff built from (twin, current) to a copy of the twin
+    /// always reconstructs `current`, at either granularity.
+    #[test]
+    fn diff_roundtrip(data in prop::collection::vec(any::<u8>(), 64..512),
+                      flips in prop::collection::vec((0usize..512, any::<u8>()), 0..64),
+                      dw in any::<bool>()) {
+        let twin = data.clone();
+        let mut current = data;
+        for (pos, val) in flips {
+            let p = pos % current.len();
+            current[p] = val;
+        }
+        let gran = if dw { BlockGranularity::DoubleWord } else { BlockGranularity::Word };
+        let diff = Diff::from_compare(&twin, &current, 0, gran);
+        let mut rebuilt = twin.clone();
+        diff.apply(&mut rebuilt);
+        prop_assert_eq!(rebuilt, current);
+    }
+
+    /// Folding a chain of diffs through `UpdateMerge` produces the same final
+    /// bytes as applying the diffs in order (timestamp collection and diff
+    /// collection are content-equivalent).
+    #[test]
+    fn merge_equals_sequential_application(
+        base in prop::collection::vec(any::<u8>(), 64..256),
+        steps in prop::collection::vec(prop::collection::vec((0usize..256, any::<u8>()), 1..16), 1..6),
+    ) {
+        let mut by_diffs = base.clone();
+        let mut merge = UpdateMerge::new(BlockGranularity::Word);
+        let mut current = base.clone();
+        for (stamp, flips) in steps.iter().enumerate() {
+            let prev = current.clone();
+            for (pos, val) in flips {
+                let p = pos % current.len();
+                current[p] = *val;
+            }
+            let diff = Diff::from_compare(&prev, &current, 0, BlockGranularity::Word);
+            diff.apply(&mut by_diffs);
+            merge.add(stamp as u64 + 1, &diff);
+        }
+        let mut by_merge = base.clone();
+        merge.apply_to(&mut by_merge);
+        prop_assert_eq!(by_diffs.clone(), current.clone());
+        prop_assert_eq!(by_merge, current);
+    }
+
+    /// Vector clocks form a join-semilattice: merge is idempotent,
+    /// commutative, and dominates both inputs.
+    #[test]
+    fn vector_clock_lattice(a in prop::collection::vec(0u32..50, 8),
+                            b in prop::collection::vec(0u32..50, 8)) {
+        let mut va = VectorClock::new(8);
+        let mut vb = VectorClock::new(8);
+        for i in 0..8 {
+            va.set_entry(NodeId::new(i as u32), a[i]);
+            vb.set_entry(NodeId::new(i as u32), b[i]);
+        }
+        let mut ab = va.clone();
+        ab.merge_max(&vb);
+        let mut ba = vb.clone();
+        ba.merge_max(&va);
+        prop_assert_eq!(ab.clone(), ba);
+        prop_assert!(ab.dominates(&va));
+        prop_assert!(ab.dominates(&vb));
+        let mut again = ab.clone();
+        again.merge_max(&ab);
+        prop_assert_eq!(again, ab);
+    }
+
+    /// A randomly generated bulk-synchronous program — each processor writes
+    /// a random slice of a shared array each phase, with barriers in between —
+    /// produces identical final contents under every implementation.
+    #[test]
+    fn random_bsp_program_is_model_independent(
+        writes in prop::collection::vec((0usize..4, 0usize..256, 1usize..32, any::<u32>()), 1..24),
+    ) {
+        let nprocs = 4;
+        let elems = 256usize;
+        let mut reference: Option<Vec<u32>> = None;
+        for kind in ImplKind::all() {
+            let mut dsm = Dsm::new(DsmConfig::with_procs(kind, nprocs)).unwrap();
+            let region = dsm.alloc_array::<u32>("bsp", elems, BlockGranularity::Word);
+            // Under EC, bind one lock per processor-owned quarter.
+            for p in 0..nprocs {
+                dsm.bind(
+                    LockId::new(p as u32),
+                    vec![region.range_of::<u32>(p * elems / nprocs, elems / nprocs)],
+                );
+            }
+            let writes = writes.clone();
+            let result = dsm.run(|ctx| {
+                let me = ctx.node();
+                for phase in writes.chunks(4) {
+                    for &(proc, start, len, val) in phase {
+                        if proc % ctx.nprocs() != me {
+                            continue;
+                        }
+                        // Each processor only writes inside its own quarter so
+                        // the program is race-free for both models.
+                        let base = me * elems / ctx.nprocs();
+                        let quarter = elems / ctx.nprocs();
+                        ctx.acquire(LockId::new(me as u32), LockMode::Exclusive);
+                        for k in 0..len {
+                            let idx = base + (start + k) % quarter;
+                            ctx.write::<u32>(region, idx, val.wrapping_add(k as u32));
+                        }
+                        ctx.release(LockId::new(me as u32));
+                    }
+                    ctx.barrier(BarrierId::new(0));
+                }
+            });
+            let finals = result.final_vec::<u32>(region);
+            match &reference {
+                None => reference = Some(finals),
+                Some(expected) => prop_assert_eq!(expected, &finals, "mismatch under {}", kind),
+            }
+        }
+    }
+}
