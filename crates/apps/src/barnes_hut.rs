@@ -166,9 +166,7 @@ impl Tree {
                 self.cells[cell].children[oct] = -(body as i64 + 1);
                 work_per_level
             }
-            c if c > 0 => {
-                work_per_level + self.insert(c as usize - 1, body, pos, work_per_level)
-            }
+            c if c > 0 => work_per_level + self.insert(c as usize - 1, body, pos, work_per_level),
             other => {
                 // Split: replace the body leaf with a new cell holding both.
                 let existing = (-other - 1) as usize;
@@ -274,7 +272,13 @@ fn add_grav(f: &mut [f64; 3], p: &[f64; 3], q: &[f64; 3], m: f64, d: f64) {
 pub fn sequential(p: &BarnesParams) -> (Vec<[f64; 3]>, Work) {
     let n = p.bodies;
     let mut pos: Vec<[f64; 3]> = (0..n)
-        .map(|b| [p.initial_pos(b, 0), p.initial_pos(b, 1), p.initial_pos(b, 2)])
+        .map(|b| {
+            [
+                p.initial_pos(b, 0),
+                p.initial_pos(b, 1),
+                p.initial_pos(b, 2),
+            ]
+        })
         .collect();
     let mass: Vec<f64> = (0..n).map(|b| p.initial_mass(b)).collect();
     let mut vel = vec![[0.0f64; 3]; n];
@@ -283,9 +287,9 @@ pub fn sequential(p: &BarnesParams) -> (Vec<[f64; 3]>, Work) {
         let (tree, w) = Tree::build(&pos, &mass);
         work += w;
         let mut forces = vec![[0.0f64; 3]; n];
-        for b in 0..n {
+        for (b, fb) in forces.iter_mut().enumerate() {
             let mut inter = 0u64;
-            forces[b] = force_on(&tree, 0, b, &pos, &mass, p.theta, &mut inter);
+            *fb = force_on(&tree, 0, b, &pos, &mass, p.theta, &mut inter);
             work += Work::flops(inter * p.work_per_interaction);
         }
         for b in 0..n {
@@ -436,8 +440,8 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &BarnesParams) -> (RunResult, bool)
                     if ec && foreign {
                         ctx.acquire(body_pos_lock(b), LockMode::ReadOnly);
                     }
-                    for a in 0..3 {
-                        pb[a] = ctx.read::<f64>(bodies, body_slot(b, a));
+                    for (a, pv) in pb.iter_mut().enumerate() {
+                        *pv = ctx.read::<f64>(bodies, body_slot(b, a));
                     }
                     if ec && foreign {
                         ctx.release(body_pos_lock(b));
@@ -516,8 +520,8 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &BarnesParams) -> (RunResult, bool)
                 if ec {
                     ctx.acquire(body_state_lock(b), LockMode::Exclusive);
                 }
-                for a in 0..3 {
-                    ctx.write::<f64>(bodies, body_slot(b, 7 + a), forces[b - lo][a]);
+                for (a, &f) in forces[b - lo].iter().enumerate() {
+                    ctx.write::<f64>(bodies, body_slot(b, 7 + a), f);
                 }
                 if ec {
                     ctx.release(body_state_lock(b));
@@ -534,12 +538,12 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &BarnesParams) -> (RunResult, bool)
                     ctx.acquire(body_state_lock(b), LockMode::Exclusive);
                     ctx.acquire(body_pos_lock(b), LockMode::Exclusive);
                 }
-                for a in 0..3 {
+                for (a, v) in vel[b - lo].iter_mut().enumerate() {
                     let f = ctx.read::<f64>(bodies, body_slot(b, 7 + a));
-                    vel[b - lo][a] += f * p.dt / mass[b];
+                    *v += f * p.dt / mass[b];
                     let cur = ctx.read::<f64>(bodies, body_slot(b, a));
-                    ctx.write::<f64>(bodies, body_slot(b, a), cur + vel[b - lo][a] * p.dt);
-                    ctx.write::<f64>(bodies, body_slot(b, 4 + a), vel[b - lo][a]);
+                    ctx.write::<f64>(bodies, body_slot(b, a), cur + *v * p.dt);
+                    ctx.write::<f64>(bodies, body_slot(b, 4 + a), *v);
                 }
                 ctx.compute(Work::flops(20));
                 if ec {
@@ -604,7 +608,13 @@ mod tests {
     fn tree_build_covers_all_bodies() {
         let p = BarnesParams::tiny();
         let pos: Vec<[f64; 3]> = (0..p.bodies)
-            .map(|b| [p.initial_pos(b, 0), p.initial_pos(b, 1), p.initial_pos(b, 2)])
+            .map(|b| {
+                [
+                    p.initial_pos(b, 0),
+                    p.initial_pos(b, 1),
+                    p.initial_pos(b, 2),
+                ]
+            })
             .collect();
         let mass: Vec<f64> = (0..p.bodies).map(|b| p.initial_mass(b)).collect();
         let (tree, work) = Tree::build(&pos, &mass);

@@ -80,7 +80,9 @@ impl FftParams {
 
     /// Initial value (real, imaginary) of point `(i, j, k)`.
     fn initial(&self, idx: usize) -> (f64, f64) {
-        let x = (idx as u64).wrapping_mul(0x2545_F491_4F6C_DD1D).rotate_left(13);
+        let x = (idx as u64)
+            .wrapping_mul(0x2545_F491_4F6C_DD1D)
+            .rotate_left(13);
         let re = ((x & 0xffff) as f64) / 65536.0;
         let im = (((x >> 16) & 0xffff) as f64) / 65536.0;
         (re, im)
@@ -257,7 +259,10 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &FftParams) -> (RunResult, bool) {
         for proc in 0..nprocs {
             let start = proc * j_per_proc * p.n3 * p.n1 * 2;
             let len = j_per_proc * p.n3 * p.n1 * 2;
-            dsm.bind(dst_lock(nprocs, proc), vec![dst.range_of::<f64>(start, len)]);
+            dsm.bind(
+                dst_lock(nprocs, proc),
+                vec![dst.range_of::<f64>(start, len)],
+            );
         }
     }
     let barrier = BarrierId::new(0);
@@ -280,8 +285,9 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &FftParams) -> (RunResult, bool) {
             }
             for i in my_planes.clone() {
                 for j in 0..p.n2 {
-                    let mut lr: Vec<f64> =
-                        (0..p.n3).map(|k| ctx.read::<f64>(src, p.at(i, j, k) * 2) * scale).collect();
+                    let mut lr: Vec<f64> = (0..p.n3)
+                        .map(|k| ctx.read::<f64>(src, p.at(i, j, k) * 2) * scale)
+                        .collect();
                     let mut li: Vec<f64> = (0..p.n3)
                         .map(|k| ctx.read::<f64>(src, p.at(i, j, k) * 2 + 1) * scale)
                         .collect();
@@ -293,8 +299,9 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &FftParams) -> (RunResult, bool) {
                     }
                 }
                 for k in 0..p.n3 {
-                    let mut lr: Vec<f64> =
-                        (0..p.n2).map(|j| ctx.read::<f64>(src, p.at(i, j, k) * 2)).collect();
+                    let mut lr: Vec<f64> = (0..p.n2)
+                        .map(|j| ctx.read::<f64>(src, p.at(i, j, k) * 2))
+                        .collect();
                     let mut li: Vec<f64> = (0..p.n2)
                         .map(|j| ctx.read::<f64>(src, p.at(i, j, k) * 2 + 1))
                         .collect();
@@ -325,8 +332,9 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &FftParams) -> (RunResult, bool) {
             }
             for j in my_js.clone() {
                 for k in 0..p.n3 {
-                    let mut lr: Vec<f64> =
-                        (0..p.n1).map(|i| ctx.read::<f64>(src, p.at(i, j, k) * 2)).collect();
+                    let mut lr: Vec<f64> = (0..p.n1)
+                        .map(|i| ctx.read::<f64>(src, p.at(i, j, k) * 2))
+                        .collect();
                     let mut li: Vec<f64> = (0..p.n1)
                         .map(|i| ctx.read::<f64>(src, p.at(i, j, k) * 2 + 1))
                         .collect();
@@ -458,4 +466,3 @@ mod tests {
         );
     }
 }
-

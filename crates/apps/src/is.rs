@@ -63,7 +63,9 @@ impl IsParams {
     fn key(&self, i: usize) -> u32 {
         // A small multiplicative hash keeps generation deterministic and
         // independent of any RNG crate version.
-        let x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+        let x = (i as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(17);
         (x % self.buckets as u64) as u32
     }
 }
@@ -172,7 +174,10 @@ mod tests {
         let (counts, _) = sequential(&p);
         assert_eq!(counts.iter().map(|&c| c as usize).sum::<usize>(), p.keys);
         let nonempty = counts.iter().filter(|&&c| c > 0).count();
-        assert!(nonempty > p.buckets / 2, "keys should spread across buckets");
+        assert!(
+            nonempty > p.buckets / 2,
+            "keys should spread across buckets"
+        );
     }
 
     #[test]

@@ -138,18 +138,15 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &QsParams) -> (RunResult, bool) {
     // Enough queue entries for the worst case: every leaf task plus the
     // partition chain.
     let capacity = (p.n / p.threshold).max(8) * 4;
-    let queue = dsm.alloc_array::<u32>(
-        "qs-queue",
-        Q_ENTRIES + capacity * 2,
-        BlockGranularity::Word,
-    );
+    let queue =
+        dsm.alloc_array::<u32>("qs-queue", Q_ENTRIES + capacity * 2, BlockGranularity::Word);
     // The whole array is initially one task in the queue.
     dsm.init_region::<u32>(queue, |i| match i {
         x if x == Q_HEAD => 0,
         x if x == Q_TAIL => 1,
         x if x == Q_PENDING => 1,
-        x if x == Q_ENTRIES => 0,               // entry 0: start
-        x if x == Q_ENTRIES + 1 => p.n as u32,  // entry 0: len
+        x if x == Q_ENTRIES => 0,              // entry 0: start
+        x if x == Q_ENTRIES + 1 => p.n as u32, // entry 0: len
         _ => 0,
     });
 
@@ -272,7 +269,9 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &QsParams) -> (RunResult, bool) {
             }
 
             // Leaf: bubblesort the remaining partition in a local buffer.
-            let mut buf: Vec<i32> = (0..len).map(|k| ctx.read::<i32>(array, start + k)).collect();
+            let mut buf: Vec<i32> = (0..len)
+                .map(|k| ctx.read::<i32>(array, start + k))
+                .collect();
             ctx.compute(Work::ops(bubble_work(len, &p)));
             for i in 0..buf.len() {
                 for j in 0..buf.len().saturating_sub(1 + i) {
@@ -327,7 +326,11 @@ mod tests {
     #[test]
     fn parallel_sorts_under_lrc_and_ec() {
         let p = QsParams::tiny();
-        for kind in [ImplKind::lrc_diff(), ImplKind::lrc_time(), ImplKind::ec_diff()] {
+        for kind in [
+            ImplKind::lrc_diff(),
+            ImplKind::lrc_time(),
+            ImplKind::ec_diff(),
+        ] {
             let (result, ok) = run(kind, 4, &p);
             assert!(ok, "{kind} quicksort output mismatch");
             assert!(result.traffic.lock_acquires > 0);

@@ -159,7 +159,10 @@ mod tests {
     fn sequential_times_are_positive_for_every_app() {
         let cost = dsm_sim::CostModel::atm_lan_1996();
         for app in App::ALL {
-            assert!(sequential_time(app, Scale::Tiny, &cost).as_nanos() > 0, "{app}");
+            assert!(
+                sequential_time(app, Scale::Tiny, &cost).as_nanos() > 0,
+                "{app}"
+            );
         }
     }
 }

@@ -165,10 +165,7 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &SorParams, plus: bool) -> (RunResu
     if kind.model() == Model::Ec {
         let half = tc / 2;
         for i in 0..tr {
-            dsm.bind(
-                row_lock(i, 0),
-                vec![matrix.range_of::<f32>(i * tc, half)],
-            );
+            dsm.bind(row_lock(i, 0), vec![matrix.range_of::<f32>(i * tc, half)]);
             dsm.bind(
                 row_lock(i, 1),
                 vec![matrix.range_of::<f32>(i * tc + half, tc - half)],
@@ -184,11 +181,7 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &SorParams, plus: bool) -> (RunResu
         let (lo, hi) = band(&p, n, me);
         // SOR+ keeps interior rows private; only boundary rows go through the
         // shared region.
-        let mut private: Vec<f32> = if plus {
-            initial_layout(&p)
-        } else {
-            Vec::new()
-        };
+        let mut private: Vec<f32> = if plus { initial_layout(&p) } else { Vec::new() };
 
         for _ in 0..p.iterations {
             for colour in 0..2usize {

@@ -1,90 +1,102 @@
-//! Criterion microbenchmarks over the table experiments (scaled down so each
-//! sample completes quickly).  One benchmark group per paper table, plus a
-//! group for the protocol building blocks.
+//! Microbenchmarks over the table experiments (scaled down so each sample
+//! completes quickly), driven by a minimal self-contained harness (`harness =
+//! false`; the offline build environment has no criterion).  One benchmark
+//! group per paper table, plus a group for the protocol building blocks.
+//!
+//! Run with `cargo bench -p dsm-bench`.  Each benchmark reports the minimum
+//! and mean wall-clock time over its samples; the minimum is the stable
+//! number to compare across runs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
 use dsm_apps::{run_app, App, Scale};
 use dsm_core::ImplKind;
 use dsm_mem::{BlockGranularity, Diff, UpdateMerge, VectorClock};
 use dsm_sim::NodeId;
 
+const SAMPLES: usize = 10;
+
+/// Times `f` over [`SAMPLES`] runs and prints `group/name: min .. mean`.
+fn bench<R>(group: &str, name: &str, mut f: impl FnMut() -> R) {
+    // One warm-up run so lazily-allocated tables do not skew the first sample.
+    std::hint::black_box(f());
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let dt = start.elapsed();
+        total += dt;
+        min = min.min(dt);
+    }
+    let mean = total / SAMPLES as u32;
+    println!("{group}/{name}: min {min:>12.3?}  mean {mean:>12.3?}  ({SAMPLES} samples)");
+}
+
 /// Table 3: best-EC vs best-LRC candidates per application (tiny scale).
-fn table3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table3_ec_vs_lrc");
-    g.sample_size(10);
+fn table3() {
     for app in [App::Sor, App::IntegerSort, App::Quicksort, App::Fft3d] {
         for kind in [ImplKind::ec_time(), ImplKind::lrc_diff()] {
-            g.bench_with_input(
-                BenchmarkId::new(app.name(), kind.name()),
-                &(app, kind),
-                |b, &(app, kind)| b.iter(|| run_app(app, kind, 4, Scale::Tiny)),
+            bench(
+                "table3_ec_vs_lrc",
+                &format!("{}/{}", app.name(), kind.name()),
+                || run_app(app, kind, 4, Scale::Tiny),
             );
         }
     }
-    g.finish();
 }
 
 /// Table 4: the three EC implementations (tiny scale).
-fn table4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table4_ec_impls");
-    g.sample_size(10);
+fn table4() {
     for kind in ImplKind::ec_all() {
-        g.bench_with_input(BenchmarkId::new("IS", kind.name()), &kind, |b, &kind| {
-            b.iter(|| run_app(App::IntegerSort, kind, 4, Scale::Tiny))
+        bench("table4_ec_impls", &format!("IS/{}", kind.name()), || {
+            run_app(App::IntegerSort, kind, 4, Scale::Tiny)
         });
     }
-    g.finish();
 }
 
 /// Table 5: the three LRC implementations (tiny scale).
-fn table5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table5_lrc_impls");
-    g.sample_size(10);
+fn table5() {
     for kind in ImplKind::lrc_all() {
-        g.bench_with_input(BenchmarkId::new("SOR", kind.name()), &kind, |b, &kind| {
-            b.iter(|| run_app(App::Sor, kind, 4, Scale::Tiny))
+        bench("table5_lrc_impls", &format!("SOR/{}", kind.name()), || {
+            run_app(App::Sor, kind, 4, Scale::Tiny)
         });
     }
-    g.finish();
 }
 
 /// Protocol building blocks: diff creation/application, timestamp merging,
 /// vector-clock operations.
-fn mechanisms(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mechanisms");
+fn mechanisms() {
     let twin = vec![0u8; 4096];
     let mut cur = twin.clone();
     for i in (0..4096).step_by(16) {
         cur[i] = 1;
     }
-    g.bench_function("diff_create_page", |b| {
-        b.iter(|| Diff::from_compare(&twin, &cur, 0, BlockGranularity::Word))
+    bench("mechanisms", "diff_create_page", || {
+        Diff::from_compare(&twin, &cur, 0, BlockGranularity::Word)
     });
     let diff = Diff::from_compare(&twin, &cur, 0, BlockGranularity::Word);
-    g.bench_function("diff_apply_page", |b| {
-        let mut target = vec![0u8; 4096];
-        b.iter(|| diff.apply(&mut target))
+    let mut target = vec![0u8; 4096];
+    bench("mechanisms", "diff_apply_page", || diff.apply(&mut target));
+    bench("mechanisms", "timestamp_merge_reply", || {
+        let mut m = UpdateMerge::new(BlockGranularity::Word);
+        m.add(1, &diff);
+        m.reply_cost(6)
     });
-    g.bench_function("timestamp_merge_reply", |b| {
-        b.iter(|| {
-            let mut m = UpdateMerge::new(BlockGranularity::Word);
-            m.add(1, &diff);
-            m.reply_cost(6)
-        })
+    let mut a = VectorClock::new(8);
+    let mut v = VectorClock::new(8);
+    for i in 0..8 {
+        v.set_entry(NodeId::new(i), i + 3);
+    }
+    bench("mechanisms", "vector_clock_merge", || {
+        a.merge_max(&v);
+        a.dominates(&v)
     });
-    g.bench_function("vector_clock_merge", |b| {
-        let mut a = VectorClock::new(8);
-        let mut v = VectorClock::new(8);
-        for i in 0..8 {
-            v.set_entry(NodeId::new(i), i + 3);
-        }
-        b.iter(|| {
-            a.merge_max(&v);
-            a.dominates(&v)
-        })
-    });
-    g.finish();
 }
 
-criterion_group!(benches, table3, table4, table5, mechanisms);
-criterion_main!(benches);
+fn main() {
+    table3();
+    table4();
+    table5();
+    mechanisms();
+}

@@ -1,0 +1,65 @@
+//! Host-performance trajectory of the sharded runtime: wall-clock time vs
+//! simulated time at 8, 16 and 32 simulated processors.
+//!
+//! The paper's numbers are *simulated* seconds; this binary measures what the
+//! reproduction itself costs to run, which is what the sharded
+//! lock/barrier/region tables are meant to improve — with one cluster-wide
+//! mutex, host wall-clock degrades as simulated processors are added even
+//! though the simulated time shrinks.  Emits one JSON object per line so the
+//! perf trajectory can be collected across commits.
+//!
+//! Usage: `cargo run --release -p dsm-bench --bin scaling [-- --scale tiny|small|paper]`
+//! (`--procs` is ignored; the processor counts are the sweep axis).
+
+use std::time::Instant;
+
+use dsm_apps::{run_app, App, Scale};
+use dsm_core::ImplKind;
+
+const PROC_COUNTS: [usize; 3] = [8, 16, 32];
+const REPS: usize = 3;
+
+fn main() {
+    // Reuse the shared flag parser but sweep processor counts ourselves.
+    let scale = dsm_bench::HarnessOpts::from_args().scale;
+    let scale_name = match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Paper => "paper",
+    };
+    for app in [App::Sor, App::IntegerSort, App::Water] {
+        for kind in [ImplKind::ec_time(), ImplKind::lrc_diff()] {
+            for nprocs in PROC_COUNTS {
+                // Report the fastest of a few repetitions: host scheduling
+                // noise only ever slows a run down.
+                let mut best_wall_ms = f64::INFINITY;
+                let mut report = None;
+                for _ in 0..REPS {
+                    let start = Instant::now();
+                    let r = run_app(app, kind, nprocs, scale);
+                    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                    if wall_ms < best_wall_ms {
+                        best_wall_ms = wall_ms;
+                    }
+                    report = Some(r);
+                }
+                let r = report.expect("at least one repetition");
+                assert!(r.verified, "{app} under {kind} failed verification");
+                println!(
+                    "{{\"bench\":\"scaling\",\"app\":\"{}\",\"impl\":\"{}\",\"scale\":\"{}\",\
+                     \"procs\":{},\"wall_ms\":{:.3},\"sim_s\":{:.6},\"messages\":{},\
+                     \"bytes\":{},\"lock_transfers\":{}}}",
+                    app.name(),
+                    kind.name(),
+                    scale_name,
+                    nprocs,
+                    best_wall_ms,
+                    r.time.as_secs_f64(),
+                    r.traffic.messages,
+                    r.traffic.bytes,
+                    r.traffic.lock_transfers,
+                );
+            }
+        }
+    }
+}

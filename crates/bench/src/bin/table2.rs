@@ -10,37 +10,71 @@ fn main() {
     let rows = vec![
         vec![
             "SOR".into(),
-            format!("{}x{} floats, {} iters", p.sor.rows, p.sor.cols, p.sor.iterations),
+            format!(
+                "{}x{} floats, {} iters",
+                p.sor.rows, p.sor.cols, p.sor.iterations
+            ),
             format!("{}x{} floats", paper.sor.rows, paper.sor.cols),
         ],
         vec![
             "SOR+".into(),
-            format!("{}x{} floats (boundary rows shared)", p.sor.rows, p.sor.cols),
+            format!(
+                "{}x{} floats (boundary rows shared)",
+                p.sor.rows, p.sor.cols
+            ),
             format!("{}x{} floats", paper.sor.rows, paper.sor.cols),
         ],
         vec![
             "QS".into(),
-            format!("{} integers, cutoff {}", p.quicksort.n, p.quicksort.threshold),
-            format!("{} integers, cutoff {}", paper.quicksort.n, paper.quicksort.threshold),
+            format!(
+                "{} integers, cutoff {}",
+                p.quicksort.n, p.quicksort.threshold
+            ),
+            format!(
+                "{} integers, cutoff {}",
+                paper.quicksort.n, paper.quicksort.threshold
+            ),
         ],
         vec![
             "Water".into(),
-            format!("{} molecules, {} iterations", p.water.molecules, p.water.steps),
-            format!("{} molecules, {} iterations", paper.water.molecules, paper.water.steps),
+            format!(
+                "{} molecules, {} iterations",
+                p.water.molecules, p.water.steps
+            ),
+            format!(
+                "{} molecules, {} iterations",
+                paper.water.molecules, paper.water.steps
+            ),
         ],
         vec![
             "Barnes-Hut".into(),
             format!("{} bodies, {} iterations", p.barnes.bodies, p.barnes.steps),
-            format!("{} bodies, {} iterations", paper.barnes.bodies, paper.barnes.steps),
+            format!(
+                "{} bodies, {} iterations",
+                paper.barnes.bodies, paper.barnes.steps
+            ),
         ],
         vec![
             "IS".into(),
-            format!("N = 2^{}, Bmax = 2^{}, {} rankings", p.is.keys.ilog2(), p.is.buckets.ilog2(), p.is.rankings),
-            format!("N = 2^{}, Bmax = 2^{}, {} rankings", paper.is.keys.ilog2(), paper.is.buckets.ilog2(), paper.is.rankings),
+            format!(
+                "N = 2^{}, Bmax = 2^{}, {} rankings",
+                p.is.keys.ilog2(),
+                p.is.buckets.ilog2(),
+                p.is.rankings
+            ),
+            format!(
+                "N = 2^{}, Bmax = 2^{}, {} rankings",
+                paper.is.keys.ilog2(),
+                paper.is.buckets.ilog2(),
+                paper.is.rankings
+            ),
         ],
         vec![
             "3D-FFT".into(),
-            format!("{}x{}x{}, {} iterations", p.fft.n1, p.fft.n2, p.fft.n3, p.fft.iterations),
+            format!(
+                "{}x{}x{}, {} iterations",
+                p.fft.n1, p.fft.n2, p.fft.n3, p.fft.iterations
+            ),
             format!("{}x{}x{}", paper.fft.n1, paper.fft.n2, paper.fft.n3),
         ],
     ];

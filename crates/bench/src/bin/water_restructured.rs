@@ -38,7 +38,10 @@ fn main() {
     row.extend(run_pair(opts.nprocs, &base.clone().restructured()));
     rows.push(row);
     print_table(
-        &format!("Section 7.2: Water data-structure restructuring ({})", opts.describe()),
+        &format!(
+            "Section 7.2: Water data-structure restructuring ({})",
+            opts.describe()
+        ),
         &["Layout", "EC-ci (s)", "EC msgs", "LRC-diff (s)", "LRC msgs"],
         &rows,
     );

@@ -12,6 +12,7 @@
 //! | `table4` | Table 4 — EC-ci / EC-time / EC-diff execution times |
 //! | `table5` | Table 5 — LRC-ci / LRC-time / LRC-diff execution times |
 //! | `traffic` | Section 7.2 — message counts and megabytes per application |
+//! | `scaling` | host wall-clock vs simulated time at 8/16/32 processors (JSON) |
 //! | `water_restructured` | Section 7.2 — the restructured Water experiment |
 //! | `ablation_ci_opt` | Section 8.1 — the dirty-bit loop-splitting optimisation |
 //! | `ablation_small_objects` | Section 4.2 — eager small-object twins vs page faults |
@@ -124,7 +125,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

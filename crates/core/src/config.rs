@@ -310,7 +310,9 @@ impl DsmConfig {
             return Err(DsmError::InvalidConfig("nprocs must be at least 1".into()));
         }
         if self.diff_ring == 0 {
-            return Err(DsmError::InvalidConfig("diff_ring must be at least 1".into()));
+            return Err(DsmError::InvalidConfig(
+                "diff_ring must be at least 1".into(),
+            ));
         }
         Ok(())
     }

@@ -1,17 +1,21 @@
 //! The per-processor programming interface.
+//!
+//! All consistency-model behaviour is delegated to the run's
+//! [`ProtocolEngine`](crate::engine::ProtocolEngine); this module owns only
+//! the mechanics the models share — lock hand-off accounting, barrier
+//! rendezvous, bounds checking and typed access — operating on the sharded
+//! per-lock and per-barrier slots of [`SyncTables`](crate::sync::SyncTables).
 
-use dsm_mem::{MemRange, VectorClock, WriteNotice, PAGE_SIZE};
+use dsm_mem::{MemRange, VectorClock, PAGE_SIZE};
 use dsm_sim::{CostModel, MsgKind, SimTime, Work};
 
-use crate::config::{DsmConfig, Model, Trapping};
+use crate::config::DsmConfig;
+use crate::engine::CTRL_MSG_BYTES;
 use crate::ids::{BarrierId, LockId, LockMode};
-use crate::local::NodeLocal;
+use crate::local::{HeldLock, NodeLocal};
 use crate::runtime::{Region, RunGlobal};
 use crate::scalar::Scalar;
-
-/// Size of a small control message payload (lock request/forward, barrier
-/// bookkeeping) in bytes.
-pub(crate) const CTRL_MSG_BYTES: usize = 16;
+use crate::sync;
 
 /// The interface a worker closure uses to access shared memory and
 /// synchronize, playing the role of the TreadMarks/Midway runtime API
@@ -61,10 +65,6 @@ impl<'a> ProcessContext<'a> {
         &self.global.cfg.cost
     }
 
-    fn is_lrc(&self) -> bool {
-        self.global.cfg.kind.model() == Model::Lrc
-    }
-
     /// Charges `work` units of application computation to this processor's
     /// simulated clock.
     pub fn compute(&mut self, work: Work) {
@@ -98,9 +98,9 @@ impl<'a> ProcessContext<'a> {
         self.local.stats.shared_accesses += 1;
         self.local.clock.advance(self.cost().shared_access(1));
         let ridx = region.id().index();
-        if self.is_lrc() {
-            self.lrc_ensure_fresh(ridx, off / PAGE_SIZE);
-        }
+        self.global
+            .engine
+            .ensure_read_fresh(&mut self.local, ridx, off / PAGE_SIZE);
         let data = &self.local.regions[ridx].data;
         T::read_le(&data[off..off + T::SIZE])
     }
@@ -120,12 +120,9 @@ impl<'a> ProcessContext<'a> {
         self.local.stats.shared_accesses += 1;
         self.local.clock.advance(self.cost().shared_access(1));
         let ridx = region.id().index();
-        if self.is_lrc() {
-            self.lrc_ensure_fresh(ridx, off / PAGE_SIZE);
-            self.lrc_trap_write(ridx, off, T::SIZE);
-        } else {
-            self.ec_trap_write(ridx, off, T::SIZE);
-        }
+        self.global
+            .engine
+            .trap_write(&mut self.local, ridx, off, T::SIZE);
         let data = &mut self.local.regions[ridx].data;
         value.write_le(&mut data[off..off + T::SIZE]);
     }
@@ -153,13 +150,11 @@ impl<'a> ProcessContext<'a> {
     pub fn poll<T: Scalar>(&mut self, region: Region, idx: usize) -> T {
         let off = idx * T::SIZE;
         self.check_bounds(region, off, T::SIZE);
-        let global = self.global;
-        let mut shared = global.shared.lock();
-        let master: &[u8] = match &mut shared.model {
-            crate::shared::ModelShared::Ec(ec) => &ec.regions[region.id().index()].master,
-            crate::shared::ModelShared::Lrc(lrc) => &lrc.regions[region.id().index()].master,
-        };
-        T::read_le(&master[off..off + T::SIZE])
+        let mut buf = [0u8; 16];
+        self.global
+            .engine
+            .read_master(region.id().index(), off, &mut buf[..T::SIZE]);
+        T::read_le(&buf[..T::SIZE])
     }
 
     /// Acquires a lock.
@@ -180,10 +175,90 @@ impl<'a> ProcessContext<'a> {
             "lock {lock} acquired twice by {}",
             self.local.node
         );
-        match self.global.cfg.kind.model() {
-            Model::Ec => self.ec_acquire(lock, mode),
-            Model::Lrc => self.lrc_acquire(lock, mode),
+        self.global.engine.validate_acquire(lock, mode);
+        let cost = self.cost().clone();
+        self.local.clock.advance(cost.lock_overhead());
+        self.local.stats.lock_acquires += 1;
+        let me = self.local.node;
+        let nprocs = self.local.nprocs;
+
+        let slot = self.global.sync.lock_slot(lock.index());
+        let local_grant;
+        {
+            let mut l = sync::lock(&slot.sync);
+            loop {
+                let ok = match mode {
+                    LockMode::Exclusive => l.can_acquire_exclusive(),
+                    LockMode::ReadOnly => l.can_acquire_read(),
+                };
+                if ok {
+                    break;
+                }
+                l = sync::wait(&slot.cv, l);
+            }
+
+            let manager = lock.manager(nprocs);
+            local_grant = l.last_owner == Some(me);
+            let (free_time, last_owner) = (l.free_time, l.last_owner);
+
+            let mut arrival = self.local.clock.now();
+            if local_grant {
+                self.local.stats.local_lock_acquires += 1;
+            } else {
+                if me != manager {
+                    self.local
+                        .stats
+                        .record_msg(MsgKind::LockRequest, CTRL_MSG_BYTES);
+                    arrival += cost.message(CTRL_MSG_BYTES);
+                }
+                // Never-owned locks are granted by their manager; otherwise the
+                // manager forwards the request to the last owner.
+                let owner = last_owner.unwrap_or(manager);
+                if manager != owner {
+                    self.local
+                        .stats
+                        .record_msg(MsgKind::LockForward, CTRL_MSG_BYTES);
+                    arrival += cost.message(CTRL_MSG_BYTES);
+                }
+            }
+            let grant_time = arrival.max(free_time);
+            self.local.clock.sync_to(grant_time);
+
+            if l.last_owner != Some(me) {
+                l.transfers += 1;
+            }
+            match mode {
+                LockMode::Exclusive => {
+                    l.exclusive_holder = Some(me);
+                    l.last_owner = Some(me);
+                }
+                LockMode::ReadOnly => {
+                    l.readers += 1;
+                }
+            }
         }
+        // The lock is claimed in its slot; the grant-payload work below needs
+        // only the engine's own (sharded) state, so the slot mutex is free
+        // for other contenders' bookkeeping.
+
+        if !local_grant {
+            self.local
+                .clock
+                .advance(SimTime::from_nanos(cost.interrupt_ns));
+            let payload = self.global.engine.remote_grant(&mut self.local, lock);
+            self.local.stats.record_msg(MsgKind::LockGrant, payload);
+            self.local.clock.advance(cost.message(payload));
+        }
+
+        let mut held = HeldLock {
+            mode,
+            small_twins: None,
+            armed_pages: Vec::new(),
+        };
+        self.global
+            .engine
+            .after_acquire(&mut self.local, lock, &mut held);
+        self.local.held.insert(lock.0, held);
     }
 
     /// Releases a lock previously acquired with [`ProcessContext::acquire`].
@@ -202,10 +277,30 @@ impl<'a> ProcessContext<'a> {
             "release of lock {lock} that {} does not hold",
             self.local.node
         );
-        match self.global.cfg.kind.model() {
-            Model::Ec => self.ec_release(lock),
-            Model::Lrc => self.lrc_release(lock),
+        let cost = self.cost().clone();
+        self.local.clock.advance(cost.lock_overhead());
+        let held = self
+            .local
+            .held
+            .remove(&lock.0)
+            .expect("release of a lock that is not held");
+        // Publish before the lock becomes available so the next acquirer's
+        // grant sees everything this holding modified.
+        self.global
+            .engine
+            .before_release(&mut self.local, lock, &held);
+
+        let slot = self.global.sync.lock_slot(lock.index());
+        {
+            let mut l = sync::lock(&slot.sync);
+            match held.mode {
+                LockMode::Exclusive => l.exclusive_holder = None,
+                LockMode::ReadOnly => l.readers = l.readers.saturating_sub(1),
+            }
+            l.free_time = l.free_time.max(self.local.clock.now());
         }
+        // Only contenders for *this* lock wake up.
+        slot.cv.notify_all();
     }
 
     /// Rebinds a lock to a new set of memory ranges (EC only; a no-op under
@@ -215,18 +310,7 @@ impl<'a> ProcessContext<'a> {
     /// because neither side knows which part of it the acquirer already has
     /// (Section 7.1, "Rebinding").
     pub fn rebind(&mut self, lock: LockId, ranges: Vec<MemRange>) {
-        if self.global.cfg.kind.model() != Model::Ec {
-            return;
-        }
-        let global = self.global;
-        let mut shared = global.shared.lock();
-        shared.ensure_lock(lock.index());
-        let ec = shared.ec();
-        let meta = &mut ec.locks[lock.index()];
-        if meta.bound != ranges {
-            meta.bound = ranges;
-            meta.rebind_epoch += 1;
-        }
+        self.global.engine.rebind(lock, ranges);
     }
 
     /// Waits at a barrier until every processor has arrived.
@@ -241,30 +325,9 @@ impl<'a> ProcessContext<'a> {
         let me = self.local.node;
         let nprocs = self.local.nprocs;
         let is_mgr = barrier.manager(nprocs) == me;
-        let lrc = self.is_lrc();
 
-        let global = self.global;
-        let mut shared = global.shared.lock();
-
-        // Under LRC, arriving at a barrier ends the current interval.
-        let arrival_payload = if lrc {
-            self.lrc_publish_interval(&mut shared);
-            let lrc_state = shared.lrc();
-            let prev = self.local.intervals_at_last_barrier;
-            let cur = self.local.vector.entry(me);
-            let mut pages = 0u64;
-            for interval in (prev + 1)..=cur {
-                if let Some(&c) = lrc_state.interval_pages[me.index()].get(interval as usize - 1) {
-                    pages += c as u64;
-                }
-            }
-            self.local.intervals_at_last_barrier = cur;
-            self.local.vector.wire_size() + pages as usize * WriteNotice::WIRE_SIZE
-        } else {
-            CTRL_MSG_BYTES
-        };
-
-        shared.ensure_barrier(barrier.index());
+        // Model-specific arrival work (LRC: end the current interval).
+        let arrival_payload = self.global.engine.barrier_arrive(&mut self.local);
         let old_vector = self.local.vector.clone();
 
         let mut arrive_t = self.local.clock.now();
@@ -275,49 +338,35 @@ impl<'a> ProcessContext<'a> {
             arrive_t += cost.message(arrival_payload);
         }
 
-        let my_gen;
-        {
-            let bar = &mut shared.barriers[barrier.index()];
-            my_gen = bar.generation;
-            bar.pending_max = bar.pending_max.max(arrive_t);
-            if lrc {
-                bar.pending_vector.merge_max(&self.local.vector);
-            }
-            bar.arrived += 1;
-        }
-
-        if shared.barriers[barrier.index()].arrived == nprocs {
-            let bar = &mut shared.barriers[barrier.index()];
-            bar.release_time = bar.pending_max;
-            bar.released_vector = bar.pending_vector.clone();
-            bar.generation = bar.generation.wrapping_add(1);
-            bar.arrived = 0;
-            bar.pending_max = SimTime::ZERO;
-            bar.pending_vector = VectorClock::new(nprocs);
-            global.condvar.notify_all();
-        } else {
-            while shared.barriers[barrier.index()].generation == my_gen {
-                global.condvar.wait(&mut shared);
-            }
-        }
-
+        let slot = self.global.sync.barrier_slot(barrier.index());
         let (release_time, released_vector) = {
-            let bar = &shared.barriers[barrier.index()];
-            (bar.release_time, bar.released_vector.clone())
+            let mut b = sync::lock(&slot.sync);
+            let my_gen = b.generation;
+            b.pending_max = b.pending_max.max(arrive_t);
+            b.pending_vector.merge_max(&self.local.vector);
+            b.arrived += 1;
+
+            if b.arrived == nprocs {
+                b.release_time = b.pending_max;
+                b.released_vector = b.pending_vector.clone();
+                b.generation = b.generation.wrapping_add(1);
+                b.arrived = 0;
+                b.pending_max = SimTime::ZERO;
+                b.pending_vector = VectorClock::new(nprocs);
+                slot.cv.notify_all();
+            } else {
+                while b.generation == my_gen {
+                    b = sync::wait(&slot.cv, b);
+                }
+            }
+            (b.release_time, b.released_vector.clone())
         };
         self.local.clock.sync_to(release_time);
 
-        let depart_payload = if lrc {
-            let lrc_state = shared.lrc();
-            let notices = lrc_state.notices_between(&old_vector, &released_vector);
-            self.local.stats.write_notices_received += notices;
-            self.local.vector.merge_max(&released_vector);
-            released_vector.wire_size() + notices as usize * WriteNotice::WIRE_SIZE
-        } else {
-            CTRL_MSG_BYTES
-        };
-        drop(shared);
-
+        let depart_payload =
+            self.global
+                .engine
+                .barrier_depart(&mut self.local, &old_vector, &released_vector);
         if !is_mgr {
             self.local
                 .stats
@@ -325,101 +374,5 @@ impl<'a> ProcessContext<'a> {
             self.local.clock.advance(cost.message(depart_payload));
         }
         self.local.epoch += 1;
-    }
-
-    /// Write-trapping for EC (the bound data is writable only while the
-    /// exclusive lock is held, so there is no freshness check).
-    fn ec_trap_write(&mut self, ridx: usize, off: usize, size: usize) {
-        let cost = self.cost().clone();
-        let trapping = self.global.cfg.kind.trapping();
-        let page = off / PAGE_SIZE;
-        let region = &mut self.local.regions[ridx];
-        match trapping {
-            Trapping::Instrumentation => {
-                let factor = if self.global.cfg.ci_loop_optimization {
-                    1
-                } else {
-                    2
-                };
-                self.local.stats.instrumented_writes += 1;
-                self.local
-                    .clock
-                    .advance(cost.instrumented_writes(factor));
-                let base_word = page * (PAGE_SIZE / 4);
-                let first_word = off / 4;
-                let lp = &mut region.pages[page];
-                for w in 0..size.div_ceil(4) {
-                    lp.written_mut().set(first_word + w - base_word);
-                }
-            }
-            Trapping::Twinning => {
-                let needs_twin =
-                    region.pages[page].armed && region.pages[page].twin.is_none();
-                if needs_twin {
-                    let span = dsm_mem::page_range(page, region.data.len());
-                    let words = span.len().div_ceil(4) as u64;
-                    let copy = region.data[span].to_vec();
-                    region.pages[page].twin = Some(copy);
-                    self.local.stats.write_faults += 1;
-                    self.local.stats.twins_created += 1;
-                    self.local.stats.twin_words += words;
-                    self.local.clock.advance(
-                        cost.page_fault() + cost.twin_copy(words) + cost.mprotect(),
-                    );
-                }
-            }
-        }
-    }
-
-    /// Write-trapping for LRC: record the write in the current interval.
-    fn lrc_trap_write(&mut self, ridx: usize, off: usize, size: usize) {
-        let cost = self.cost().clone();
-        let trapping = self.global.cfg.kind.trapping();
-        let hierarchical = self.global.cfg.hierarchical_dirty_bits;
-        let page = off / PAGE_SIZE;
-        let region = &mut self.local.regions[ridx];
-        let span = dsm_mem::page_range(page, region.data.len());
-        let base_word = span.start / 4;
-        let first_word = off / 4;
-
-        match trapping {
-            Trapping::Instrumentation => {
-                let mut factor = if self.global.cfg.ci_loop_optimization {
-                    1
-                } else {
-                    2
-                };
-                if hierarchical {
-                    // The hierarchical scheme also sets a page-level dirty bit.
-                    factor += 1;
-                }
-                self.local.stats.instrumented_writes += 1;
-                self.local
-                    .clock
-                    .advance(cost.instrumented_writes(factor));
-            }
-            Trapping::Twinning => {
-                if region.pages[page].twin.is_none() {
-                    let words = span.len().div_ceil(4) as u64;
-                    let copy = region.data[span.clone()].to_vec();
-                    region.pages[page].twin = Some(copy);
-                    self.local.stats.write_faults += 1;
-                    self.local.stats.twins_created += 1;
-                    self.local.stats.twin_words += words;
-                    self.local.clock.advance(
-                        cost.page_fault() + cost.twin_copy(words) + cost.mprotect(),
-                    );
-                }
-            }
-        }
-
-        let lp = &mut region.pages[page];
-        for w in 0..size.div_ceil(4) {
-            lp.written_mut().set(first_word + w - base_word);
-        }
-        if !lp.dirty {
-            lp.dirty = true;
-            self.local.dirty_pages.push((ridx, page));
-        }
     }
 }

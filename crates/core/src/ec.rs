@@ -1,4 +1,4 @@
-//! The entry-consistency protocol (Midway-style), Section 3.1 / 4 / 5 of the
+//! The entry-consistency engine (Midway-style), Section 3.1 / 4 / 5 of the
 //! paper.
 //!
 //! Shared data is bound to locks.  An exclusive acquire arms write trapping on
@@ -7,152 +7,148 @@
 //! the modifications; the next acquirer receives them with the lock grant
 //! message (update protocol), selected either by per-block incarnation
 //! timestamps or as a chain of diffs.
+//!
+//! State is sharded: each lock's binding and publish ring sits behind its own
+//! mutex, each region's published master copy behind its own `RwLock`, and
+//! the global publish sequence is a single atomic counter — so grants and
+//! releases of independent locks proceed in parallel.
 
-use dsm_mem::BlockGranularity;
-use dsm_sim::{MsgKind, SimTime};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
 
-use crate::config::{Collection, Trapping};
-use crate::context::{ProcessContext, CTRL_MSG_BYTES};
+use dsm_mem::{BlockGranularity, MemRange, RegionDesc, VectorClock};
+
+use crate::config::{Collection, DsmConfig, Trapping};
+use crate::engine::{ProtocolEngine, PublishRec, CTRL_MSG_BYTES};
 use crate::ids::{LockId, LockMode};
-use crate::local::HeldLock;
-use crate::shared::{EcShared, PublishRec, Shared};
+use crate::local::{HeldLock, NodeLocal};
+use crate::sync::{self, SlotTable};
 
-impl ProcessContext<'_> {
-    /// EC lock acquire: block until the lock is available, account for the
-    /// request/forward/grant messages, pull the bound data (update protocol)
-    /// and arm write trapping for exclusive acquires.
-    pub(crate) fn ec_acquire(&mut self, lock: LockId, mode: LockMode) {
-        let cost = self.cost().clone();
-        self.local.clock.advance(cost.lock_overhead());
-        self.local.stats.lock_acquires += 1;
-        let me = self.local.node;
-        let nprocs = self.local.nprocs;
-        let lidx = lock.index();
-        let global = self.global;
-        let mut shared = global.shared.lock();
-        shared.ensure_lock(lidx);
+/// Per-lock entry-consistency state.
+#[derive(Debug, Default)]
+struct EcLockState {
+    /// The memory ranges bound to the lock (possibly non-contiguous).
+    bound: Vec<MemRange>,
+    /// Incremented whenever the binding changes; a node whose `seen_epoch`
+    /// lags must conservatively receive all bound data (Section 7.1,
+    /// "Rebinding").
+    rebind_epoch: u64,
+    /// Lock incarnation number: incremented on every remote grant.
+    incarnation: u64,
+    /// Ring of recent publish records for diff-mode traffic accounting.
+    publishes: VecDeque<PublishRec>,
+    /// Highest publish sequence this lock's own chain has stamped.  Grants
+    /// snapshot *this* (not the global counter): both publish and grant hold
+    /// this lock's mutex, so every stamp `<= last_seq` is guaranteed visible,
+    /// whereas a concurrent publish under another lock may have drawn a lower
+    /// global sequence whose stamps have not landed yet.
+    last_seq: u64,
+    /// Per node: the publish sequence this node has applied through for this
+    /// lock's data.
+    seen_seq: Vec<u64>,
+    /// Per node: the rebind epoch this node has seen.
+    seen_epoch: Vec<u64>,
+}
 
-        loop {
-            let l = &shared.locks[lidx];
-            let ok = match mode {
-                LockMode::Exclusive => l.can_acquire_exclusive(),
-                LockMode::ReadOnly => l.can_acquire_read(),
-            };
-            if ok {
-                break;
-            }
-            global.condvar.wait(&mut shared);
+/// Per-region entry-consistency state: the published master copy and
+/// per-word-block publish-sequence stamps.
+#[derive(Debug)]
+struct EcRegionState {
+    /// Latest published value of every byte.
+    master: Vec<u8>,
+    /// Per word block: the publish sequence number that last wrote it
+    /// (0 = never published).
+    stamp: Vec<u64>,
+}
+
+/// The entry-consistency [`ProtocolEngine`].
+pub(crate) struct EcEngine {
+    cfg: DsmConfig,
+    regions: Vec<RegionDesc>,
+    /// Published master copies, one `RwLock` per region.
+    region_state: Vec<RwLock<EcRegionState>>,
+    /// Per-lock metadata, one mutex per lock, created on demand.
+    locks: SlotTable<Mutex<EcLockState>>,
+    /// Global publish sequence counter (orders publishes across all locks).
+    publish_seq: AtomicU64,
+}
+
+impl std::fmt::Debug for EcEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EcEngine")
+            .field("regions", &self.regions.len())
+            .field("locks", &self.locks.len())
+            .field("publish_seq", &self.publish_seq.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl EcEngine {
+    /// Builds the engine for a run.
+    pub fn new(cfg: &DsmConfig, regions: &[RegionDesc], init: &[Vec<u8>]) -> Self {
+        let nprocs = cfg.nprocs;
+        let region_state = regions
+            .iter()
+            .zip(init.iter())
+            .map(|(d, init)| {
+                RwLock::new(EcRegionState {
+                    master: init.clone(),
+                    stamp: vec![0; d.len.div_ceil(4)],
+                })
+            })
+            .collect();
+        EcEngine {
+            cfg: cfg.clone(),
+            regions: regions.to_vec(),
+            region_state,
+            locks: SlotTable::new(move |_| {
+                Mutex::new(EcLockState {
+                    seen_seq: vec![0; nprocs],
+                    seen_epoch: vec![0; nprocs],
+                    ..EcLockState::default()
+                })
+            }),
+            publish_seq: AtomicU64::new(0),
         }
+    }
+}
 
-        let manager = lock.manager(nprocs);
-        let (local_grant, free_time, last_owner) = {
-            let l = &shared.locks[lidx];
-            (l.last_owner == Some(me), l.free_time, l.last_owner)
-        };
-
-        let mut arrival = self.local.clock.now();
-        if local_grant {
-            self.local.stats.local_lock_acquires += 1;
-        } else {
-            if me != manager {
-                self.local
-                    .stats
-                    .record_msg(MsgKind::LockRequest, CTRL_MSG_BYTES);
-                arrival += cost.message(CTRL_MSG_BYTES);
-            }
-            // Never-owned locks are granted by their manager; otherwise the
-            // manager forwards the request to the last owner.
-            let owner = last_owner.unwrap_or(manager);
-            if manager != owner {
-                self.local
-                    .stats
-                    .record_msg(MsgKind::LockForward, CTRL_MSG_BYTES);
-                arrival += cost.message(CTRL_MSG_BYTES);
-            }
-        }
-        let grant_time = arrival.max(free_time);
-        self.local.clock.sync_to(grant_time);
-
-        {
-            let l = &mut shared.locks[lidx];
-            if l.last_owner != Some(me) {
-                l.transfers += 1;
-            }
-            match mode {
-                LockMode::Exclusive => {
-                    l.exclusive_holder = Some(me);
-                    l.last_owner = Some(me);
-                }
-                LockMode::ReadOnly => {
-                    l.readers += 1;
-                }
-            }
-        }
-
-        if !local_grant {
-            self.local
-                .clock
-                .advance(SimTime::from_nanos(cost.interrupt_ns));
-            shared.ec().locks[lidx].incarnation += 1;
-            let payload = self.ec_pull(&mut shared, lock);
-            self.local.stats.record_msg(MsgKind::LockGrant, payload);
-            self.local.clock.advance(cost.message(payload));
-        }
-
-        let mut held = HeldLock {
-            mode,
-            small_twins: None,
-            armed_pages: Vec::new(),
-        };
-        if mode == LockMode::Exclusive {
-            self.ec_arm(&mut shared, lock, &mut held);
-        }
-        drop(shared);
-        self.local.held.insert(lock.0, held);
+impl ProtocolEngine for EcEngine {
+    fn bind(&self, lock: LockId, ranges: Vec<MemRange>) {
+        let slot = self.locks.get(lock.index());
+        sync::lock(&slot).bound = ranges;
     }
 
-    /// EC lock release: publish the modifications to the bound data and make
-    /// the lock available.
-    pub(crate) fn ec_release(&mut self, lock: LockId) {
-        let cost = self.cost().clone();
-        self.local.clock.advance(cost.lock_overhead());
-        let held = self
-            .local
-            .held
-            .remove(&lock.0)
-            .expect("release of a lock that is not held");
-        let global = self.global;
-        let mut shared = global.shared.lock();
-        shared.ensure_lock(lock.index());
-        if held.mode == LockMode::Exclusive {
-            self.ec_publish(&mut shared, lock, &held);
+    fn rebind(&self, lock: LockId, ranges: Vec<MemRange>) {
+        let slot = self.locks.get(lock.index());
+        let mut meta = sync::lock(&slot);
+        if meta.bound != ranges {
+            meta.bound = ranges;
+            meta.rebind_epoch += 1;
         }
-        {
-            let l = &mut shared.locks[lock.index()];
-            match held.mode {
-                LockMode::Exclusive => l.exclusive_holder = None,
-                LockMode::ReadOnly => l.readers = l.readers.saturating_sub(1),
-            }
-            l.free_time = l.free_time.max(self.local.clock.now());
-        }
-        drop(shared);
-        global.condvar.notify_all();
+    }
+
+    fn validate_acquire(&self, _lock: LockId, _mode: LockMode) {
+        // EC provides both exclusive and read-only locks.
     }
 
     /// Makes the data bound to `lock` consistent at this node (the payload of
     /// the lock grant message under the update protocol).  Returns the grant
     /// payload size in bytes.
-    fn ec_pull(&mut self, shared: &mut Shared, lock: LockId) -> usize {
-        let cost = self.global.cfg.cost.clone();
-        let trapping = self.global.cfg.kind.trapping();
-        let collection = self.global.cfg.kind.collection();
-        let me = self.local.node.index();
-        let lidx = lock.index();
+    fn remote_grant(&self, local: &mut NodeLocal, lock: LockId) -> usize {
+        let cost = &self.cfg.cost;
+        let trapping = self.cfg.kind.trapping();
+        let collection = self.cfg.kind.collection();
+        let me = local.node.index();
 
-        let ec = shared.ec();
-        let publish_seq = ec.publish_seq;
-        let EcShared { regions, locks, .. } = ec;
-        let meta = &mut locks[lidx];
+        let slot = self.locks.get(lock.index());
+        let mut meta = sync::lock(&slot);
+        meta.incarnation += 1;
+        // Everything this lock's chain has published is visible (same mutex
+        // ordered the publish), so its own high-water mark is the safe
+        // "applied through" value to record below.
+        let publish_seq = meta.last_seq;
         let bound = meta.bound.clone();
         let seen = meta.seen_seq[me];
         let rebound = meta.seen_epoch[me] != meta.rebind_epoch;
@@ -165,10 +161,10 @@ impl ProcessContext<'_> {
 
         for range in &bound {
             let ridx = range.region.index();
-            let rs = &regions[ridx];
-            let local_data = &mut self.local.regions[ridx].data;
+            let rs = sync::read(&self.region_state[ridx]);
+            let local_data = &mut local.regions[ridx].data;
             let gran_div = if trapping == Trapping::Instrumentation {
-                self.global.regions[ridx].granularity.bytes() / 4
+                self.regions[ridx].granularity.bytes() / 4
             } else {
                 1
             };
@@ -185,8 +181,7 @@ impl ProcessContext<'_> {
                     let end = (start + 4).min(local_data.len());
                     local_data[start..end].copy_from_slice(&rs.master[start..end]);
                     applied_words += 1;
-                    let contiguous =
-                        matches!(prev, Some((r, b, s)) if r == ridx && b + 1 == block && s == stamp);
+                    let contiguous = matches!(prev, Some((r, b, s)) if r == ridx && b + 1 == block && s == stamp);
                     if !contiguous {
                         ts_runs += 1;
                     }
@@ -197,15 +192,15 @@ impl ProcessContext<'_> {
             }
         }
 
-        self.local.stats.words_applied += applied_words as u64;
-        self.local.clock.advance(cost.apply_words(applied_words as u64));
+        local.stats.words_applied += applied_words as u64;
+        local.clock.advance(cost.apply_words(applied_words as u64));
 
         let payload = match collection {
             Collection::Timestamps => {
                 // The responder scans the timestamps of every block bound to
                 // the lock on every request.
-                self.local.stats.ts_blocks_scanned += scan_blocks;
-                self.local.clock.advance(cost.ts_scan(scan_blocks));
+                local.stats.ts_blocks_scanned += scan_blocks;
+                local.clock.advance(cost.ts_scan(scan_blocks));
                 if rebound {
                     bound_bytes + 12
                 } else {
@@ -224,8 +219,8 @@ impl ProcessContext<'_> {
                         creation_words += rec.compare_words as u64;
                     }
                 }
-                self.local.stats.diffs_applied += count;
-                self.local.clock.advance(cost.diff_compare(creation_words));
+                local.stats.diffs_applied += count;
+                local.clock.advance(cost.diff_compare(creation_words));
                 let bytes = bytes.max(applied_words * 4);
                 if rebound {
                     bound_bytes.max(bytes)
@@ -241,13 +236,17 @@ impl ProcessContext<'_> {
     }
 
     /// Arms write trapping for the bound data of an exclusive acquire.
-    fn ec_arm(&mut self, shared: &mut Shared, lock: LockId, held: &mut HeldLock) {
-        if self.global.cfg.kind.trapping() != Trapping::Twinning {
+    fn after_acquire(&self, local: &mut NodeLocal, lock: LockId, held: &mut HeldLock) {
+        if held.mode != LockMode::Exclusive || self.cfg.kind.trapping() != Trapping::Twinning {
             return;
         }
-        let cost = self.global.cfg.cost.clone();
-        let small_limit = self.global.cfg.ec_small_object_limit;
-        let bound = shared.ec().locks[lock.index()].bound.clone();
+        let cost = &self.cfg.cost;
+        let small_limit = self.cfg.ec_small_object_limit;
+        let bound = {
+            let slot = self.locks.get(lock.index());
+            let meta = sync::lock(&slot);
+            meta.bound.clone()
+        };
         let total: usize = bound.iter().map(|r| r.len).sum();
         if total == 0 {
             return;
@@ -257,13 +256,13 @@ impl ProcessContext<'_> {
             // protection fault the Midway VM implementation takes.
             let mut twins = Vec::with_capacity(bound.len());
             for range in &bound {
-                let data = &self.local.regions[range.region.index()].data;
+                let data = &local.regions[range.region.index()].data;
                 twins.push(data[range.start..range.end()].to_vec());
             }
             let words = (total / 4) as u64;
-            self.local.stats.twins_created += 1;
-            self.local.stats.twin_words += words;
-            self.local.clock.advance(cost.twin_copy(words));
+            local.stats.twins_created += 1;
+            local.stats.twin_words += words;
+            local.clock.advance(cost.twin_copy(words));
             held.small_twins = Some(twins);
         } else {
             // Large object: write-protect its pages; the first write to each
@@ -272,7 +271,7 @@ impl ProcessContext<'_> {
             for range in &bound {
                 let ridx = range.region.index();
                 for page in range.pages() {
-                    let lp = &mut self.local.regions[ridx].pages[page];
+                    let lp = &mut local.regions[ridx].pages[page];
                     if !lp.armed {
                         lp.armed = true;
                         lp.twin = None;
@@ -281,33 +280,32 @@ impl ProcessContext<'_> {
                     }
                 }
             }
-            self.local.clock.advance(cost.mprotect().times(mprotects));
+            local.clock.advance(cost.mprotect().times(mprotects));
         }
     }
 
     /// Publishes the modifications made to the bound data while the exclusive
     /// lock was held (write collection on the releaser side).
-    fn ec_publish(&mut self, shared: &mut Shared, lock: LockId, held: &HeldLock) {
-        let cost = self.global.cfg.cost.clone();
-        let trapping = self.global.cfg.kind.trapping();
-        let collection = self.global.cfg.kind.collection();
-        let diff_ring = self.global.cfg.diff_ring;
-        let me = self.local.node;
-        let lidx = lock.index();
+    fn before_release(&self, local: &mut NodeLocal, lock: LockId, held: &HeldLock) {
+        if held.mode != LockMode::Exclusive {
+            return;
+        }
+        let cost = &self.cfg.cost;
+        let trapping = self.cfg.kind.trapping();
+        let collection = self.cfg.kind.collection();
+        let diff_ring = self.cfg.diff_ring;
+        let me = local.node;
 
-        let ec = shared.ec();
-        let EcShared {
-            regions,
-            locks,
-            publish_seq,
-        } = ec;
-        let meta = &mut locks[lidx];
+        let slot = self.locks.get(lock.index());
+        let mut meta = sync::lock(&slot);
         let bound = meta.bound.clone();
         if bound.is_empty() {
             return;
         }
-        *publish_seq += 1;
-        let seq = *publish_seq;
+        // The global counter only allocates unique, monotone stamps; the
+        // per-lock `last_seq` below is what grants consult.
+        let seq = self.publish_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        meta.last_seq = meta.last_seq.max(seq);
 
         let mut changed_words = 0usize;
         let mut runs = 0usize;
@@ -316,8 +314,8 @@ impl ProcessContext<'_> {
 
         for (range_i, range) in bound.iter().enumerate() {
             let ridx = range.region.index();
-            let local_region = &mut self.local.regions[ridx];
-            let rs = &mut regions[ridx];
+            let local_region = &mut local.regions[ridx];
+            let mut rs = sync::write(&self.region_state[ridx]);
             for block in range.blocks(BlockGranularity::Word) {
                 let start = block * 4;
                 let end = (start + 4).min(local_region.data.len());
@@ -367,7 +365,7 @@ impl ProcessContext<'_> {
             Trapping::Instrumentation => {
                 for range in &bound {
                     let ridx = range.region.index();
-                    let region = &mut self.local.regions[ridx];
+                    let region = &mut local.regions[ridx];
                     for block in range.blocks(BlockGranularity::Word) {
                         let start = block * 4;
                         let page = start / dsm_mem::PAGE_SIZE;
@@ -382,7 +380,7 @@ impl ProcessContext<'_> {
             }
             Trapping::Twinning => {
                 for &(ridx, page) in &held.armed_pages {
-                    let lp = &mut self.local.regions[ridx].pages[page];
+                    let lp = &mut local.regions[ridx].pages[page];
                     lp.armed = false;
                     lp.twin = None;
                 }
@@ -393,15 +391,13 @@ impl ProcessContext<'_> {
         // at the release; with diffs it is deferred to the first request
         // (lazy diffing).
         if trapping == Trapping::Twinning && collection == Collection::Timestamps {
-            self.local
-                .clock
-                .advance(cost.diff_compare(compare_words as u64));
+            local.clock.advance(cost.diff_compare(compare_words as u64));
         }
 
         if changed_words > 0 {
-            self.local.stats.diff_words += changed_words as u64;
+            local.stats.diff_words += changed_words as u64;
             if collection == Collection::Diffs {
-                self.local.stats.diffs_created += 1;
+                local.stats.diffs_created += 1;
             }
             meta.publishes.push_back(PublishRec {
                 stamp: seq,
@@ -415,5 +411,119 @@ impl ProcessContext<'_> {
                 meta.publishes.pop_front();
             }
         }
+    }
+
+    fn barrier_arrive(&self, _local: &mut NodeLocal) -> usize {
+        // EC barriers exchange no data: consistency travels with locks.
+        CTRL_MSG_BYTES
+    }
+
+    fn barrier_depart(
+        &self,
+        _local: &mut NodeLocal,
+        _old_vector: &VectorClock,
+        _released_vector: &VectorClock,
+    ) -> usize {
+        CTRL_MSG_BYTES
+    }
+
+    fn ensure_read_fresh(&self, _local: &mut NodeLocal, _ridx: usize, _page: usize) {
+        // Under EC, data is made consistent only at lock acquires.
+    }
+
+    /// Write-trapping for EC (the bound data is writable only while the
+    /// exclusive lock is held, so there is no freshness check).
+    fn trap_write(&self, local: &mut NodeLocal, ridx: usize, off: usize, size: usize) {
+        let cost = &self.cfg.cost;
+        let trapping = self.cfg.kind.trapping();
+        let page = off / dsm_mem::PAGE_SIZE;
+        let region = &mut local.regions[ridx];
+        match trapping {
+            Trapping::Instrumentation => {
+                let factor = if self.cfg.ci_loop_optimization { 1 } else { 2 };
+                local.stats.instrumented_writes += 1;
+                local.clock.advance(cost.instrumented_writes(factor));
+                let base_word = page * (dsm_mem::PAGE_SIZE / 4);
+                let first_word = off / 4;
+                let lp = &mut region.pages[page];
+                for w in 0..size.div_ceil(4) {
+                    lp.written_mut().set(first_word + w - base_word);
+                }
+            }
+            Trapping::Twinning => {
+                let needs_twin = region.pages[page].armed && region.pages[page].twin.is_none();
+                if needs_twin {
+                    let span = dsm_mem::page_range(page, region.data.len());
+                    let words = span.len().div_ceil(4) as u64;
+                    let copy = region.data[span].to_vec();
+                    region.pages[page].twin = Some(copy);
+                    local.stats.write_faults += 1;
+                    local.stats.twins_created += 1;
+                    local.stats.twin_words += words;
+                    local
+                        .clock
+                        .advance(cost.page_fault() + cost.twin_copy(words) + cost.mprotect());
+                }
+            }
+        }
+    }
+
+    fn read_master(&self, ridx: usize, off: usize, out: &mut [u8]) {
+        let rs = sync::read(&self.region_state[ridx]);
+        out.copy_from_slice(&rs.master[off..off + out.len()]);
+    }
+
+    fn final_regions(&self) -> Vec<Vec<u8>> {
+        self.region_state
+            .iter()
+            .map(|r| sync::read(r).master.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ImplKind;
+    use dsm_mem::RegionId;
+
+    fn engine(kind: ImplKind) -> EcEngine {
+        let cfg = DsmConfig::with_procs(kind, 4);
+        let regions = vec![RegionDesc::new(
+            RegionId::new(0),
+            "r",
+            8192,
+            BlockGranularity::Word,
+        )];
+        let init = vec![vec![0u8; 8192]];
+        EcEngine::new(&cfg, &regions, &init)
+    }
+
+    #[test]
+    fn lock_metadata_grows_on_demand() {
+        let e = engine(ImplKind::ec_time());
+        let r = MemRange::new(RegionId::new(0), 0, 64);
+        e.bind(LockId::new(5), vec![r]);
+        assert_eq!(e.locks.len(), 6);
+        let slot = e.locks.get(5);
+        let meta = sync::lock(&slot);
+        assert_eq!(meta.bound, vec![r]);
+        assert_eq!(meta.seen_seq.len(), 4);
+    }
+
+    #[test]
+    fn rebind_bumps_the_epoch_only_on_change() {
+        let e = engine(ImplKind::ec_diff());
+        let a = MemRange::new(RegionId::new(0), 0, 64);
+        let b = MemRange::new(RegionId::new(0), 64, 64);
+        e.bind(LockId::new(0), vec![a]);
+        e.rebind(LockId::new(0), vec![a]);
+        {
+            let slot = e.locks.get(0);
+            assert_eq!(sync::lock(&slot).rebind_epoch, 0);
+        }
+        e.rebind(LockId::new(0), vec![b]);
+        let slot = e.locks.get(0);
+        assert_eq!(sync::lock(&slot).rebind_epoch, 1);
     }
 }

@@ -1,0 +1,170 @@
+//! The protocol-engine abstraction the two consistency models plug into.
+//!
+//! The runtime and [`ProcessContext`](crate::ProcessContext) are written
+//! against [`ProtocolEngine`] alone: the common mechanics of lock hand-off,
+//! barrier rendezvous and typed shared access live in `context.rs`, and every
+//! model-specific action — what a grant carries, what a release publishes,
+//! what a barrier exchanges, how writes are trapped and how stale pages are
+//! refreshed — is a hook on this trait.  `EcEngine` (Midway-style entry
+//! consistency) and `LrcEngine` (TreadMarks-style lazy release consistency)
+//! are the two implementations; [`build_engine`] is the *only* place the
+//! consistency model is matched on.
+//!
+//! Engines are shared by every worker thread (`&self` receivers) and shard
+//! their own state internally — per-lock metadata behind per-slot mutexes and
+//! per-region published state behind per-region `RwLock`s — so hooks for
+//! independent locks and regions run concurrently.  See `DESIGN.md` for the
+//! sharding layout and the lock-ordering rules.
+
+use dsm_mem::{MemRange, RegionDesc, VectorClock};
+use dsm_sim::NodeId;
+
+use crate::config::{DsmConfig, Model};
+use crate::ec::EcEngine;
+use crate::ids::{LockId, LockMode};
+use crate::local::{HeldLock, NodeLocal};
+use crate::lrc::LrcEngine;
+
+/// Size of a small control message payload (lock request/forward, barrier
+/// bookkeeping) in bytes.
+pub(crate) const CTRL_MSG_BYTES: usize = 16;
+
+/// One publish record: the modifications one release (EC) or one interval
+/// (LRC) made to a lock's bound data or to a page.  Retained in a bounded
+/// ring for diff-collection traffic accounting.
+#[derive(Debug, Clone)]
+pub(crate) struct PublishRec {
+    /// EC: global publish sequence number; LRC: interval index of the writer.
+    pub stamp: u64,
+    /// The writer (LRC; unused for EC where the lock identifies the chain).
+    pub node: NodeId,
+    /// Wire size of the run-length encoded diff for this publish.
+    pub encoded_size: usize,
+    /// Number of words that had to be compared against the twin to build the
+    /// diff (charged lazily to the first requester under diff collection).
+    pub compare_words: usize,
+    /// Whether the lazy diff-creation cost has been charged yet.
+    pub creation_charged: bool,
+}
+
+/// The hooks a consistency model implements to run on the sharded runtime.
+///
+/// Every hook takes `&self` — the engine is shared across worker threads and
+/// guards its own state — plus the calling processor's private
+/// [`NodeLocal`], whose clock and statistics the hook charges.
+pub(crate) trait ProtocolEngine: Send + Sync + std::fmt::Debug {
+    /// Declares the memory ranges bound to a lock during setup (EC; a no-op
+    /// under LRC so the same setup code serves both models).
+    fn bind(&self, lock: LockId, ranges: Vec<MemRange>);
+
+    /// Rebinds a lock to new ranges mid-run (EC; no-op under LRC).
+    fn rebind(&self, lock: LockId, ranges: Vec<MemRange>);
+
+    /// Validates an acquire request before any state changes (LRC rejects
+    /// read-only locks, as in the paper).
+    fn validate_acquire(&self, lock: LockId, mode: LockMode);
+
+    /// Called when a lock is granted from a remote owner: make the data the
+    /// model promises consistent at this node and return the grant-message
+    /// payload size in bytes.  The caller records the message and charges its
+    /// latency.
+    fn remote_grant(&self, local: &mut NodeLocal, lock: LockId) -> usize;
+
+    /// Called after an acquire completes (local or remote): arm write
+    /// trapping (EC exclusive) or open a new interval epoch (LRC).
+    fn after_acquire(&self, local: &mut NodeLocal, lock: LockId, held: &mut HeldLock);
+
+    /// Called before a released lock is made available: publish the
+    /// modifications made while it was held.
+    fn before_release(&self, local: &mut NodeLocal, lock: LockId, held: &HeldLock);
+
+    /// End-of-interval work at a barrier arrival; returns the arrival-message
+    /// payload size in bytes.
+    fn barrier_arrive(&self, local: &mut NodeLocal) -> usize;
+
+    /// Departure-side barrier work (LRC: write notices and vector merge);
+    /// returns the release-message payload size in bytes.
+    fn barrier_depart(
+        &self,
+        local: &mut NodeLocal,
+        old_vector: &VectorClock,
+        released_vector: &VectorClock,
+    ) -> usize;
+
+    /// Ensures the local copy of a page is fresh before an access (LRC access
+    /// miss; EC data is only made consistent at acquires, so this is a no-op
+    /// there).
+    fn ensure_read_fresh(&self, local: &mut NodeLocal, ridx: usize, page: usize);
+
+    /// Traps a shared write according to the configured mechanism.
+    fn trap_write(&self, local: &mut NodeLocal, ridx: usize, off: usize, size: usize);
+
+    /// Reads the most recently published bytes at `off` into `out` without
+    /// any consistency action or cost (the [`poll`](crate::ProcessContext::poll)
+    /// fast path).
+    fn read_master(&self, ridx: usize, off: usize, out: &mut [u8]);
+
+    /// The final published contents of every region, in region order.
+    fn final_regions(&self) -> Vec<Vec<u8>>;
+}
+
+/// Builds the engine for a run.  This is the single place the consistency
+/// model is dispatched on; everything downstream goes through the trait.
+pub(crate) fn build_engine(
+    cfg: &DsmConfig,
+    regions: &[RegionDesc],
+    init: &[Vec<u8>],
+) -> Box<dyn ProtocolEngine> {
+    match cfg.kind.model() {
+        Model::Ec => Box::new(EcEngine::new(cfg, regions, init)),
+        Model::Lrc => Box::new(LrcEngine::new(cfg, regions, init)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ImplKind;
+    use dsm_mem::{BlockGranularity, RegionId};
+
+    fn region_setup() -> (Vec<RegionDesc>, Vec<Vec<u8>>) {
+        let regions = vec![RegionDesc::new(
+            RegionId::new(0),
+            "r",
+            8192,
+            BlockGranularity::Word,
+        )];
+        let init = vec![vec![0u8; 8192]];
+        (regions, init)
+    }
+
+    #[test]
+    fn build_engine_selects_by_model() {
+        let (regions, init) = region_setup();
+        for kind in ImplKind::all() {
+            let cfg = DsmConfig::with_procs(kind, 4);
+            let engine = build_engine(&cfg, &regions, &init);
+            // Every engine starts from the initial contents.
+            assert_eq!(engine.final_regions(), init);
+            let name = format!("{engine:?}");
+            assert_eq!(
+                name.contains("EcEngine"),
+                kind.model() == crate::config::Model::Ec,
+                "{kind}: {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn read_master_returns_initial_bytes() {
+        let (regions, mut init) = region_setup();
+        init[0][100] = 42;
+        for kind in [ImplKind::ec_time(), ImplKind::lrc_diff()] {
+            let cfg = DsmConfig::with_procs(kind, 2);
+            let engine = build_engine(&cfg, &regions, &init);
+            let mut buf = [0u8; 4];
+            engine.read_master(0, 100, &mut buf);
+            assert_eq!(buf, [42, 0, 0, 0]);
+        }
+    }
+}

@@ -14,6 +14,18 @@
 //! | **timestamps** | `EC-ci`, `LRC-ci` | `EC-time`, `LRC-time` |
 //! | **diffs** | — | `EC-diff`, `LRC-diff` |
 //!
+//! # Architecture
+//!
+//! Both models plug into the runtime through an internal `ProtocolEngine`
+//! trait: the runtime owns the mechanics the models share (lock hand-off,
+//! barrier rendezvous, typed access) and calls model hooks for everything
+//! else (grant payloads, publishes, write trapping, access misses).  All
+//! cluster-wide state is **sharded** — each lock and barrier has its own
+//! slot, mutex and condition variable, and each region's published master
+//! copy sits behind its own reader/writer lock — so simulated processors
+//! synchronising on independent objects run truly in parallel on the host.
+//! See `DESIGN.md` for the sharding layout and the cost-substitution table.
+//!
 //! Applications are written SPMD-style against [`Dsm`] and
 //! [`ProcessContext`]; the runtime executes them on simulated processors,
 //! charging every protocol action (messages, page faults, twin copies, diff
@@ -32,17 +44,22 @@
 //! let mut dsm = Dsm::new(DsmConfig::with_procs(ImplKind::lrc_diff(), 2))?;
 //! let data = dsm.alloc_array::<f64>("data", 16, BlockGranularity::DoubleWord);
 //!
+//! // One barrier id per rendezvous keeps the program readable, although
+//! // reusing an id is legal (each slot counts episodes by generation).
+//! let produced = BarrierId::new(0);
+//! let consumed = BarrierId::new(1);
+//!
 //! let result = dsm.run(|ctx| {
 //!     if ctx.node() == 0 {
 //!         for i in 0..16 {
 //!             ctx.write(data, i, i as f64);
 //!         }
 //!     }
-//!     ctx.barrier(BarrierId::new(0));
+//!     ctx.barrier(produced);
 //!     if ctx.node() == 1 {
 //!         assert_eq!(ctx.read::<f64>(data, 7), 7.0);
 //!     }
-//!     ctx.barrier(BarrierId::new(0));
+//!     ctx.barrier(consumed);
 //! });
 //! assert_eq!(result.read_final::<f64>(data, 15), 15.0);
 //! # Ok::<(), dsm_core::DsmError>(())
@@ -60,13 +77,14 @@
 mod config;
 mod context;
 mod ec;
+mod engine;
 mod error;
 mod ids;
 mod local;
 mod lrc;
 mod runtime;
 mod scalar;
-mod shared;
+mod sync;
 
 pub use config::{Collection, DsmConfig, ImplKind, Model, Trapping};
 pub use context::ProcessContext;

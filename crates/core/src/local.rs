@@ -43,7 +43,8 @@ pub(crate) struct LocalPage {
 impl LocalPage {
     /// Returns the written-bit set, allocating it on first use.
     pub fn written_mut(&mut self) -> &mut BitSet {
-        self.written.get_or_insert_with(|| BitSet::new(WORDS_PER_PAGE))
+        self.written
+            .get_or_insert_with(|| BitSet::new(WORDS_PER_PAGE))
     }
 
     /// True if the given word block (page-relative) was written in the
@@ -180,7 +181,7 @@ mod tests {
     #[test]
     fn written_bits_are_lazy() {
         let d = desc(100);
-        let mut r = LocalRegion::new(&d, &vec![0u8; 100], 2);
+        let mut r = LocalRegion::new(&d, &[0u8; 100], 2);
         assert!(r.pages[0].written.is_none());
         assert!(!r.pages[0].was_written(3));
         r.pages[0].written_mut().set(3);

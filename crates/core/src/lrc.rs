@@ -1,4 +1,4 @@
-//! The lazy-release-consistency protocol (TreadMarks-style), Sections 3.2 /
+//! The lazy-release-consistency engine (TreadMarks-style), Sections 3.2 /
 //! 4 / 5 of the paper.
 //!
 //! Execution is divided into intervals ended by releases and barrier
@@ -7,162 +7,181 @@
 //! notices; an acquire merges the releaser's vector and receives the notices;
 //! the data itself moves lazily, at the access miss that follows the
 //! invalidation (invalidate protocol, multiple-writer pages).
+//!
+//! State is sharded: each region's published pages sit behind their own
+//! `RwLock`, each node's interval-size log behind its own `RwLock` (one
+//! writer — the owning node — many readers), and each lock's release vector
+//! behind its own mutex.  Faults on one region never block publishes to
+//! another.
 
-use dsm_mem::{IntervalId, WriteNotice};
-use dsm_sim::{MsgKind, NodeId, SimTime};
+use std::collections::VecDeque;
+use std::sync::{Mutex, RwLock};
 
-use crate::config::{Collection, Trapping};
-use crate::context::{ProcessContext, CTRL_MSG_BYTES};
+use dsm_mem::{pages_in, IntervalId, MemRange, RegionDesc, VectorClock, WriteNotice};
+use dsm_sim::{MsgKind, NodeId};
+
+use crate::config::{Collection, DsmConfig, Trapping};
+use crate::engine::{ProtocolEngine, PublishRec, CTRL_MSG_BYTES};
 use crate::ids::{LockId, LockMode};
-use crate::local::HeldLock;
-use crate::shared::{pack_stamp, unpack_stamp, PublishRec, Shared};
+use crate::local::{HeldLock, NodeLocal};
+use crate::sync::{self, SlotTable};
 
-impl ProcessContext<'_> {
-    /// LRC lock acquire: block until available, account for the lock
-    /// messages, merge the releaser's vector and receive its write notices.
-    pub(crate) fn lrc_acquire(&mut self, lock: LockId, mode: LockMode) {
-        assert!(
-            mode.is_exclusive(),
-            "the LRC implementation provides exclusive locks only (no read-only locks are needed \
-             for the application suite, Section 3.2)"
-        );
-        let cost = self.cost().clone();
-        self.local.clock.advance(cost.lock_overhead());
-        self.local.stats.lock_acquires += 1;
-        let me = self.local.node;
-        let nprocs = self.local.nprocs;
-        let lidx = lock.index();
-        let global = self.global;
-        let mut shared = global.shared.lock();
-        shared.ensure_lock(lidx);
+/// Packs an LRC `(node, interval)` timestamp into a `u64` (0 = never written).
+pub(crate) fn pack_stamp(node: NodeId, interval: u32) -> u64 {
+    ((node.index() as u64 + 1) << 32) | interval as u64
+}
 
-        while !shared.locks[lidx].can_acquire_exclusive() {
-            global.condvar.wait(&mut shared);
+/// Unpacks a stamp produced by [`pack_stamp`]; `None` for the never-written
+/// sentinel.
+pub(crate) fn unpack_stamp(stamp: u64) -> Option<(NodeId, u32)> {
+    if stamp == 0 {
+        None
+    } else {
+        Some((
+            NodeId::new((stamp >> 32) as u32 - 1),
+            (stamp & 0xffff_ffff) as u32,
+        ))
+    }
+}
+
+/// Per-page lazy-release-consistency state.
+#[derive(Debug, Clone)]
+struct LrcPageState {
+    /// Per node: the latest interval in which that node published
+    /// modifications to this page (0 = never).
+    latest: Vec<u32>,
+    /// The node that published most recently.
+    last_publisher: Option<NodeId>,
+    /// The publisher's vector at the time of the most recent publish; used to
+    /// decide how many processors a faulting node must contact.
+    last_pub_vector: VectorClock,
+    /// Ring of recent per-interval publish records for traffic accounting.
+    diffs: VecDeque<PublishRec>,
+}
+
+/// Per-region lazy-release-consistency state.
+#[derive(Debug)]
+struct LrcRegionState {
+    /// Latest published value of every byte.
+    master: Vec<u8>,
+    /// Per word block: packed `(node, interval)` timestamp of the last
+    /// publish (0 = never).  See [`pack_stamp`]/[`unpack_stamp`].
+    stamp: Vec<u64>,
+    /// Per page metadata.
+    pages: Vec<LrcPageState>,
+}
+
+/// Per-lock lazy-release-consistency state.
+#[derive(Debug)]
+struct LrcLockState {
+    /// The releaser's vector at the last release of the lock.
+    release_vec: VectorClock,
+}
+
+/// The lazy-release-consistency [`ProtocolEngine`].
+pub(crate) struct LrcEngine {
+    cfg: DsmConfig,
+    regions: Vec<RegionDesc>,
+    /// Published master copies and write-notice indexes, one `RwLock` per
+    /// region.
+    region_state: Vec<RwLock<LrcRegionState>>,
+    /// Per node, per interval (1-based): how many pages that interval
+    /// published.  One `RwLock` per node: only the owner appends, anyone may
+    /// read while counting write notices.
+    interval_pages: Vec<RwLock<Vec<u32>>>,
+    /// Per-lock release vectors, one mutex per lock, created on demand.
+    lock_state: SlotTable<Mutex<LrcLockState>>,
+}
+
+impl std::fmt::Debug for LrcEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LrcEngine")
+            .field("regions", &self.regions.len())
+            .field("locks", &self.lock_state.len())
+            .finish()
+    }
+}
+
+impl LrcEngine {
+    /// Builds the engine for a run.
+    pub fn new(cfg: &DsmConfig, regions: &[RegionDesc], init: &[Vec<u8>]) -> Self {
+        let nprocs = cfg.nprocs;
+        let region_state = regions
+            .iter()
+            .zip(init.iter())
+            .map(|(d, init)| {
+                RwLock::new(LrcRegionState {
+                    master: init.clone(),
+                    stamp: vec![0; d.len.div_ceil(4)],
+                    pages: (0..pages_in(d.len).max(1))
+                        .map(|_| LrcPageState {
+                            latest: vec![0; nprocs],
+                            last_publisher: None,
+                            last_pub_vector: VectorClock::new(nprocs),
+                            diffs: VecDeque::new(),
+                        })
+                        .collect(),
+                })
+            })
+            .collect();
+        LrcEngine {
+            cfg: cfg.clone(),
+            regions: regions.to_vec(),
+            region_state,
+            interval_pages: (0..nprocs).map(|_| RwLock::new(Vec::new())).collect(),
+            lock_state: SlotTable::new(move |_| {
+                Mutex::new(LrcLockState {
+                    release_vec: VectorClock::new(nprocs),
+                })
+            }),
         }
-
-        let manager = lock.manager(nprocs);
-        let (local_grant, free_time, last_owner) = {
-            let l = &shared.locks[lidx];
-            (l.last_owner == Some(me), l.free_time, l.last_owner)
-        };
-
-        let mut arrival = self.local.clock.now();
-        if local_grant {
-            self.local.stats.local_lock_acquires += 1;
-        } else {
-            if me != manager {
-                self.local
-                    .stats
-                    .record_msg(MsgKind::LockRequest, CTRL_MSG_BYTES);
-                arrival += cost.message(CTRL_MSG_BYTES);
-            }
-            // Never-owned locks are granted by their manager; otherwise the
-            // manager forwards the request to the last owner.
-            let owner = last_owner.unwrap_or(manager);
-            if manager != owner {
-                self.local
-                    .stats
-                    .record_msg(MsgKind::LockForward, CTRL_MSG_BYTES);
-                arrival += cost.message(CTRL_MSG_BYTES);
-            }
-        }
-        let grant_time = arrival.max(free_time);
-        self.local.clock.sync_to(grant_time);
-
-        {
-            let l = &mut shared.locks[lidx];
-            if l.last_owner != Some(me) {
-                l.transfers += 1;
-            }
-            l.exclusive_holder = Some(me);
-            l.last_owner = Some(me);
-        }
-
-        if !local_grant {
-            self.local
-                .clock
-                .advance(SimTime::from_nanos(cost.interrupt_ns));
-            let lrc = shared.lrc();
-            let relvec = lrc.lock_release_vec[lidx].clone();
-            let notices = lrc.notices_between(&self.local.vector, &relvec);
-            let payload = relvec.wire_size() + notices as usize * WriteNotice::WIRE_SIZE;
-            self.local.stats.write_notices_received += notices;
-            self.local.vector.merge_max(&relvec);
-            self.local.stats.record_msg(MsgKind::LockGrant, payload);
-            self.local.clock.advance(cost.message(payload));
-        }
-        drop(shared);
-
-        self.local.held.insert(
-            lock.0,
-            HeldLock {
-                mode,
-                small_twins: None,
-                armed_pages: Vec::new(),
-            },
-        );
-        self.local.epoch += 1;
     }
 
-    /// LRC lock release: end the current interval (publishing the
-    /// modifications of its dirty pages) and make the lock available.
-    pub(crate) fn lrc_release(&mut self, lock: LockId) {
-        let cost = self.cost().clone();
-        self.local.clock.advance(cost.lock_overhead());
-        let _held = self
-            .local
-            .held
-            .remove(&lock.0)
-            .expect("release of a lock that is not held");
-        let global = self.global;
-        let mut shared = global.shared.lock();
-        shared.ensure_lock(lock.index());
-        self.lrc_publish_interval(&mut shared);
-        {
-            let lrc = shared.lrc();
-            lrc.lock_release_vec[lock.index()] = self.local.vector.clone();
+    /// Number of write notices carried by a message that brings a node whose
+    /// vector is `from` up to vector `to`: one notice per page published in
+    /// every interval in between.
+    fn notices_between(&self, from: &VectorClock, to: &VectorClock) -> u64 {
+        let mut notices = 0u64;
+        for (node_idx, cell) in self.interval_pages.iter().enumerate() {
+            let counts = sync::read(cell);
+            let node = NodeId::new(node_idx as u32);
+            let lo = from.entry(node);
+            let hi = to.entry(node);
+            for interval in (lo + 1)..=hi {
+                if let Some(&c) = counts.get(interval as usize - 1) {
+                    notices += c as u64;
+                }
+            }
         }
-        {
-            let l = &mut shared.locks[lock.index()];
-            l.exclusive_holder = None;
-            l.free_time = l.free_time.max(self.local.clock.now());
-        }
-        drop(shared);
-        global.condvar.notify_all();
+        notices
     }
 
     /// Ends the current interval: for every page dirtied since the last
     /// release/barrier, record the modifications in the shared store and
     /// register a write notice.
-    pub(crate) fn lrc_publish_interval(&mut self, shared: &mut Shared) {
-        if self.local.dirty_pages.is_empty() {
+    fn publish_interval(&self, local: &mut NodeLocal) {
+        if local.dirty_pages.is_empty() {
             return;
         }
-        let cost = self.global.cfg.cost.clone();
-        let trapping = self.global.cfg.kind.trapping();
-        let collection = self.global.cfg.kind.collection();
-        let hierarchical = self.global.cfg.hierarchical_dirty_bits;
-        let diff_ring = self.global.cfg.diff_ring;
-        let me = self.local.node;
+        let cost = &self.cfg.cost;
+        let trapping = self.cfg.kind.trapping();
+        let collection = self.cfg.kind.collection();
+        let hierarchical = self.cfg.hierarchical_dirty_bits;
+        let diff_ring = self.cfg.diff_ring;
+        let me = local.node;
         let me_idx = me.index();
-        let next_interval = self.local.vector.entry(me) + 1;
-        let total_region_pages: u64 = self
-            .global
-            .regions
-            .iter()
-            .map(|d| d.num_pages() as u64)
-            .sum();
+        let next_interval = local.vector.entry(me) + 1;
+        let total_region_pages: u64 = self.regions.iter().map(|d| d.num_pages() as u64).sum();
 
-        let dirty = std::mem::take(&mut self.local.dirty_pages);
-        let lrc = shared.lrc();
+        let dirty = std::mem::take(&mut local.dirty_pages);
         let mut published_pages = 0u32;
         let mut total_compare_words = 0u64;
         let mut reprotects = 0u64;
 
         for (ridx, page) in dirty {
-            let local_region = &mut self.local.regions[ridx];
+            let local_region = &mut local.regions[ridx];
             let span = local_region.page_span(page);
-            let rs = &mut lrc.regions[ridx];
+            let mut rs = sync::write(&self.region_state[ridx]);
             let base_word = span.start / 4;
             let nwords = span.len().div_ceil(4);
 
@@ -210,14 +229,14 @@ impl ProcessContext<'_> {
 
             if changed_words > 0 {
                 published_pages += 1;
-                self.local.stats.diff_words += changed_words as u64;
+                local.stats.diff_words += changed_words as u64;
                 if collection == Collection::Diffs {
-                    self.local.stats.diffs_created += 1;
+                    local.stats.diffs_created += 1;
                 }
                 let ps = &mut rs.pages[page];
                 ps.latest[me_idx] = next_interval;
                 ps.last_publisher = Some(me);
-                let mut pub_vec = self.local.vector.clone();
+                let mut pub_vec = local.vector.clone();
                 pub_vec.set_entry(me, next_interval);
                 ps.last_pub_vector = pub_vec;
                 ps.diffs.push_back(PublishRec {
@@ -236,94 +255,188 @@ impl ProcessContext<'_> {
 
         match trapping {
             Trapping::Twinning => {
-                self.local.clock.advance(cost.mprotect().times(reprotects));
+                local.clock.advance(cost.mprotect().times(reprotects));
                 if collection == Collection::Timestamps {
                     // Stamping the modified blocks requires the twin
                     // comparison at the end of the interval.
-                    self.local
-                        .clock
-                        .advance(cost.diff_compare(total_compare_words));
+                    local.clock.advance(cost.diff_compare(total_compare_words));
                 }
             }
             Trapping::Instrumentation => {
                 if hierarchical {
                     // Finding the dirty pages means checking the page-level
                     // dirty bit of every page in the shared data set.
-                    self.local.stats.page_bits_checked += total_region_pages;
-                    self.local
+                    local.stats.page_bits_checked += total_region_pages;
+                    local
                         .clock
                         .advance(cost.page_bit_checks(total_region_pages));
                 }
             }
         }
 
-        lrc.interval_pages[me_idx].push(published_pages);
-        self.local.vector.bump(me);
+        sync::write(&self.interval_pages[me_idx]).push(published_pages);
+        local.vector.bump(me);
+    }
+
+    /// Which processors have published modifications to this page that the
+    /// caller is entitled to see (their interval happens-before the caller's
+    /// acquire) but has not yet applied?  `(proc, from, upto)` per source.
+    fn stale_sources(
+        &self,
+        rs: &LrcRegionState,
+        local: &NodeLocal,
+        ridx: usize,
+        page: usize,
+    ) -> Vec<(usize, u32, u32)> {
+        let ps = &rs.pages[page];
+        let lp = &local.regions[ridx].pages[page];
+        let mut stale = Vec::new();
+        for q in 0..local.nprocs {
+            if q == local.node.index() {
+                continue;
+            }
+            let qn = NodeId::new(q as u32);
+            let upto = local.vector.entry(qn).min(ps.latest[q]);
+            if upto > lp.applied[q] {
+                stale.push((q, lp.applied[q], upto));
+            }
+        }
+        stale
+    }
+}
+
+impl ProtocolEngine for LrcEngine {
+    fn bind(&self, _lock: LockId, _ranges: Vec<MemRange>) {
+        // LRC has no notion of binding; the call is accepted so the same
+        // setup code can serve both models.
+    }
+
+    fn rebind(&self, _lock: LockId, _ranges: Vec<MemRange>) {}
+
+    fn validate_acquire(&self, _lock: LockId, mode: LockMode) {
+        assert!(
+            mode.is_exclusive(),
+            "the LRC implementation provides exclusive locks only (no read-only locks are needed \
+             for the application suite, Section 3.2)"
+        );
+    }
+
+    /// Merge the releaser's vector and receive its write notices; returns the
+    /// grant payload size in bytes.
+    fn remote_grant(&self, local: &mut NodeLocal, lock: LockId) -> usize {
+        let relvec = {
+            let slot = self.lock_state.get(lock.index());
+            let st = sync::lock(&slot);
+            st.release_vec.clone()
+        };
+        let notices = self.notices_between(&local.vector, &relvec);
+        let payload = relvec.wire_size() + notices as usize * WriteNotice::WIRE_SIZE;
+        local.stats.write_notices_received += notices;
+        local.vector.merge_max(&relvec);
+        payload
+    }
+
+    fn after_acquire(&self, local: &mut NodeLocal, _lock: LockId, _held: &mut HeldLock) {
+        local.epoch += 1;
+    }
+
+    /// End the current interval (publishing the modifications of its dirty
+    /// pages) and record the release vector for the next acquirer.
+    fn before_release(&self, local: &mut NodeLocal, lock: LockId, _held: &HeldLock) {
+        self.publish_interval(local);
+        let slot = self.lock_state.get(lock.index());
+        sync::lock(&slot).release_vec = local.vector.clone();
+    }
+
+    fn barrier_arrive(&self, local: &mut NodeLocal) -> usize {
+        // Arriving at a barrier ends the current interval.
+        self.publish_interval(local);
+        let me = local.node;
+        let prev = local.intervals_at_last_barrier;
+        let cur = local.vector.entry(me);
+        let mut pages = 0u64;
+        {
+            let counts = sync::read(&self.interval_pages[me.index()]);
+            for interval in (prev + 1)..=cur {
+                if let Some(&c) = counts.get(interval as usize - 1) {
+                    pages += c as u64;
+                }
+            }
+        }
+        local.intervals_at_last_barrier = cur;
+        local.vector.wire_size() + pages as usize * WriteNotice::WIRE_SIZE
+    }
+
+    fn barrier_depart(
+        &self,
+        local: &mut NodeLocal,
+        old_vector: &VectorClock,
+        released_vector: &VectorClock,
+    ) -> usize {
+        let notices = self.notices_between(old_vector, released_vector);
+        local.stats.write_notices_received += notices;
+        local.vector.merge_max(released_vector);
+        released_vector.wire_size() + notices as usize * WriteNotice::WIRE_SIZE
     }
 
     /// Ensures the local copy of a page reflects every modification this node
     /// is entitled to see, taking an access miss (invalidate protocol) if it
     /// does not.
-    pub(crate) fn lrc_ensure_fresh(&mut self, ridx: usize, page: usize) {
+    fn ensure_read_fresh(&self, local: &mut NodeLocal, ridx: usize, page: usize) {
         {
-            let lp = &self.local.regions[ridx].pages[page];
-            if lp.checked_epoch == self.local.epoch {
+            let lp = &local.regions[ridx].pages[page];
+            if lp.checked_epoch == local.epoch {
                 return;
             }
         }
-        let cost = self.global.cfg.cost.clone();
-        let trapping = self.global.cfg.kind.trapping();
-        let collection = self.global.cfg.kind.collection();
-        let gran = self.global.regions[ridx].granularity;
-        let nprocs = self.local.nprocs;
-        let me_idx = self.local.node.index();
-        let epoch = self.local.epoch;
+        let cost = &self.cfg.cost;
+        let trapping = self.cfg.kind.trapping();
+        let collection = self.cfg.kind.collection();
+        let gran = self.regions[ridx].granularity;
+        let me_idx = local.node.index();
+        let epoch = local.epoch;
 
-        let global = self.global;
-        let mut shared = global.shared.lock();
-        let lrc = shared.lrc();
-
-        // Which processors have published modifications to this page that we
-        // are entitled to see (their interval happens-before our acquire) but
-        // have not yet applied?  `(proc, from, upto)` per stale source.
-        let mut stale: Vec<(usize, u32, u32)> = Vec::new();
+        // Fast path: a read lock suffices to discover the page is fresh.
+        // Staleness is monotone while our vector is fixed (remote `latest`
+        // entries only grow), so a page seen fresh here stays fresh for this
+        // epoch.
         {
-            let ps = &lrc.regions[ridx].pages[page];
-            let lp = &self.local.regions[ridx].pages[page];
-            for q in 0..nprocs {
-                if q == me_idx {
-                    continue;
-                }
-                let qn = NodeId::new(q as u32);
-                let upto = self.local.vector.entry(qn).min(ps.latest[q]);
-                if upto > lp.applied[q] {
-                    stale.push((q, lp.applied[q], upto));
-                }
+            let rs = sync::read(&self.region_state[ridx]);
+            if self.stale_sources(&rs, local, ridx, page).is_empty() {
+                drop(rs);
+                local.regions[ridx].pages[page].checked_epoch = epoch;
+                return;
             }
         }
+
+        // Access miss: re-resolve under the write lock (more intervals may
+        // have been published meanwhile; applying them too is within our
+        // entitlement).
+        let mut rs = sync::write(&self.region_state[ridx]);
+        let stale = self.stale_sources(&rs, local, ridx, page);
         if stale.is_empty() {
-            drop(shared);
-            self.local.regions[ridx].pages[page].checked_epoch = epoch;
+            drop(rs);
+            local.regions[ridx].pages[page].checked_epoch = epoch;
             return;
         }
 
-        // Access miss.
-        self.local.stats.access_misses += 1;
-        self.local.stats.pages_invalidated += 1;
-        self.local.clock.advance(cost.page_fault());
+        local.stats.access_misses += 1;
+        local.stats.pages_invalidated += 1;
+        local.clock.advance(cost.page_fault());
 
         // How many processors must be asked?  The most recent publisher can
         // forward every diff its publish-time vector dominates (it saved
         // them); intervals concurrent with its publish require contacting the
         // writer directly.
         let responders = {
-            let ps = &lrc.regions[ridx].pages[page];
+            let ps = &rs.pages[page];
             let last_pub = ps.last_publisher;
             let mut extra = 0usize;
             let mut primary = false;
             for &(q, _, upto) in &stale {
                 let qn = NodeId::new(q as u32);
-                if Some(qn) == last_pub || (last_pub.is_some() && upto <= ps.last_pub_vector.entry(qn))
+                if Some(qn) == last_pub
+                    || (last_pub.is_some() && upto <= ps.last_pub_vector.entry(qn))
                 {
                     primary = true;
                 } else {
@@ -333,10 +446,7 @@ impl ProcessContext<'_> {
             (usize::from(primary) + extra).max(1)
         };
 
-        let span = {
-            let local_region = &self.local.regions[ridx];
-            local_region.page_span(page)
-        };
+        let span = local.regions[ridx].page_span(page);
         let base_word = span.start / 4;
         let nwords = span.len().div_ceil(4);
 
@@ -347,8 +457,7 @@ impl ProcessContext<'_> {
         let mut creation_words = 0u64;
 
         {
-            let region_shared = &mut lrc.regions[ridx];
-            let local_region = &mut self.local.regions[ridx];
+            let local_region = &mut local.regions[ridx];
             let crate::local::LocalRegion { data, pages } = local_region;
             let lp = &mut pages[page];
 
@@ -358,7 +467,7 @@ impl ProcessContext<'_> {
             let mut prev: Option<u64> = None;
             for w in 0..nwords {
                 let block = base_word + w;
-                let st = region_shared.stamp[block];
+                let st = rs.stamp[block];
                 let Some((qn, i)) = unpack_stamp(st) else {
                     prev = None;
                     continue;
@@ -368,11 +477,11 @@ impl ProcessContext<'_> {
                     prev = None;
                     continue;
                 }
-                let entitled = i <= self.local.vector.entry(qn) && i > lp.applied[q];
+                let entitled = i <= local.vector.entry(qn) && i > lp.applied[q];
                 if entitled && !lp.was_written(w) {
                     let start = span.start + w * 4;
                     let end = (start + 4).min(data.len());
-                    data[start..end].copy_from_slice(&region_shared.master[start..end]);
+                    data[start..end].copy_from_slice(&rs.master[start..end]);
                     applied_words += 1;
                     if prev != Some(st) {
                         ts_runs += 1;
@@ -387,7 +496,7 @@ impl ProcessContext<'_> {
             // source is transferred (the overlapping-diff effect for
             // migratory data).
             if collection == Collection::Diffs {
-                let ps = &mut region_shared.pages[page];
+                let ps = &mut rs.pages[page];
                 for rec in ps.diffs.iter_mut() {
                     let q = rec.node.index();
                     let i = rec.stamp as u32;
@@ -410,6 +519,7 @@ impl ProcessContext<'_> {
             }
             lp.checked_epoch = epoch;
         }
+        drop(rs);
 
         let reply_bytes = match collection {
             Collection::Timestamps => {
@@ -419,26 +529,135 @@ impl ProcessContext<'_> {
                     1
                 };
                 let scan = (nwords / gran_div) as u64;
-                self.local.stats.ts_blocks_scanned += scan;
-                self.local.clock.advance(cost.ts_scan(scan));
+                local.stats.ts_blocks_scanned += scan;
+                local.clock.advance(cost.ts_scan(scan));
                 applied_words * 4 + ts_runs * (IntervalId::WIRE_SIZE + 6)
             }
             Collection::Diffs => {
-                self.local.stats.diffs_applied += diff_count;
-                self.local.clock.advance(cost.diff_compare(creation_words));
+                local.stats.diffs_applied += diff_count;
+                local.clock.advance(cost.diff_compare(creation_words));
                 diff_bytes.max(applied_words * 4)
             }
         };
-        self.local.stats.words_applied += applied_words as u64;
-        self.local.clock.advance(cost.apply_words(applied_words as u64));
+        local.stats.words_applied += applied_words as u64;
+        local.clock.advance(cost.apply_words(applied_words as u64));
 
-        let req_bytes = self.local.vector.wire_size();
+        let req_bytes = local.vector.wire_size();
         for r in 0..responders {
             let bytes = if r == 0 { reply_bytes } else { CTRL_MSG_BYTES };
-            self.local.stats.record_msg(MsgKind::DataRequest, req_bytes);
-            self.local.stats.record_msg(MsgKind::DataReply, bytes);
-            self.local.clock.advance(cost.round_trip(req_bytes, bytes));
+            local.stats.record_msg(MsgKind::DataRequest, req_bytes);
+            local.stats.record_msg(MsgKind::DataReply, bytes);
+            local.clock.advance(cost.round_trip(req_bytes, bytes));
         }
-        drop(shared);
+    }
+
+    /// Write-trapping for LRC: ensure freshness, then record the write in the
+    /// current interval.
+    fn trap_write(&self, local: &mut NodeLocal, ridx: usize, off: usize, size: usize) {
+        self.ensure_read_fresh(local, ridx, off / dsm_mem::PAGE_SIZE);
+        let cost = &self.cfg.cost;
+        let trapping = self.cfg.kind.trapping();
+        let hierarchical = self.cfg.hierarchical_dirty_bits;
+        let page = off / dsm_mem::PAGE_SIZE;
+        let region = &mut local.regions[ridx];
+        let span = dsm_mem::page_range(page, region.data.len());
+        let base_word = span.start / 4;
+        let first_word = off / 4;
+
+        match trapping {
+            Trapping::Instrumentation => {
+                let mut factor = if self.cfg.ci_loop_optimization { 1 } else { 2 };
+                if hierarchical {
+                    // The hierarchical scheme also sets a page-level dirty bit.
+                    factor += 1;
+                }
+                local.stats.instrumented_writes += 1;
+                local.clock.advance(cost.instrumented_writes(factor));
+            }
+            Trapping::Twinning => {
+                if region.pages[page].twin.is_none() {
+                    let words = span.len().div_ceil(4) as u64;
+                    let copy = region.data[span.clone()].to_vec();
+                    region.pages[page].twin = Some(copy);
+                    local.stats.write_faults += 1;
+                    local.stats.twins_created += 1;
+                    local.stats.twin_words += words;
+                    local
+                        .clock
+                        .advance(cost.page_fault() + cost.twin_copy(words) + cost.mprotect());
+                }
+            }
+        }
+
+        let lp = &mut region.pages[page];
+        for w in 0..size.div_ceil(4) {
+            lp.written_mut().set(first_word + w - base_word);
+        }
+        if !lp.dirty {
+            lp.dirty = true;
+            local.dirty_pages.push((ridx, page));
+        }
+    }
+
+    fn read_master(&self, ridx: usize, off: usize, out: &mut [u8]) {
+        let rs = sync::read(&self.region_state[ridx]);
+        out.copy_from_slice(&rs.master[off..off + out.len()]);
+    }
+
+    fn final_regions(&self) -> Vec<Vec<u8>> {
+        self.region_state
+            .iter()
+            .map(|r| sync::read(r).master.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ImplKind;
+    use dsm_mem::{BlockGranularity, RegionId};
+
+    fn engine(kind: ImplKind) -> LrcEngine {
+        let cfg = DsmConfig::with_procs(kind, 4);
+        let regions = vec![RegionDesc::new(
+            RegionId::new(0),
+            "r",
+            8192,
+            BlockGranularity::Word,
+        )];
+        let init = vec![vec![0u8; 8192]];
+        LrcEngine::new(&cfg, &regions, &init)
+    }
+
+    #[test]
+    fn stamp_packing_roundtrips() {
+        assert_eq!(unpack_stamp(0), None);
+        let s = pack_stamp(NodeId::new(3), 17);
+        assert_eq!(unpack_stamp(s), Some((NodeId::new(3), 17)));
+        let s = pack_stamp(NodeId::new(0), 0);
+        assert_ne!(s, 0, "node 0 interval 0 must not collide with the sentinel");
+    }
+
+    #[test]
+    fn notice_counting_over_sharded_interval_logs() {
+        let e = engine(ImplKind::lrc_diff());
+        *sync::write(&e.interval_pages[0]) = vec![2, 3, 1]; // node 0: intervals 1..=3
+        *sync::write(&e.interval_pages[1]) = vec![5];
+        let mut from = VectorClock::new(4);
+        let mut to = VectorClock::new(4);
+        to.set_entry(NodeId::new(0), 3);
+        to.set_entry(NodeId::new(1), 1);
+        assert_eq!(e.notices_between(&from, &to), 2 + 3 + 1 + 5);
+        from.set_entry(NodeId::new(0), 2);
+        assert_eq!(e.notices_between(&from, &to), 1 + 5);
+        assert_eq!(e.notices_between(&to, &to), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exclusive locks only")]
+    fn read_only_acquire_is_rejected() {
+        let e = engine(ImplKind::lrc_time());
+        e.validate_acquire(LockId::new(0), LockMode::ReadOnly);
     }
 }

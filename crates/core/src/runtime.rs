@@ -1,17 +1,16 @@
 //! The DSM runtime: region allocation, initialisation, and SPMD execution.
 
-use parking_lot::{Condvar, Mutex};
-
 use dsm_mem::{BlockGranularity, MemRange, RegionDesc, RegionId};
 use dsm_sim::{ClusterStats, SimTime, TrafficReport};
 
 use crate::config::DsmConfig;
 use crate::context::ProcessContext;
+use crate::engine::{build_engine, ProtocolEngine};
 use crate::error::DsmError;
 use crate::ids::LockId;
 use crate::local::NodeLocal;
 use crate::scalar::Scalar;
-use crate::shared::{ModelShared, Shared};
+use crate::sync::SyncTables;
 
 /// Handle to a shared-memory region.
 ///
@@ -76,7 +75,8 @@ pub struct RunResult {
     pub node_times: Vec<SimTime>,
     /// Per-node statistics.
     pub stats: ClusterStats,
-    /// Aggregate traffic report (messages, bytes, misses, ...).
+    /// Aggregate traffic report (messages, bytes, misses, ...), including the
+    /// lock-transfer totals aggregated from the sharded lock table.
     pub traffic: TrafficReport,
     region_data: Vec<Vec<u8>>,
 }
@@ -115,12 +115,13 @@ impl RunResult {
     }
 }
 
-/// Global state shared by all worker threads of one run.
+/// Global state shared by all worker threads of one run: the engine-agnostic
+/// sharded synchronization tables plus the consistency engine itself.
 pub(crate) struct RunGlobal {
     pub cfg: DsmConfig,
     pub regions: Vec<RegionDesc>,
-    pub shared: Mutex<Shared>,
-    pub condvar: Condvar,
+    pub sync: SyncTables,
+    pub engine: Box<dyn ProtocolEngine>,
 }
 
 impl std::fmt::Debug for RunGlobal {
@@ -128,6 +129,7 @@ impl std::fmt::Debug for RunGlobal {
         f.debug_struct("RunGlobal")
             .field("cfg", &self.cfg)
             .field("regions", &self.regions.len())
+            .field("engine", &self.engine)
             .finish()
     }
 }
@@ -161,6 +163,7 @@ impl std::fmt::Debug for RunGlobal {
 ///
 /// assert_eq!(result.read_final::<u32>(counter, 0), 4);
 /// assert!(result.seconds() > 0.0);
+/// assert_eq!(result.traffic.lock_transfers, 4);
 /// # Ok::<(), dsm_core::DsmError>(())
 /// ```
 #[derive(Debug)]
@@ -266,22 +269,17 @@ impl Dsm {
     where
         F: Fn(&mut ProcessContext<'_>) + Sync,
     {
-        let mut shared = Shared::new(&self.cfg, &self.regions, &self.init);
-        // Apply the EC bindings declared during setup.
-        if let ModelShared::Ec(_) = shared.model {
-            for (lock, ranges) in &self.binds {
-                shared.ensure_lock(lock.index());
-                let ec = shared.ec();
-                let meta = &mut ec.locks[lock.index()];
-                meta.bound = ranges.clone();
-            }
+        let engine = build_engine(&self.cfg, &self.regions, &self.init);
+        // Apply the bindings declared during setup (a no-op under LRC).
+        for (lock, ranges) in &self.binds {
+            engine.bind(*lock, ranges.clone());
         }
 
         let global = RunGlobal {
             cfg: self.cfg.clone(),
             regions: self.regions.clone(),
-            shared: Mutex::new(shared),
-            condvar: Condvar::new(),
+            sync: SyncTables::new(self.cfg.nprocs),
+            engine,
         };
 
         let nprocs = self.cfg.nprocs;
@@ -294,12 +292,8 @@ impl Dsm {
                 let regions = &self.regions;
                 let init = &self.init;
                 handles.push(scope.spawn(move || {
-                    let local = NodeLocal::new(
-                        dsm_sim::NodeId::new(p as u32),
-                        nprocs,
-                        regions,
-                        init,
-                    );
+                    let local =
+                        NodeLocal::new(dsm_sim::NodeId::new(p as u32), nprocs, regions, init);
                     let mut ctx = ProcessContext::new(global, local);
                     worker(&mut ctx);
                     ctx.into_local()
@@ -312,18 +306,11 @@ impl Dsm {
 
         let locals: Vec<NodeLocal> = locals.into_iter().map(|l| l.expect("joined")).collect();
         let node_times: Vec<SimTime> = locals.iter().map(|l| l.clock.now()).collect();
-        let time = node_times
-            .iter()
-            .copied()
-            .fold(SimTime::ZERO, SimTime::max);
+        let time = node_times.iter().copied().fold(SimTime::ZERO, SimTime::max);
         let stats = ClusterStats::from_nodes(locals.iter().map(|l| l.stats.clone()).collect());
-        let traffic = stats.traffic();
-
-        let shared = global.shared.into_inner();
-        let region_data = match shared.model {
-            ModelShared::Ec(ec) => ec.regions.into_iter().map(|r| r.master).collect(),
-            ModelShared::Lrc(lrc) => lrc.regions.into_iter().map(|r| r.master).collect(),
-        };
+        let mut traffic = stats.traffic();
+        traffic.lock_transfers = global.sync.total_lock_transfers();
+        let region_data = global.engine.final_regions();
 
         RunResult {
             time,
@@ -379,5 +366,20 @@ mod tests {
         let mut cfg = DsmConfig::paper(ImplKind::ec_ci());
         cfg.nprocs = 0;
         assert!(Dsm::new(cfg).is_err());
+    }
+
+    #[test]
+    fn lock_transfers_are_aggregated_from_the_sharded_table() {
+        let mut dsm = Dsm::new(DsmConfig::with_procs(ImplKind::lrc_diff(), 2)).unwrap();
+        let r = dsm.alloc_array::<u32>("c", 1, BlockGranularity::Word);
+        let result = dsm.run(|ctx| {
+            ctx.acquire(LockId::new(0), crate::LockMode::Exclusive);
+            ctx.update::<u32>(r, 0, |v| v + 1);
+            ctx.release(LockId::new(0));
+            ctx.barrier(crate::BarrierId::new(0));
+        });
+        assert_eq!(result.read_final::<u32>(r, 0), 2);
+        // Each node takes ownership once: two transfers in total.
+        assert_eq!(result.traffic.lock_transfers, 2);
     }
 }

@@ -1,0 +1,293 @@
+//! Sharded synchronization state: one slot per lock and per barrier.
+//!
+//! The seed implementation kept the entire cluster state behind a single
+//! `Mutex<Shared>` with one `Condvar`, so every acquire, release, barrier
+//! arrival and page fault on every simulated processor serialized on one OS
+//! lock, and every wakeup was a thundering herd.  This module replaces that
+//! with *sharded* tables: each lock and each barrier lives in its own slot
+//! with its own mutex and condition variable, so independent synchronization
+//! objects never contend and waiters wake only when *their* object changes
+//! state.  The model-specific protocol state is sharded separately by the
+//! engines (see `DESIGN.md`, "Sharding layout").
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use dsm_mem::VectorClock;
+use dsm_sim::{NodeId, SimTime};
+
+/// Locks a mutex, recovering the data if another worker panicked while
+/// holding it.  The protocol state is plain data that stays structurally
+/// valid across a panic, and the panic itself is re-raised when the runtime
+/// joins the worker, so continuing here never masks a failure.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// [`lock`] for read-locking an `RwLock`.
+pub(crate) fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// [`lock`] for write-locking an `RwLock`.
+pub(crate) fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// [`lock`] for condition-variable waits.
+pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard)
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A grow-on-demand table of `Arc`-shared slots, indexed densely.
+///
+/// Lookups of existing slots take only the table's read lock; the write lock
+/// is taken once per slot, the first time its index is used.  Callers receive
+/// an `Arc` so per-slot mutexes are acquired *after* the table lock has been
+/// released — the table lock is never held across protocol work.
+pub(crate) struct SlotTable<T> {
+    slots: RwLock<Vec<Arc<T>>>,
+    make: Box<dyn Fn(usize) -> T + Send + Sync>,
+}
+
+impl<T> SlotTable<T> {
+    /// Creates an empty table whose slots are built by `make` (called with
+    /// the slot index).
+    pub fn new(make: impl Fn(usize) -> T + Send + Sync + 'static) -> Self {
+        SlotTable {
+            slots: RwLock::new(Vec::new()),
+            make: Box::new(make),
+        }
+    }
+
+    /// Returns the slot at `index`, creating it (and any gap before it) on
+    /// first use.
+    pub fn get(&self, index: usize) -> Arc<T> {
+        if let Some(slot) = read(&self.slots).get(index) {
+            return Arc::clone(slot);
+        }
+        let mut slots = write(&self.slots);
+        while slots.len() <= index {
+            let i = slots.len();
+            slots.push(Arc::new((self.make)(i)));
+        }
+        Arc::clone(&slots[index])
+    }
+
+    /// Number of slots created so far.
+    pub fn len(&self) -> usize {
+        read(&self.slots).len()
+    }
+
+    /// A snapshot of every slot created so far (used for end-of-run stats
+    /// aggregation).
+    pub fn snapshot(&self) -> Vec<Arc<T>> {
+        read(&self.slots).clone()
+    }
+}
+
+impl<T> std::fmt::Debug for SlotTable<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlotTable")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Synchronization status of one lock (shared between EC and LRC).
+#[derive(Debug, Clone)]
+pub(crate) struct LockSync {
+    /// The node currently holding the lock exclusively, if any.
+    pub exclusive_holder: Option<NodeId>,
+    /// Number of read-only holders.
+    pub readers: usize,
+    /// The node that last held the lock exclusively (the processor a request
+    /// is forwarded to, and the grantor of the next acquire).
+    pub last_owner: Option<NodeId>,
+    /// Simulated time at which the lock last became available.
+    pub free_time: SimTime,
+    /// Number of times the lock has been transferred between processors.
+    pub transfers: u64,
+}
+
+impl LockSync {
+    fn new() -> Self {
+        LockSync {
+            exclusive_holder: None,
+            readers: 0,
+            last_owner: None,
+            free_time: SimTime::ZERO,
+            transfers: 0,
+        }
+    }
+
+    /// True if an exclusive acquire can proceed.
+    pub fn can_acquire_exclusive(&self) -> bool {
+        self.exclusive_holder.is_none() && self.readers == 0
+    }
+
+    /// True if a read-only acquire can proceed.
+    pub fn can_acquire_read(&self) -> bool {
+        self.exclusive_holder.is_none()
+    }
+}
+
+/// One lock's slot: its synchronization status plus the condition variable
+/// its waiters block on.  Waiters of different locks never share a wakeup.
+#[derive(Debug)]
+pub(crate) struct LockSlot {
+    /// The lock's synchronization status.
+    pub sync: Mutex<LockSync>,
+    /// Woken when the lock becomes available.
+    pub cv: Condvar,
+}
+
+impl LockSlot {
+    fn new() -> Self {
+        LockSlot {
+            sync: Mutex::new(LockSync::new()),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Synchronization status of one barrier episode.
+#[derive(Debug, Clone)]
+pub(crate) struct BarrierSync {
+    /// Nodes that have arrived in the current episode.
+    pub arrived: usize,
+    /// Episode counter; waiters block until it advances.
+    pub generation: u64,
+    /// Accumulated maximum of (arrival time + arrival-message latency) for
+    /// the current episode.
+    pub pending_max: SimTime,
+    /// Accumulated vector-clock maximum over arrivals (LRC; stays zero under
+    /// EC).
+    pub pending_vector: VectorClock,
+    /// Release time of the last completed episode.
+    pub release_time: SimTime,
+    /// Vector released by the last completed episode (LRC).
+    pub released_vector: VectorClock,
+}
+
+impl BarrierSync {
+    fn new(nprocs: usize) -> Self {
+        BarrierSync {
+            arrived: 0,
+            generation: 0,
+            pending_max: SimTime::ZERO,
+            pending_vector: VectorClock::new(nprocs),
+            release_time: SimTime::ZERO,
+            released_vector: VectorClock::new(nprocs),
+        }
+    }
+}
+
+/// One barrier's slot: episode state plus its own condition variable.
+#[derive(Debug)]
+pub(crate) struct BarrierSlot {
+    /// The barrier's episode state.
+    pub sync: Mutex<BarrierSync>,
+    /// Woken when the current episode completes.
+    pub cv: Condvar,
+}
+
+impl BarrierSlot {
+    fn new(nprocs: usize) -> Self {
+        BarrierSlot {
+            sync: Mutex::new(BarrierSync::new(nprocs)),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// The engine-agnostic synchronization tables of one run: one slot per lock
+/// and per barrier, created on demand.
+#[derive(Debug)]
+pub(crate) struct SyncTables {
+    locks: SlotTable<LockSlot>,
+    barriers: SlotTable<BarrierSlot>,
+}
+
+impl SyncTables {
+    /// Creates empty tables for a cluster of `nprocs` processors.
+    pub fn new(nprocs: usize) -> Self {
+        SyncTables {
+            locks: SlotTable::new(|_| LockSlot::new()),
+            barriers: SlotTable::new(move |_| BarrierSlot::new(nprocs)),
+        }
+    }
+
+    /// The slot of lock `index`, created on first use.
+    pub fn lock_slot(&self, index: usize) -> Arc<LockSlot> {
+        self.locks.get(index)
+    }
+
+    /// The slot of barrier `index`, created on first use.
+    pub fn barrier_slot(&self, index: usize) -> Arc<BarrierSlot> {
+        self.barriers.get(index)
+    }
+
+    /// Number of lock slots created so far.
+    #[cfg(test)]
+    pub fn num_locks(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Total lock ownership transfers across all lock slots (aggregated into
+    /// the run's [`TrafficReport`](dsm_sim::TrafficReport)).
+    pub fn total_lock_transfers(&self) -> u64 {
+        self.locks
+            .snapshot()
+            .iter()
+            .map(|slot| lock(&slot.sync).transfers)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_tables_grow_on_demand() {
+        let tables = SyncTables::new(4);
+        let slot = tables.lock_slot(5);
+        assert!(lock(&slot.sync).can_acquire_exclusive());
+        assert_eq!(tables.num_locks(), 6);
+        let bar = tables.barrier_slot(2);
+        assert_eq!(lock(&bar.sync).pending_vector.len(), 4);
+    }
+
+    #[test]
+    fn slots_are_shared_not_recreated() {
+        let tables = SyncTables::new(2);
+        let a = tables.lock_slot(0);
+        lock(&a.sync).transfers = 7;
+        let b = tables.lock_slot(0);
+        assert_eq!(lock(&b.sync).transfers, 7);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(tables.total_lock_transfers(), 7);
+    }
+
+    #[test]
+    fn lock_sync_admission_rules() {
+        let mut l = LockSync::new();
+        assert!(l.can_acquire_exclusive());
+        l.readers = 1;
+        assert!(!l.can_acquire_exclusive());
+        assert!(l.can_acquire_read());
+        l.readers = 0;
+        l.exclusive_holder = Some(NodeId::new(1));
+        assert!(!l.can_acquire_read());
+    }
+
+    #[test]
+    fn slot_table_creates_gaps_with_indices() {
+        let t: SlotTable<usize> = SlotTable::new(|i| i * 10);
+        assert_eq!(*t.get(3), 30);
+        assert_eq!(t.len(), 4);
+        assert_eq!(*t.get(1), 10);
+        assert_eq!(t.snapshot().len(), 4);
+    }
+}

@@ -51,7 +51,11 @@ impl BitSet {
     ///
     /// Panics if `index >= len`.
     pub fn set(&mut self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         let (w, b) = (index / 64, index % 64);
         let was_clear = self.words[w] & (1 << b) == 0;
         self.words[w] |= 1 << b;
@@ -64,7 +68,11 @@ impl BitSet {
     ///
     /// Panics if `index >= len`.
     pub fn clear(&mut self, index: usize) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         let (w, b) = (index / 64, index % 64);
         self.words[w] &= !(1 << b);
     }

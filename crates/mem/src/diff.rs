@@ -123,7 +123,7 @@ impl Diff {
                 dirty[b] = true;
             }
         }
-        Self::from_changed_blocks(current, base_offset, dirty.into_iter(), granularity)
+        Self::from_changed_blocks(current, base_offset, dirty, granularity)
     }
 
     fn from_changed_blocks<I>(

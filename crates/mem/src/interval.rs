@@ -97,6 +97,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn wire_sizes_are_positive() {
         assert!(IntervalId::WIRE_SIZE > 0);
         assert!(WriteNotice::WIRE_SIZE > IntervalId::WIRE_SIZE);

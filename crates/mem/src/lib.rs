@@ -38,6 +38,8 @@ mod interval;
 mod merge;
 mod page;
 mod region;
+#[doc(hidden)]
+pub mod testutil;
 mod vclock;
 
 pub use bitset::BitSet;

@@ -136,7 +136,7 @@ impl UpdateMerge {
     /// Panics if a block extends past the end of `target`.
     pub fn apply_to(&self, target: &mut [u8]) {
         let bs = self.granularity.bytes();
-        for (&block, &(_, ref bytes)) in &self.blocks {
+        for (&block, (_, bytes)) in &self.blocks {
             let start = block * bs;
             target[start..start + bytes.len()].copy_from_slice(bytes);
         }

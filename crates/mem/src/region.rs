@@ -43,7 +43,12 @@ pub struct RegionDesc {
 
 impl RegionDesc {
     /// Creates a region description.
-    pub fn new(id: RegionId, name: impl Into<String>, len: usize, granularity: BlockGranularity) -> Self {
+    pub fn new(
+        id: RegionId,
+        name: impl Into<String>,
+        len: usize,
+        granularity: BlockGranularity,
+    ) -> Self {
         RegionDesc {
             id,
             name: name.into(),
@@ -179,7 +184,10 @@ mod tests {
     fn page_and_block_ranges() {
         let r = MemRange::new(rid(0), PAGE_SIZE - 4, 8);
         assert_eq!(r.pages(), 0..2);
-        assert_eq!(r.blocks(BlockGranularity::Word), (PAGE_SIZE / 4 - 1)..(PAGE_SIZE / 4 + 1));
+        assert_eq!(
+            r.blocks(BlockGranularity::Word),
+            (PAGE_SIZE / 4 - 1)..(PAGE_SIZE / 4 + 1)
+        );
         let empty = MemRange::new(rid(0), 100, 0);
         assert!(empty.is_empty());
         assert_eq!(empty.pages(), 0..0);

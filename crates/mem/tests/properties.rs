@@ -1,55 +1,74 @@
-//! Property-based tests for the data-plane building blocks.
+//! Property-style tests for the data-plane building blocks.
+//!
+//! The container has no network access, so instead of `proptest` these use a
+//! small deterministic xorshift generator: every case is reproducible from
+//! its printed seed, and the loops cover the same input shapes the original
+//! properties did.
 
+use dsm_mem::testutil::TestRng as Rng;
 use dsm_mem::{page_of, pages_in, BitSet, BlockGranularity, Diff, MemRange, RegionId, PAGE_SIZE};
-use proptest::prelude::*;
 
-proptest! {
-    /// Diffs built from explicit dirty blocks (compiler instrumentation)
-    /// always cover at least the blocks a value comparison would find.
-    #[test]
-    fn instrumented_diff_covers_value_diff(
-        data in prop::collection::vec(any::<u8>(), 32..256),
-        flips in prop::collection::vec((0usize..256, any::<u8>()), 0..32),
-    ) {
-        let twin = data.clone();
-        let mut current = data;
+const CASES: u64 = 64;
+
+/// Diffs built from explicit dirty blocks (compiler instrumentation) always
+/// cover at least the blocks a value comparison would find.
+#[test]
+fn instrumented_diff_covers_value_diff() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed + 1);
+        let len = rng.in_range(32, 256);
+        let twin = rng.bytes(len);
+        let mut current = twin.clone();
         let mut dirty_blocks = Vec::new();
-        for (pos, val) in flips {
-            let p = pos % current.len();
-            current[p] = val;
+        for _ in 0..rng.below(32) {
+            let p = rng.below(len);
+            current[p] = rng.byte();
             dirty_blocks.push(p / 4);
         }
         let by_value = Diff::from_compare(&twin, &current, 0, BlockGranularity::Word);
         let by_bits = Diff::from_blocks(&current, 0, dirty_blocks, BlockGranularity::Word);
-        prop_assert!(by_bits.modified_blocks() >= by_value.modified_blocks());
+        assert!(
+            by_bits.modified_blocks() >= by_value.modified_blocks(),
+            "seed {seed}"
+        );
         let mut rebuilt = twin.clone();
         by_bits.apply(&mut rebuilt);
-        prop_assert_eq!(rebuilt, current);
+        assert_eq!(rebuilt, current, "seed {seed}");
     }
+}
 
-    /// The encoded size of a diff is at least its payload and grows with the
-    /// number of runs.
-    #[test]
-    fn diff_encoded_size_bounds(data in prop::collection::vec(any::<u8>(), 64..512),
-                                flips in prop::collection::vec(0usize..512, 0..64)) {
-        let twin = data.clone();
-        let mut current = data;
-        for pos in flips {
-            let p = pos % current.len();
+/// The encoded size of a diff is at least its payload and grows with the
+/// number of runs.
+#[test]
+fn diff_encoded_size_bounds() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed + 1000);
+        let len = rng.in_range(64, 512);
+        let twin = rng.bytes(len);
+        let mut current = twin.clone();
+        for _ in 0..rng.below(64) {
+            let p = rng.below(len);
             current[p] ^= 0xff;
         }
         let d = Diff::from_compare(&twin, &current, 0, BlockGranularity::Word);
-        prop_assert!(d.encoded_size() >= d.modified_bytes());
-        prop_assert!(d.encoded_size() <= d.modified_bytes() + 8 * d.runs().len());
+        assert!(d.encoded_size() >= d.modified_bytes(), "seed {seed}");
+        assert!(
+            d.encoded_size() <= d.modified_bytes() + 8 * d.runs().len(),
+            "seed {seed}"
+        );
     }
+}
 
-    /// BitSet set/clear/count behave like a reference `Vec<bool>`.
-    #[test]
-    fn bitset_matches_reference(ops in prop::collection::vec((0usize..200, any::<bool>()), 0..200)) {
+/// BitSet set/clear/count behave like a reference `Vec<bool>`.
+#[test]
+fn bitset_matches_reference() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed + 2000);
         let mut bits = BitSet::new(200);
-        let mut reference = vec![false; 200];
-        for (idx, set) in ops {
-            if set {
+        let mut reference = [false; 200];
+        for _ in 0..rng.below(200) {
+            let idx = rng.below(200);
+            if rng.bool() {
                 bits.set(idx);
                 reference[idx] = true;
             } else {
@@ -57,26 +76,40 @@ proptest! {
                 reference[idx] = false;
             }
         }
-        prop_assert_eq!(bits.count(), reference.iter().filter(|&&b| b).count());
+        assert_eq!(
+            bits.count(),
+            reference.iter().filter(|&&b| b).count(),
+            "seed {seed}"
+        );
         let from_iter: Vec<usize> = bits.iter_set().collect();
-        let expected: Vec<usize> = reference.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
-        prop_assert_eq!(from_iter, expected);
+        let expected: Vec<usize> = reference
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(from_iter, expected, "seed {seed}");
     }
+}
 
-    /// Page arithmetic is consistent: every byte of a range falls in one of
-    /// the pages the range reports.
-    #[test]
-    fn ranges_cover_their_pages(start in 0usize..100_000, len in 0usize..20_000) {
+/// Page arithmetic is consistent: every byte of a range falls in one of the
+/// pages the range reports.
+#[test]
+fn ranges_cover_their_pages() {
+    for seed in 0..CASES * 4 {
+        let mut rng = Rng::new(seed + 3000);
+        let start = rng.below(100_000);
+        let len = rng.below(20_000);
         let range = MemRange::new(RegionId::new(0), start, len);
         let pages = range.pages();
         if len == 0 {
-            prop_assert!(pages.is_empty());
+            assert!(pages.is_empty(), "seed {seed}");
         } else {
             for offset in [start, start + len / 2, start + len - 1] {
-                prop_assert!(pages.contains(&page_of(offset)));
+                assert!(pages.contains(&page_of(offset)), "seed {seed}");
             }
-            prop_assert!(pages.end <= pages_in(start + len) + 1);
-            prop_assert!(pages.len() <= len / PAGE_SIZE + 2);
+            assert!(pages.end <= pages_in(start + len) + 1, "seed {seed}");
+            assert!(pages.len() <= len / PAGE_SIZE + 2, "seed {seed}");
         }
     }
 }

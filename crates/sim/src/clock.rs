@@ -190,7 +190,10 @@ mod tests {
     fn arithmetic_saturates() {
         let big = SimTime::from_nanos(u64::MAX);
         assert_eq!(big + SimTime::from_nanos(10), big);
-        assert_eq!(SimTime::from_nanos(3) - SimTime::from_nanos(10), SimTime::ZERO);
+        assert_eq!(
+            SimTime::from_nanos(3) - SimTime::from_nanos(10),
+            SimTime::ZERO
+        );
         assert_eq!(big.times(3), big);
     }
 
@@ -198,8 +201,18 @@ mod tests {
     fn sum_and_minmax() {
         let total: SimTime = [1u64, 2, 3].iter().map(|&n| SimTime::from_nanos(n)).sum();
         assert_eq!(total.as_nanos(), 6);
-        assert_eq!(SimTime::from_nanos(4).max(SimTime::from_nanos(9)).as_nanos(), 9);
-        assert_eq!(SimTime::from_nanos(4).min(SimTime::from_nanos(9)).as_nanos(), 4);
+        assert_eq!(
+            SimTime::from_nanos(4)
+                .max(SimTime::from_nanos(9))
+                .as_nanos(),
+            9
+        );
+        assert_eq!(
+            SimTime::from_nanos(4)
+                .min(SimTime::from_nanos(9))
+                .as_nanos(),
+            4
+        );
     }
 
     #[test]

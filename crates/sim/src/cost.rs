@@ -228,10 +228,7 @@ mod tests {
         let small = c.message(0);
         let large = c.message(4096);
         assert!(large > small);
-        assert_eq!(
-            large.as_nanos() - small.as_nanos(),
-            4096 * c.per_byte_ns
-        );
+        assert_eq!(large.as_nanos() - small.as_nanos(), 4096 * c.per_byte_ns);
     }
 
     #[test]
@@ -261,10 +258,7 @@ mod tests {
     #[test]
     fn work_units_convert_linearly() {
         let c = CostModel::atm_lan_1996();
-        assert_eq!(
-            c.work(Work::flops(10)).as_nanos(),
-            10 * c.work_unit_ns
-        );
+        assert_eq!(c.work(Work::flops(10)).as_nanos(), 10 * c.work_unit_ns);
     }
 
     #[test]

@@ -170,6 +170,7 @@ impl ClusterStats {
             diffs_created: t.diffs_created,
             lock_acquires: t.lock_acquires,
             barriers: t.barriers,
+            lock_transfers: 0,
         }
     }
 }
@@ -196,6 +197,11 @@ pub struct TrafficReport {
     pub lock_acquires: u64,
     /// Barrier episodes (summed over nodes).
     pub barriers: u64,
+    /// Lock ownership transfers between processors.  This counter lives in
+    /// the runtime's sharded lock table rather than in any node's
+    /// [`NodeStats`], so it is aggregated by the DSM runtime after the run;
+    /// reports built directly from [`ClusterStats::traffic`] leave it zero.
+    pub lock_transfers: u64,
 }
 
 impl TrafficReport {
@@ -209,7 +215,8 @@ impl fmt::Display for TrafficReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} msgs ({} sync, {} data), {:.2} MB, {} misses, {} faults, {} diffs, {} acquires",
+            "{} msgs ({} sync, {} data), {:.2} MB, {} misses, {} faults, {} diffs, {} acquires, \
+             {} transfers",
             self.messages,
             self.sync_messages,
             self.data_messages,
@@ -217,7 +224,8 @@ impl fmt::Display for TrafficReport {
             self.access_misses,
             self.write_faults,
             self.diffs_created,
-            self.lock_acquires
+            self.lock_acquires,
+            self.lock_transfers
         )
     }
 }

@@ -7,9 +7,7 @@
 //!
 //! Run with `cargo run -p dsm-examples --bin task_farm`.
 
-use dsm_core::{
-    BarrierId, BlockGranularity, Dsm, DsmConfig, ImplKind, LockId, LockMode, Model,
-};
+use dsm_core::{BarrierId, BlockGranularity, Dsm, DsmConfig, ImplKind, LockId, LockMode, Model};
 use dsm_sim::Work;
 
 const SIDE: usize = 256; // image is SIDE x SIDE f32 pixels

@@ -13,7 +13,10 @@ fn every_app_matches_sequential_under_every_implementation() {
                 report.verified,
                 "{app} under {kind} diverged from the sequential version"
             );
-            assert!(report.time.as_nanos() > 0, "{app} under {kind} took no time");
+            assert!(
+                report.time.as_nanos() > 0,
+                "{app} under {kind} took no time"
+            );
         }
     }
 }

@@ -23,8 +23,14 @@ fn fft_favours_ec_update_protocol() {
         ec.traffic.messages,
         lrc.traffic.messages
     );
-    assert!(ec.traffic.access_misses == 0, "EC never takes access misses");
-    assert!(lrc.traffic.access_misses > 0, "LRC fetches the transpose page by page");
+    assert!(
+        ec.traffic.access_misses == 0,
+        "EC never takes access misses"
+    );
+    assert!(
+        lrc.traffic.access_misses > 0,
+        "LRC fetches the transpose page by page"
+    );
 }
 
 /// Section 7.2, Water and Barnes-Hut: LRC's page-grain prefetching and the

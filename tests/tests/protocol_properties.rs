@@ -1,48 +1,56 @@
-//! Property-based tests over the DSM protocols and their building blocks.
+//! Property-style tests over the DSM protocols and their building blocks.
+//!
+//! Deterministic xorshift-driven cases replace `proptest` (the build
+//! environment is offline); every case is reproducible from its printed seed.
 
 use dsm_core::{BarrierId, BlockGranularity, Dsm, DsmConfig, ImplKind, LockId, LockMode};
+use dsm_mem::testutil::TestRng as Rng;
 use dsm_mem::{Diff, UpdateMerge, VectorClock};
 use dsm_sim::NodeId;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Applying a diff built from (twin, current) to a copy of the twin
-    /// always reconstructs `current`, at either granularity.
-    #[test]
-    fn diff_roundtrip(data in prop::collection::vec(any::<u8>(), 64..512),
-                      flips in prop::collection::vec((0usize..512, any::<u8>()), 0..64),
-                      dw in any::<bool>()) {
-        let twin = data.clone();
-        let mut current = data;
-        for (pos, val) in flips {
-            let p = pos % current.len();
-            current[p] = val;
+/// Applying a diff built from (twin, current) to a copy of the twin always
+/// reconstructs `current`, at either granularity.
+#[test]
+fn diff_roundtrip() {
+    for seed in 0..32 {
+        let mut rng = Rng::new(seed + 1);
+        let len = rng.in_range(64, 512);
+        let twin = rng.bytes(len);
+        let mut current = twin.clone();
+        for _ in 0..rng.below(64) {
+            let p = rng.below(len);
+            current[p] = rng.byte();
         }
-        let gran = if dw { BlockGranularity::DoubleWord } else { BlockGranularity::Word };
+        let gran = if seed % 2 == 0 {
+            BlockGranularity::DoubleWord
+        } else {
+            BlockGranularity::Word
+        };
         let diff = Diff::from_compare(&twin, &current, 0, gran);
         let mut rebuilt = twin.clone();
         diff.apply(&mut rebuilt);
-        prop_assert_eq!(rebuilt, current);
+        assert_eq!(rebuilt, current, "seed {seed}");
     }
+}
 
-    /// Folding a chain of diffs through `UpdateMerge` produces the same final
-    /// bytes as applying the diffs in order (timestamp collection and diff
-    /// collection are content-equivalent).
-    #[test]
-    fn merge_equals_sequential_application(
-        base in prop::collection::vec(any::<u8>(), 64..256),
-        steps in prop::collection::vec(prop::collection::vec((0usize..256, any::<u8>()), 1..16), 1..6),
-    ) {
+/// Folding a chain of diffs through `UpdateMerge` produces the same final
+/// bytes as applying the diffs in order (timestamp collection and diff
+/// collection are content-equivalent).
+#[test]
+fn merge_equals_sequential_application() {
+    for seed in 0..32 {
+        let mut rng = Rng::new(seed + 100);
+        let len = rng.in_range(64, 256);
+        let base = rng.bytes(len);
         let mut by_diffs = base.clone();
         let mut merge = UpdateMerge::new(BlockGranularity::Word);
         let mut current = base.clone();
-        for (stamp, flips) in steps.iter().enumerate() {
+        let steps = rng.in_range(1, 6);
+        for stamp in 0..steps {
             let prev = current.clone();
-            for (pos, val) in flips {
-                let p = pos % current.len();
-                current[p] = *val;
+            for _ in 0..rng.in_range(1, 16) {
+                let p = rng.below(len);
+                current[p] = rng.byte();
             }
             let diff = Diff::from_compare(&prev, &current, 0, BlockGranularity::Word);
             diff.apply(&mut by_diffs);
@@ -50,42 +58,57 @@ proptest! {
         }
         let mut by_merge = base.clone();
         merge.apply_to(&mut by_merge);
-        prop_assert_eq!(by_diffs.clone(), current.clone());
-        prop_assert_eq!(by_merge, current);
+        assert_eq!(by_diffs, current, "seed {seed}");
+        assert_eq!(by_merge, current, "seed {seed}");
     }
+}
 
-    /// Vector clocks form a join-semilattice: merge is idempotent,
-    /// commutative, and dominates both inputs.
-    #[test]
-    fn vector_clock_lattice(a in prop::collection::vec(0u32..50, 8),
-                            b in prop::collection::vec(0u32..50, 8)) {
+/// Vector clocks form a join-semilattice: merge is idempotent, commutative,
+/// and dominates both inputs.
+#[test]
+fn vector_clock_lattice() {
+    for seed in 0..64 {
+        let mut rng = Rng::new(seed + 200);
         let mut va = VectorClock::new(8);
         let mut vb = VectorClock::new(8);
         for i in 0..8 {
-            va.set_entry(NodeId::new(i as u32), a[i]);
-            vb.set_entry(NodeId::new(i as u32), b[i]);
+            va.set_entry(NodeId::new(i as u32), rng.below(50) as u32);
+            vb.set_entry(NodeId::new(i as u32), rng.below(50) as u32);
         }
         let mut ab = va.clone();
         ab.merge_max(&vb);
         let mut ba = vb.clone();
         ba.merge_max(&va);
-        prop_assert_eq!(ab.clone(), ba);
-        prop_assert!(ab.dominates(&va));
-        prop_assert!(ab.dominates(&vb));
+        assert_eq!(ab, ba, "seed {seed}");
+        assert!(ab.dominates(&va), "seed {seed}");
+        assert!(ab.dominates(&vb), "seed {seed}");
         let mut again = ab.clone();
         again.merge_max(&ab);
-        prop_assert_eq!(again, ab);
+        assert_eq!(again, ab, "seed {seed}");
     }
+}
 
-    /// A randomly generated bulk-synchronous program — each processor writes
-    /// a random slice of a shared array each phase, with barriers in between —
-    /// produces identical final contents under every implementation.
-    #[test]
-    fn random_bsp_program_is_model_independent(
-        writes in prop::collection::vec((0usize..4, 0usize..256, 1usize..32, any::<u32>()), 1..24),
-    ) {
+/// A randomly generated bulk-synchronous program — each processor writes a
+/// slice of a shared array each phase, with barriers in between — produces
+/// identical final contents under every implementation.
+#[test]
+fn random_bsp_program_is_model_independent() {
+    for seed in 0..8 {
+        let mut rng = Rng::new(seed + 300);
         let nprocs = 4;
         let elems = 256usize;
+        let nwrites = rng.in_range(1, 24);
+        let writes: Vec<(usize, usize, usize, u32)> = (0..nwrites)
+            .map(|_| {
+                (
+                    rng.below(4),
+                    rng.below(256),
+                    rng.in_range(1, 32),
+                    rng.next_u64() as u32,
+                )
+            })
+            .collect();
+
         let mut reference: Option<Vec<u32>> = None;
         for kind in ImplKind::all() {
             let mut dsm = Dsm::new(DsmConfig::with_procs(kind, nprocs)).unwrap();
@@ -122,7 +145,9 @@ proptest! {
             let finals = result.final_vec::<u32>(region);
             match &reference {
                 None => reference = Some(finals),
-                Some(expected) => prop_assert_eq!(expected, &finals, "mismatch under {}", kind),
+                Some(expected) => {
+                    assert_eq!(expected, &finals, "seed {seed}, mismatch under {kind}")
+                }
             }
         }
     }
