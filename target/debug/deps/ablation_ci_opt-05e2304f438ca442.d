@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ci_opt-05e2304f438ca442.d: crates/bench/src/bin/ablation_ci_opt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ci_opt-05e2304f438ca442.rmeta: crates/bench/src/bin/ablation_ci_opt.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ci_opt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ci_opt-2a8c375e76bd25eb.d: crates/bench/src/bin/ablation_ci_opt.rs
+
+/root/repo/target/debug/deps/ablation_ci_opt-2a8c375e76bd25eb: crates/bench/src/bin/ablation_ci_opt.rs
+
+crates/bench/src/bin/ablation_ci_opt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ci_opt-82134794f147d989.d: crates/bench/src/bin/ablation_ci_opt.rs
+
+/root/repo/target/debug/deps/libablation_ci_opt-82134794f147d989.rmeta: crates/bench/src/bin/ablation_ci_opt.rs
+
+crates/bench/src/bin/ablation_ci_opt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ci_opt-a87467a4ef6a07b6.d: crates/bench/src/bin/ablation_ci_opt.rs
+
+/root/repo/target/debug/deps/ablation_ci_opt-a87467a4ef6a07b6: crates/bench/src/bin/ablation_ci_opt.rs
+
+crates/bench/src/bin/ablation_ci_opt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ci_opt-b7d2227b5e8123bf.d: crates/bench/src/bin/ablation_ci_opt.rs
+
+/root/repo/target/debug/deps/libablation_ci_opt-b7d2227b5e8123bf.rmeta: crates/bench/src/bin/ablation_ci_opt.rs
+
+crates/bench/src/bin/ablation_ci_opt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_small_objects-658d45b2ae629d67.d: crates/bench/src/bin/ablation_small_objects.rs
+
+/root/repo/target/debug/deps/libablation_small_objects-658d45b2ae629d67.rmeta: crates/bench/src/bin/ablation_small_objects.rs
+
+crates/bench/src/bin/ablation_small_objects.rs:

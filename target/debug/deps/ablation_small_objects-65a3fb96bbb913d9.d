@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_small_objects-65a3fb96bbb913d9.d: crates/bench/src/bin/ablation_small_objects.rs
+
+/root/repo/target/debug/deps/ablation_small_objects-65a3fb96bbb913d9: crates/bench/src/bin/ablation_small_objects.rs
+
+crates/bench/src/bin/ablation_small_objects.rs:

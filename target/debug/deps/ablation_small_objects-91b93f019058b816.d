@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_small_objects-91b93f019058b816.d: crates/bench/src/bin/ablation_small_objects.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_small_objects-91b93f019058b816.rmeta: crates/bench/src/bin/ablation_small_objects.rs Cargo.toml
+
+crates/bench/src/bin/ablation_small_objects.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_small_objects-a63a588874c466e1.d: crates/bench/src/bin/ablation_small_objects.rs
+
+/root/repo/target/debug/deps/libablation_small_objects-a63a588874c466e1.rmeta: crates/bench/src/bin/ablation_small_objects.rs
+
+crates/bench/src/bin/ablation_small_objects.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_small_objects-f96630bac001da7a.d: crates/bench/src/bin/ablation_small_objects.rs
+
+/root/repo/target/debug/deps/ablation_small_objects-f96630bac001da7a: crates/bench/src/bin/ablation_small_objects.rs
+
+crates/bench/src/bin/ablation_small_objects.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all_apps_all_impls-13a22e60e3b1797b.d: tests/tests/all_apps_all_impls.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_apps_all_impls-13a22e60e3b1797b.rmeta: tests/tests/all_apps_all_impls.rs Cargo.toml
+
+tests/tests/all_apps_all_impls.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

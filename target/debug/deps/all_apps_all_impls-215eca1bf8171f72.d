@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_apps_all_impls-215eca1bf8171f72.d: tests/tests/all_apps_all_impls.rs
+
+/root/repo/target/debug/deps/liball_apps_all_impls-215eca1bf8171f72.rmeta: tests/tests/all_apps_all_impls.rs
+
+tests/tests/all_apps_all_impls.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_apps_all_impls-9562342416c5abe8.d: tests/tests/all_apps_all_impls.rs
+
+/root/repo/target/debug/deps/all_apps_all_impls-9562342416c5abe8: tests/tests/all_apps_all_impls.rs
+
+tests/tests/all_apps_all_impls.rs:

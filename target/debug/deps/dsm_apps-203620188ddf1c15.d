@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dsm_apps-203620188ddf1c15.d: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/fft.rs crates/apps/src/is.rs crates/apps/src/params.rs crates/apps/src/quicksort.rs crates/apps/src/runner.rs crates/apps/src/sor.rs crates/apps/src/water.rs
+
+/root/repo/target/debug/deps/libdsm_apps-203620188ddf1c15.rlib: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/fft.rs crates/apps/src/is.rs crates/apps/src/params.rs crates/apps/src/quicksort.rs crates/apps/src/runner.rs crates/apps/src/sor.rs crates/apps/src/water.rs
+
+/root/repo/target/debug/deps/libdsm_apps-203620188ddf1c15.rmeta: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/fft.rs crates/apps/src/is.rs crates/apps/src/params.rs crates/apps/src/quicksort.rs crates/apps/src/runner.rs crates/apps/src/sor.rs crates/apps/src/water.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/barnes_hut.rs:
+crates/apps/src/fft.rs:
+crates/apps/src/is.rs:
+crates/apps/src/params.rs:
+crates/apps/src/quicksort.rs:
+crates/apps/src/runner.rs:
+crates/apps/src/sor.rs:
+crates/apps/src/water.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dsm_apps-3b9472461a0a9454.d: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/fft.rs crates/apps/src/is.rs crates/apps/src/params.rs crates/apps/src/quicksort.rs crates/apps/src/runner.rs crates/apps/src/sor.rs crates/apps/src/water.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsm_apps-3b9472461a0a9454.rmeta: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/fft.rs crates/apps/src/is.rs crates/apps/src/params.rs crates/apps/src/quicksort.rs crates/apps/src/runner.rs crates/apps/src/sor.rs crates/apps/src/water.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/barnes_hut.rs:
+crates/apps/src/fft.rs:
+crates/apps/src/is.rs:
+crates/apps/src/params.rs:
+crates/apps/src/quicksort.rs:
+crates/apps/src/runner.rs:
+crates/apps/src/sor.rs:
+crates/apps/src/water.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dsm_apps-670c8ef2bf5bc063.d: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/fft.rs crates/apps/src/is.rs crates/apps/src/params.rs crates/apps/src/quicksort.rs crates/apps/src/runner.rs crates/apps/src/sor.rs crates/apps/src/water.rs
+
+/root/repo/target/debug/deps/libdsm_apps-670c8ef2bf5bc063.rmeta: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/fft.rs crates/apps/src/is.rs crates/apps/src/params.rs crates/apps/src/quicksort.rs crates/apps/src/runner.rs crates/apps/src/sor.rs crates/apps/src/water.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/barnes_hut.rs:
+crates/apps/src/fft.rs:
+crates/apps/src/is.rs:
+crates/apps/src/params.rs:
+crates/apps/src/quicksort.rs:
+crates/apps/src/runner.rs:
+crates/apps/src/sor.rs:
+crates/apps/src/water.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dsm_apps-a836680438126ce9.d: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/fft.rs crates/apps/src/is.rs crates/apps/src/params.rs crates/apps/src/quicksort.rs crates/apps/src/runner.rs crates/apps/src/sor.rs crates/apps/src/water.rs
+
+/root/repo/target/debug/deps/dsm_apps-a836680438126ce9: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/fft.rs crates/apps/src/is.rs crates/apps/src/params.rs crates/apps/src/quicksort.rs crates/apps/src/runner.rs crates/apps/src/sor.rs crates/apps/src/water.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/barnes_hut.rs:
+crates/apps/src/fft.rs:
+crates/apps/src/is.rs:
+crates/apps/src/params.rs:
+crates/apps/src/quicksort.rs:
+crates/apps/src/runner.rs:
+crates/apps/src/sor.rs:
+crates/apps/src/water.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dsm_bench-3023396ccaa4115a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdsm_bench-3023396ccaa4115a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

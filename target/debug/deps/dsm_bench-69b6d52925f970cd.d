@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dsm_bench-69b6d52925f970cd.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dsm_bench-69b6d52925f970cd: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

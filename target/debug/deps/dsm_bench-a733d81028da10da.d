@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dsm_bench-a733d81028da10da.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdsm_bench-a733d81028da10da.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

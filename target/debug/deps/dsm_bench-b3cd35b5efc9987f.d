@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dsm_bench-b3cd35b5efc9987f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdsm_bench-b3cd35b5efc9987f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdsm_bench-b3cd35b5efc9987f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dsm_bench-c9fd4a4270395fec.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdsm_bench-c9fd4a4270395fec.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdsm_bench-c9fd4a4270395fec.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

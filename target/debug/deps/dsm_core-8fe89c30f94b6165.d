@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dsm_core-8fe89c30f94b6165.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/context.rs crates/core/src/ec.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/local.rs crates/core/src/lrc.rs crates/core/src/runtime.rs crates/core/src/scalar.rs crates/core/src/sync.rs
+
+/root/repo/target/debug/deps/libdsm_core-8fe89c30f94b6165.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/context.rs crates/core/src/ec.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/local.rs crates/core/src/lrc.rs crates/core/src/runtime.rs crates/core/src/scalar.rs crates/core/src/sync.rs
+
+/root/repo/target/debug/deps/libdsm_core-8fe89c30f94b6165.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/context.rs crates/core/src/ec.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/local.rs crates/core/src/lrc.rs crates/core/src/runtime.rs crates/core/src/scalar.rs crates/core/src/sync.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/context.rs:
+crates/core/src/ec.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/ids.rs:
+crates/core/src/local.rs:
+crates/core/src/lrc.rs:
+crates/core/src/runtime.rs:
+crates/core/src/scalar.rs:
+crates/core/src/sync.rs:

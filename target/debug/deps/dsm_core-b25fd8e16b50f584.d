@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dsm_core-b25fd8e16b50f584.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/context.rs crates/core/src/ec.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/local.rs crates/core/src/lrc.rs crates/core/src/runtime.rs crates/core/src/scalar.rs crates/core/src/sync.rs
+
+/root/repo/target/debug/deps/libdsm_core-b25fd8e16b50f584.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/context.rs crates/core/src/ec.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/local.rs crates/core/src/lrc.rs crates/core/src/runtime.rs crates/core/src/scalar.rs crates/core/src/sync.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/context.rs:
+crates/core/src/ec.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/ids.rs:
+crates/core/src/local.rs:
+crates/core/src/lrc.rs:
+crates/core/src/runtime.rs:
+crates/core/src/scalar.rs:
+crates/core/src/sync.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/dsm_core-e8da62c3d112bc84.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/context.rs crates/core/src/ec.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/local.rs crates/core/src/lrc.rs crates/core/src/runtime.rs crates/core/src/scalar.rs crates/core/src/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsm_core-e8da62c3d112bc84.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/context.rs crates/core/src/ec.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/local.rs crates/core/src/lrc.rs crates/core/src/runtime.rs crates/core/src/scalar.rs crates/core/src/sync.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/context.rs:
+crates/core/src/ec.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/ids.rs:
+crates/core/src/local.rs:
+crates/core/src/lrc.rs:
+crates/core/src/runtime.rs:
+crates/core/src/scalar.rs:
+crates/core/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dsm_mem-620fedcf8c01912f.d: crates/mem/src/lib.rs crates/mem/src/bitset.rs crates/mem/src/diff.rs crates/mem/src/granularity.rs crates/mem/src/interval.rs crates/mem/src/merge.rs crates/mem/src/page.rs crates/mem/src/region.rs crates/mem/src/testutil.rs crates/mem/src/vclock.rs
+
+/root/repo/target/debug/deps/dsm_mem-620fedcf8c01912f: crates/mem/src/lib.rs crates/mem/src/bitset.rs crates/mem/src/diff.rs crates/mem/src/granularity.rs crates/mem/src/interval.rs crates/mem/src/merge.rs crates/mem/src/page.rs crates/mem/src/region.rs crates/mem/src/testutil.rs crates/mem/src/vclock.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/bitset.rs:
+crates/mem/src/diff.rs:
+crates/mem/src/granularity.rs:
+crates/mem/src/interval.rs:
+crates/mem/src/merge.rs:
+crates/mem/src/page.rs:
+crates/mem/src/region.rs:
+crates/mem/src/testutil.rs:
+crates/mem/src/vclock.rs:

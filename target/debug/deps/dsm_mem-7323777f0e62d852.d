@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dsm_mem-7323777f0e62d852.d: crates/mem/src/lib.rs crates/mem/src/bitset.rs crates/mem/src/diff.rs crates/mem/src/granularity.rs crates/mem/src/interval.rs crates/mem/src/merge.rs crates/mem/src/page.rs crates/mem/src/region.rs crates/mem/src/testutil.rs crates/mem/src/vclock.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsm_mem-7323777f0e62d852.rmeta: crates/mem/src/lib.rs crates/mem/src/bitset.rs crates/mem/src/diff.rs crates/mem/src/granularity.rs crates/mem/src/interval.rs crates/mem/src/merge.rs crates/mem/src/page.rs crates/mem/src/region.rs crates/mem/src/testutil.rs crates/mem/src/vclock.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/bitset.rs:
+crates/mem/src/diff.rs:
+crates/mem/src/granularity.rs:
+crates/mem/src/interval.rs:
+crates/mem/src/merge.rs:
+crates/mem/src/page.rs:
+crates/mem/src/region.rs:
+crates/mem/src/testutil.rs:
+crates/mem/src/vclock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

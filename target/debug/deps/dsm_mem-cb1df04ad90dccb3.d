@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dsm_mem-cb1df04ad90dccb3.d: crates/mem/src/lib.rs crates/mem/src/bitset.rs crates/mem/src/diff.rs crates/mem/src/granularity.rs crates/mem/src/interval.rs crates/mem/src/merge.rs crates/mem/src/page.rs crates/mem/src/region.rs crates/mem/src/vclock.rs
+
+/root/repo/target/debug/deps/libdsm_mem-cb1df04ad90dccb3.rlib: crates/mem/src/lib.rs crates/mem/src/bitset.rs crates/mem/src/diff.rs crates/mem/src/granularity.rs crates/mem/src/interval.rs crates/mem/src/merge.rs crates/mem/src/page.rs crates/mem/src/region.rs crates/mem/src/vclock.rs
+
+/root/repo/target/debug/deps/libdsm_mem-cb1df04ad90dccb3.rmeta: crates/mem/src/lib.rs crates/mem/src/bitset.rs crates/mem/src/diff.rs crates/mem/src/granularity.rs crates/mem/src/interval.rs crates/mem/src/merge.rs crates/mem/src/page.rs crates/mem/src/region.rs crates/mem/src/vclock.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/bitset.rs:
+crates/mem/src/diff.rs:
+crates/mem/src/granularity.rs:
+crates/mem/src/interval.rs:
+crates/mem/src/merge.rs:
+crates/mem/src/page.rs:
+crates/mem/src/region.rs:
+crates/mem/src/vclock.rs:

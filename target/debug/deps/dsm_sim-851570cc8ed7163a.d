@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dsm_sim-851570cc8ed7163a.d: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/msg.rs crates/sim/src/node.rs crates/sim/src/stats.rs crates/sim/src/work.rs
+
+/root/repo/target/debug/deps/libdsm_sim-851570cc8ed7163a.rlib: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/msg.rs crates/sim/src/node.rs crates/sim/src/stats.rs crates/sim/src/work.rs
+
+/root/repo/target/debug/deps/libdsm_sim-851570cc8ed7163a.rmeta: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/msg.rs crates/sim/src/node.rs crates/sim/src/stats.rs crates/sim/src/work.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/msg.rs:
+crates/sim/src/node.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/work.rs:

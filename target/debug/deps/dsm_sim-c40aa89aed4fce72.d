@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dsm_sim-c40aa89aed4fce72.d: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/msg.rs crates/sim/src/node.rs crates/sim/src/stats.rs crates/sim/src/work.rs
+
+/root/repo/target/debug/deps/libdsm_sim-c40aa89aed4fce72.rmeta: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/msg.rs crates/sim/src/node.rs crates/sim/src/stats.rs crates/sim/src/work.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/msg.rs:
+crates/sim/src/node.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/work.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dsm_sim-eb1d778a2bfb57cb.d: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/msg.rs crates/sim/src/node.rs crates/sim/src/stats.rs crates/sim/src/work.rs
+
+/root/repo/target/debug/deps/dsm_sim-eb1d778a2bfb57cb: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/msg.rs crates/sim/src/node.rs crates/sim/src/stats.rs crates/sim/src/work.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/msg.rs:
+crates/sim/src/node.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/work.rs:

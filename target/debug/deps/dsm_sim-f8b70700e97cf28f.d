@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dsm_sim-f8b70700e97cf28f.d: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/msg.rs crates/sim/src/node.rs crates/sim/src/stats.rs crates/sim/src/work.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsm_sim-f8b70700e97cf28f.rmeta: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/msg.rs crates/sim/src/node.rs crates/sim/src/stats.rs crates/sim/src/work.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/msg.rs:
+crates/sim/src/node.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/work.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

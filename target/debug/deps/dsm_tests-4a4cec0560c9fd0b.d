@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dsm_tests-4a4cec0560c9fd0b.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsm_tests-4a4cec0560c9fd0b.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

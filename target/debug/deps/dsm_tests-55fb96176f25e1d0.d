@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dsm_tests-55fb96176f25e1d0.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/dsm_tests-55fb96176f25e1d0: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dsm_tests-7ca58800ae55ea15.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libdsm_tests-7ca58800ae55ea15.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dsm_tests-9b6c112ddc88dfbe.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libdsm_tests-9b6c112ddc88dfbe.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libdsm_tests-9b6c112ddc88dfbe.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dsm_tests-a1d81d1d51022591.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libdsm_tests-a1d81d1d51022591.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dsm_tests-ae50d726cf3ed78e.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsm_tests-ae50d726cf3ed78e.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

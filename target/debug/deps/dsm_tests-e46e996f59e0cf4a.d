@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dsm_tests-e46e996f59e0cf4a.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libdsm_tests-e46e996f59e0cf4a.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libdsm_tests-e46e996f59e0cf4a.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

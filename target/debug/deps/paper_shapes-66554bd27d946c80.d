@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-66554bd27d946c80.d: tests/tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/libpaper_shapes-66554bd27d946c80.rmeta: tests/tests/paper_shapes.rs
+
+tests/tests/paper_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_shapes-a02fb828fcbff1cf.d: tests/tests/paper_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_shapes-a02fb828fcbff1cf.rmeta: tests/tests/paper_shapes.rs Cargo.toml
+
+tests/tests/paper_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

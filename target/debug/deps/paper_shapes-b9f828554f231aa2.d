@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-b9f828554f231aa2.d: tests/tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-b9f828554f231aa2: tests/tests/paper_shapes.rs
+
+tests/tests/paper_shapes.rs:

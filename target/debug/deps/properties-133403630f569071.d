@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-133403630f569071.d: crates/mem/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-133403630f569071.rmeta: crates/mem/tests/properties.rs
+
+crates/mem/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e567dde7ab5e8bb9.d: crates/mem/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e567dde7ab5e8bb9: crates/mem/tests/properties.rs
+
+crates/mem/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_properties-4ecf845ed9aab420.d: tests/tests/protocol_properties.rs
+
+/root/repo/target/debug/deps/libprotocol_properties-4ecf845ed9aab420.rmeta: tests/tests/protocol_properties.rs
+
+tests/tests/protocol_properties.rs:

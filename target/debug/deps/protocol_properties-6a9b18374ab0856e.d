@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_properties-6a9b18374ab0856e.d: tests/tests/protocol_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_properties-6a9b18374ab0856e.rmeta: tests/tests/protocol_properties.rs Cargo.toml
+
+tests/tests/protocol_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_properties-754880be18db3071.d: tests/tests/protocol_properties.rs
+
+/root/repo/target/debug/deps/protocol_properties-754880be18db3071: tests/tests/protocol_properties.rs
+
+tests/tests/protocol_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-58579653e8418b97.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-58579653e8418b97: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-5f3fb3d95290c6a8.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-5f3fb3d95290c6a8: examples/quickstart.rs
+
+examples/quickstart.rs:

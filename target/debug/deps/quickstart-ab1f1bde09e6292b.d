@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-ab1f1bde09e6292b.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/libquickstart-ab1f1bde09e6292b.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-b0006914d8ee0151.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/libquickstart-b0006914d8ee0151.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

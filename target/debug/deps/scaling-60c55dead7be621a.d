@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-60c55dead7be621a.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/libscaling-60c55dead7be621a.rmeta: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-6f76c389666adfd2.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-6f76c389666adfd2: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-b52b32ae843ec428.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/libscaling-b52b32ae843ec428.rmeta: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

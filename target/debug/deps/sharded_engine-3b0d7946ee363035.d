@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sharded_engine-3b0d7946ee363035.d: tests/tests/sharded_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsharded_engine-3b0d7946ee363035.rmeta: tests/tests/sharded_engine.rs Cargo.toml
+
+tests/tests/sharded_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

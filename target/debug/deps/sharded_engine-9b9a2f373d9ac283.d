@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sharded_engine-9b9a2f373d9ac283.d: tests/tests/sharded_engine.rs
+
+/root/repo/target/debug/deps/sharded_engine-9b9a2f373d9ac283: tests/tests/sharded_engine.rs
+
+tests/tests/sharded_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sharded_engine-e0b22371afa85a78.d: tests/tests/sharded_engine.rs
+
+/root/repo/target/debug/deps/libsharded_engine-e0b22371afa85a78.rmeta: tests/tests/sharded_engine.rs
+
+tests/tests/sharded_engine.rs:

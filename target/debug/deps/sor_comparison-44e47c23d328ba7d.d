@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sor_comparison-44e47c23d328ba7d.d: examples/sor_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsor_comparison-44e47c23d328ba7d.rmeta: examples/sor_comparison.rs Cargo.toml
+
+examples/sor_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sor_comparison-783a610d25fd4711.d: examples/sor_comparison.rs
+
+/root/repo/target/debug/deps/libsor_comparison-783a610d25fd4711.rmeta: examples/sor_comparison.rs
+
+examples/sor_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sor_comparison-82dae70547c8908f.d: examples/sor_comparison.rs
+
+/root/repo/target/debug/deps/libsor_comparison-82dae70547c8908f.rmeta: examples/sor_comparison.rs
+
+examples/sor_comparison.rs:

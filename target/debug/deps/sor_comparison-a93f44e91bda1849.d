@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sor_comparison-a93f44e91bda1849.d: examples/sor_comparison.rs
+
+/root/repo/target/debug/deps/sor_comparison-a93f44e91bda1849: examples/sor_comparison.rs
+
+examples/sor_comparison.rs:

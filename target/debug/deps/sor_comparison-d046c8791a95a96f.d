@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sor_comparison-d046c8791a95a96f.d: examples/sor_comparison.rs
+
+/root/repo/target/debug/deps/sor_comparison-d046c8791a95a96f: examples/sor_comparison.rs
+
+examples/sor_comparison.rs:

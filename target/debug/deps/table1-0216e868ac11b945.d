@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-0216e868ac11b945.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-0216e868ac11b945: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

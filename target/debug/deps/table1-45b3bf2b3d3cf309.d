@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-45b3bf2b3d3cf309.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-45b3bf2b3d3cf309.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-b5f3e20598075b09.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-b5f3e20598075b09: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

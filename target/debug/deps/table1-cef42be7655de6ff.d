@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-cef42be7655de6ff.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-cef42be7655de6ff.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-16e07a71c11eda46.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-16e07a71c11eda46: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-968d04210705fd9c.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-968d04210705fd9c: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-f4380a4d6a6f09fa.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-f4380a4d6a6f09fa.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

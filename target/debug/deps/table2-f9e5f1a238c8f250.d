@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-f9e5f1a238c8f250.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-f9e5f1a238c8f250.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-3a6fd3e973c15f8b.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-3a6fd3e973c15f8b.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-6b6bce03fcc529f7.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-6b6bce03fcc529f7: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-b6c19802864c5023.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-b6c19802864c5023: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

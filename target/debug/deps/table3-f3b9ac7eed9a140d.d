@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-f3b9ac7eed9a140d.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-f3b9ac7eed9a140d.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-00e710e173870a86.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-00e710e173870a86: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

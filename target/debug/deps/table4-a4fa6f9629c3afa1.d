@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-a4fa6f9629c3afa1.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-a4fa6f9629c3afa1.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

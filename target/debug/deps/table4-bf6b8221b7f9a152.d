@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-bf6b8221b7f9a152.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-bf6b8221b7f9a152: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-e8c5d067042f4281.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-e8c5d067042f4281.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-23bf0d96f98797e9.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/libtable5-23bf0d96f98797e9.rmeta: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

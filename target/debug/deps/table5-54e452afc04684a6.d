@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-54e452afc04684a6.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-54e452afc04684a6: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5-6a4e5c037c34c17f.d: crates/bench/src/bin/table5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5-6a4e5c037c34c17f.rmeta: crates/bench/src/bin/table5.rs Cargo.toml
+
+crates/bench/src/bin/table5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

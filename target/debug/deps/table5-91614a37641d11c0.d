@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-91614a37641d11c0.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/libtable5-91614a37641d11c0.rmeta: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-ae49ebbedcd225c6.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-ae49ebbedcd225c6: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-86042326c1ac4bc0.d: crates/bench/benches/tables.rs
+
+/root/repo/target/debug/deps/libtables-86042326c1ac4bc0.rmeta: crates/bench/benches/tables.rs
+
+crates/bench/benches/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/task_farm-0057d97d97a9dfbe.d: examples/task_farm.rs
+
+/root/repo/target/debug/deps/task_farm-0057d97d97a9dfbe: examples/task_farm.rs
+
+examples/task_farm.rs:

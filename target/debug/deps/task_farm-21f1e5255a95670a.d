@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/task_farm-21f1e5255a95670a.d: examples/task_farm.rs
+
+/root/repo/target/debug/deps/libtask_farm-21f1e5255a95670a.rmeta: examples/task_farm.rs
+
+examples/task_farm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/task_farm-5a52a4b3669db09f.d: examples/task_farm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtask_farm-5a52a4b3669db09f.rmeta: examples/task_farm.rs Cargo.toml
+
+examples/task_farm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/task_farm-5eb7cfbf47df0f31.d: examples/task_farm.rs
+
+/root/repo/target/debug/deps/libtask_farm-5eb7cfbf47df0f31.rmeta: examples/task_farm.rs
+
+examples/task_farm.rs:

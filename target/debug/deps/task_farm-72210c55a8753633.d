@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/task_farm-72210c55a8753633.d: examples/task_farm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtask_farm-72210c55a8753633.rmeta: examples/task_farm.rs Cargo.toml
+
+examples/task_farm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

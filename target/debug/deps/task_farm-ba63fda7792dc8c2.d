@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/task_farm-ba63fda7792dc8c2.d: examples/task_farm.rs
+
+/root/repo/target/debug/deps/task_farm-ba63fda7792dc8c2: examples/task_farm.rs
+
+examples/task_farm.rs:

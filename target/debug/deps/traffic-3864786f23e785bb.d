@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/traffic-3864786f23e785bb.d: crates/bench/src/bin/traffic.rs
+
+/root/repo/target/debug/deps/traffic-3864786f23e785bb: crates/bench/src/bin/traffic.rs
+
+crates/bench/src/bin/traffic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/traffic-4f8a88c8057840cc.d: crates/bench/src/bin/traffic.rs
+
+/root/repo/target/debug/deps/libtraffic-4f8a88c8057840cc.rmeta: crates/bench/src/bin/traffic.rs
+
+crates/bench/src/bin/traffic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/traffic-88361f304b9d6e74.d: crates/bench/src/bin/traffic.rs
+
+/root/repo/target/debug/deps/traffic-88361f304b9d6e74: crates/bench/src/bin/traffic.rs
+
+crates/bench/src/bin/traffic.rs:

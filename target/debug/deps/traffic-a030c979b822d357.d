@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/traffic-a030c979b822d357.d: crates/bench/src/bin/traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraffic-a030c979b822d357.rmeta: crates/bench/src/bin/traffic.rs Cargo.toml
+
+crates/bench/src/bin/traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

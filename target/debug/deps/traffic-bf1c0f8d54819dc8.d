@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/traffic-bf1c0f8d54819dc8.d: crates/bench/src/bin/traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraffic-bf1c0f8d54819dc8.rmeta: crates/bench/src/bin/traffic.rs Cargo.toml
+
+crates/bench/src/bin/traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

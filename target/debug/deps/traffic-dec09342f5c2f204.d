@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/traffic-dec09342f5c2f204.d: crates/bench/src/bin/traffic.rs
+
+/root/repo/target/debug/deps/libtraffic-dec09342f5c2f204.rmeta: crates/bench/src/bin/traffic.rs
+
+crates/bench/src/bin/traffic.rs:

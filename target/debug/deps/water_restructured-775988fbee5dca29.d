@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/water_restructured-775988fbee5dca29.d: crates/bench/src/bin/water_restructured.rs
+
+/root/repo/target/debug/deps/libwater_restructured-775988fbee5dca29.rmeta: crates/bench/src/bin/water_restructured.rs
+
+crates/bench/src/bin/water_restructured.rs:

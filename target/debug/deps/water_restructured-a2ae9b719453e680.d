@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/water_restructured-a2ae9b719453e680.d: crates/bench/src/bin/water_restructured.rs
+
+/root/repo/target/debug/deps/water_restructured-a2ae9b719453e680: crates/bench/src/bin/water_restructured.rs
+
+crates/bench/src/bin/water_restructured.rs:

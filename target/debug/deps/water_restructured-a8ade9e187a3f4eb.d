@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/water_restructured-a8ade9e187a3f4eb.d: crates/bench/src/bin/water_restructured.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwater_restructured-a8ade9e187a3f4eb.rmeta: crates/bench/src/bin/water_restructured.rs Cargo.toml
+
+crates/bench/src/bin/water_restructured.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

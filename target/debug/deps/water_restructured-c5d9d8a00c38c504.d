@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/water_restructured-c5d9d8a00c38c504.d: crates/bench/src/bin/water_restructured.rs
+
+/root/repo/target/debug/deps/libwater_restructured-c5d9d8a00c38c504.rmeta: crates/bench/src/bin/water_restructured.rs
+
+crates/bench/src/bin/water_restructured.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/water_restructured-e8b4339df1158e95.d: crates/bench/src/bin/water_restructured.rs
+
+/root/repo/target/debug/deps/water_restructured-e8b4339df1158e95: crates/bench/src/bin/water_restructured.rs
+
+crates/bench/src/bin/water_restructured.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ci_opt-c3a7a37959c3bac7.d: crates/bench/src/bin/ablation_ci_opt.rs
+
+/root/repo/target/release/deps/ablation_ci_opt-c3a7a37959c3bac7: crates/bench/src/bin/ablation_ci_opt.rs
+
+crates/bench/src/bin/ablation_ci_opt.rs:

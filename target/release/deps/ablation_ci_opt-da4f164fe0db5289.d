@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ci_opt-da4f164fe0db5289.d: crates/bench/src/bin/ablation_ci_opt.rs
+
+/root/repo/target/release/deps/ablation_ci_opt-da4f164fe0db5289: crates/bench/src/bin/ablation_ci_opt.rs
+
+crates/bench/src/bin/ablation_ci_opt.rs:

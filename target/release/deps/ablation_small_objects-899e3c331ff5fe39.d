@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_small_objects-899e3c331ff5fe39.d: crates/bench/src/bin/ablation_small_objects.rs
+
+/root/repo/target/release/deps/ablation_small_objects-899e3c331ff5fe39: crates/bench/src/bin/ablation_small_objects.rs
+
+crates/bench/src/bin/ablation_small_objects.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_small_objects-d293a116605daace.d: crates/bench/src/bin/ablation_small_objects.rs
+
+/root/repo/target/release/deps/ablation_small_objects-d293a116605daace: crates/bench/src/bin/ablation_small_objects.rs
+
+crates/bench/src/bin/ablation_small_objects.rs:

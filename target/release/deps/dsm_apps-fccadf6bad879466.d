@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dsm_apps-fccadf6bad879466.d: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/fft.rs crates/apps/src/is.rs crates/apps/src/params.rs crates/apps/src/quicksort.rs crates/apps/src/runner.rs crates/apps/src/sor.rs crates/apps/src/water.rs
+
+/root/repo/target/release/deps/libdsm_apps-fccadf6bad879466.rlib: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/fft.rs crates/apps/src/is.rs crates/apps/src/params.rs crates/apps/src/quicksort.rs crates/apps/src/runner.rs crates/apps/src/sor.rs crates/apps/src/water.rs
+
+/root/repo/target/release/deps/libdsm_apps-fccadf6bad879466.rmeta: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/fft.rs crates/apps/src/is.rs crates/apps/src/params.rs crates/apps/src/quicksort.rs crates/apps/src/runner.rs crates/apps/src/sor.rs crates/apps/src/water.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/barnes_hut.rs:
+crates/apps/src/fft.rs:
+crates/apps/src/is.rs:
+crates/apps/src/params.rs:
+crates/apps/src/quicksort.rs:
+crates/apps/src/runner.rs:
+crates/apps/src/sor.rs:
+crates/apps/src/water.rs:

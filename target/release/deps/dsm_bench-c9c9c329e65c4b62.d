@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dsm_bench-c9c9c329e65c4b62.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdsm_bench-c9c9c329e65c4b62.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdsm_bench-c9c9c329e65c4b62.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dsm_bench-f7a58f19846b8245.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/dsm_bench-f7a58f19846b8245: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/dsm_core-faec8f08a1fe76d7.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/context.rs crates/core/src/ec.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/local.rs crates/core/src/lrc.rs crates/core/src/runtime.rs crates/core/src/scalar.rs crates/core/src/sync.rs
+
+/root/repo/target/release/deps/libdsm_core-faec8f08a1fe76d7.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/context.rs crates/core/src/ec.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/local.rs crates/core/src/lrc.rs crates/core/src/runtime.rs crates/core/src/scalar.rs crates/core/src/sync.rs
+
+/root/repo/target/release/deps/libdsm_core-faec8f08a1fe76d7.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/context.rs crates/core/src/ec.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/local.rs crates/core/src/lrc.rs crates/core/src/runtime.rs crates/core/src/scalar.rs crates/core/src/sync.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/context.rs:
+crates/core/src/ec.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/ids.rs:
+crates/core/src/local.rs:
+crates/core/src/lrc.rs:
+crates/core/src/runtime.rs:
+crates/core/src/scalar.rs:
+crates/core/src/sync.rs:

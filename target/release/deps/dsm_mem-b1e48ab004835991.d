@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dsm_mem-b1e48ab004835991.d: crates/mem/src/lib.rs crates/mem/src/bitset.rs crates/mem/src/diff.rs crates/mem/src/granularity.rs crates/mem/src/interval.rs crates/mem/src/merge.rs crates/mem/src/page.rs crates/mem/src/region.rs crates/mem/src/testutil.rs crates/mem/src/vclock.rs
+
+/root/repo/target/release/deps/libdsm_mem-b1e48ab004835991.rlib: crates/mem/src/lib.rs crates/mem/src/bitset.rs crates/mem/src/diff.rs crates/mem/src/granularity.rs crates/mem/src/interval.rs crates/mem/src/merge.rs crates/mem/src/page.rs crates/mem/src/region.rs crates/mem/src/testutil.rs crates/mem/src/vclock.rs
+
+/root/repo/target/release/deps/libdsm_mem-b1e48ab004835991.rmeta: crates/mem/src/lib.rs crates/mem/src/bitset.rs crates/mem/src/diff.rs crates/mem/src/granularity.rs crates/mem/src/interval.rs crates/mem/src/merge.rs crates/mem/src/page.rs crates/mem/src/region.rs crates/mem/src/testutil.rs crates/mem/src/vclock.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/bitset.rs:
+crates/mem/src/diff.rs:
+crates/mem/src/granularity.rs:
+crates/mem/src/interval.rs:
+crates/mem/src/merge.rs:
+crates/mem/src/page.rs:
+crates/mem/src/region.rs:
+crates/mem/src/testutil.rs:
+crates/mem/src/vclock.rs:

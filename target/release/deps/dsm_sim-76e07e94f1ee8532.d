@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dsm_sim-76e07e94f1ee8532.d: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/msg.rs crates/sim/src/node.rs crates/sim/src/stats.rs crates/sim/src/work.rs
+
+/root/repo/target/release/deps/libdsm_sim-76e07e94f1ee8532.rlib: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/msg.rs crates/sim/src/node.rs crates/sim/src/stats.rs crates/sim/src/work.rs
+
+/root/repo/target/release/deps/libdsm_sim-76e07e94f1ee8532.rmeta: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/msg.rs crates/sim/src/node.rs crates/sim/src/stats.rs crates/sim/src/work.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/msg.rs:
+crates/sim/src/node.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/work.rs:

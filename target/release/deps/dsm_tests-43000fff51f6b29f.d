@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dsm_tests-43000fff51f6b29f.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libdsm_tests-43000fff51f6b29f.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libdsm_tests-43000fff51f6b29f.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

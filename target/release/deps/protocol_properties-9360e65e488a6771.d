@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/protocol_properties-9360e65e488a6771.d: tests/tests/protocol_properties.rs
+
+/root/repo/target/release/deps/protocol_properties-9360e65e488a6771: tests/tests/protocol_properties.rs
+
+tests/tests/protocol_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-55ab5caa27ba8bdd.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-55ab5caa27ba8bdd: examples/quickstart.rs
+
+examples/quickstart.rs:

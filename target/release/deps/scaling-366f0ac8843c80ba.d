@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-366f0ac8843c80ba.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/release/deps/scaling-366f0ac8843c80ba: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-dfd201f361436c8f.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/release/deps/scaling-dfd201f361436c8f: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

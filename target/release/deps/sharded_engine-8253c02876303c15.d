@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sharded_engine-8253c02876303c15.d: tests/tests/sharded_engine.rs
+
+/root/repo/target/release/deps/sharded_engine-8253c02876303c15: tests/tests/sharded_engine.rs
+
+tests/tests/sharded_engine.rs:

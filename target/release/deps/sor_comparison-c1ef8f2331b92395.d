@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sor_comparison-c1ef8f2331b92395.d: examples/sor_comparison.rs
+
+/root/repo/target/release/deps/sor_comparison-c1ef8f2331b92395: examples/sor_comparison.rs
+
+examples/sor_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-a093785ad2e024b3.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-a093785ad2e024b3: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-f64b468738ecc010.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-f64b468738ecc010: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-b7e9d344b0d3373f.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-b7e9d344b0d3373f: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-e13712c3b98f6ce2.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-e13712c3b98f6ce2: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

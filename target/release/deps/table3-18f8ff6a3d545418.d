@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-18f8ff6a3d545418.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-18f8ff6a3d545418: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

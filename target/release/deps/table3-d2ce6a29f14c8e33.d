@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-d2ce6a29f14c8e33.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-d2ce6a29f14c8e33: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

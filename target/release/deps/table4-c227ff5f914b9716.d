@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-c227ff5f914b9716.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-c227ff5f914b9716: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-bc7df84c584ff959.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-bc7df84c584ff959: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

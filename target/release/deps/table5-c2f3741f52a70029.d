@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-c2f3741f52a70029.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-c2f3741f52a70029: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-64eb1d59ac47ebdd.d: crates/bench/benches/tables.rs
+
+/root/repo/target/release/deps/tables-64eb1d59ac47ebdd: crates/bench/benches/tables.rs
+
+crates/bench/benches/tables.rs:

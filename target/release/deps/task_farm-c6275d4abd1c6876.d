@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/task_farm-c6275d4abd1c6876.d: examples/task_farm.rs
+
+/root/repo/target/release/deps/task_farm-c6275d4abd1c6876: examples/task_farm.rs
+
+examples/task_farm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/traffic-6627582b59fc9511.d: crates/bench/src/bin/traffic.rs
+
+/root/repo/target/release/deps/traffic-6627582b59fc9511: crates/bench/src/bin/traffic.rs
+
+crates/bench/src/bin/traffic.rs:

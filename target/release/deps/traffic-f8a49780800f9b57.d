@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/traffic-f8a49780800f9b57.d: crates/bench/src/bin/traffic.rs
+
+/root/repo/target/release/deps/traffic-f8a49780800f9b57: crates/bench/src/bin/traffic.rs
+
+crates/bench/src/bin/traffic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/water_restructured-cd5db4278c9f9010.d: crates/bench/src/bin/water_restructured.rs
+
+/root/repo/target/release/deps/water_restructured-cd5db4278c9f9010: crates/bench/src/bin/water_restructured.rs
+
+crates/bench/src/bin/water_restructured.rs:

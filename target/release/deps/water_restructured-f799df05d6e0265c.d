@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/water_restructured-f799df05d6e0265c.d: crates/bench/src/bin/water_restructured.rs
+
+/root/repo/target/release/deps/water_restructured-f799df05d6e0265c: crates/bench/src/bin/water_restructured.rs
+
+crates/bench/src/bin/water_restructured.rs:
