@@ -274,6 +274,13 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &FftParams) -> (RunResult, bool) {
         let j_per_proc = p.n2 / nproc;
         let my_js = me * j_per_proc..(me + 1) * j_per_proc;
 
+        // Reused scratch: one interleaved complex line plus its split
+        // re/im halves, sized for the longest dimension.
+        let max_n = p.n1.max(p.n2).max(p.n3);
+        let mut line = vec![0.0f64; 2 * max_n];
+        let mut lr = vec![0.0f64; max_n];
+        let mut li = vec![0.0f64; max_n];
+
         for it in 0..p.iterations {
             let scale = 1.0 / (1.0 + it as f64);
 
@@ -285,27 +292,28 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &FftParams) -> (RunResult, bool) {
             }
             for i in my_planes.clone() {
                 for j in 0..p.n2 {
-                    let mut lr: Vec<f64> = (0..p.n3)
-                        .map(|k| ctx.read::<f64>(src, p.at(i, j, k) * 2) * scale)
-                        .collect();
-                    let mut li: Vec<f64> = (0..p.n3)
-                        .map(|k| ctx.read::<f64>(src, p.at(i, j, k) * 2 + 1) * scale)
-                        .collect();
-                    let b = fft_line(&mut lr, &mut li);
+                    // The k-line is contiguous: one span read, one span write.
+                    let base = p.at(i, j, 0) * 2;
+                    ctx.read_slice::<f64>(src, base, &mut line[..2 * p.n3]);
+                    for k in 0..p.n3 {
+                        lr[k] = line[2 * k] * scale;
+                        li[k] = line[2 * k + 1] * scale;
+                    }
+                    let b = fft_line(&mut lr[..p.n3], &mut li[..p.n3]);
                     ctx.compute(Work::flops(b * p.work_per_butterfly));
                     for k in 0..p.n3 {
-                        ctx.write::<f64>(src, p.at(i, j, k) * 2, lr[k]);
-                        ctx.write::<f64>(src, p.at(i, j, k) * 2 + 1, li[k]);
+                        line[2 * k] = lr[k];
+                        line[2 * k + 1] = li[k];
                     }
+                    ctx.write_slice::<f64>(src, base, &line[..2 * p.n3]);
                 }
                 for k in 0..p.n3 {
-                    let mut lr: Vec<f64> = (0..p.n2)
-                        .map(|j| ctx.read::<f64>(src, p.at(i, j, k) * 2))
-                        .collect();
-                    let mut li: Vec<f64> = (0..p.n2)
-                        .map(|j| ctx.read::<f64>(src, p.at(i, j, k) * 2 + 1))
-                        .collect();
-                    let b = fft_line(&mut lr, &mut li);
+                    // The j-line is strided by n3: element-wise access.
+                    for j in 0..p.n2 {
+                        lr[j] = ctx.read::<f64>(src, p.at(i, j, k) * 2);
+                        li[j] = ctx.read::<f64>(src, p.at(i, j, k) * 2 + 1);
+                    }
+                    let b = fft_line(&mut lr[..p.n2], &mut li[..p.n2]);
                     ctx.compute(Work::flops(b * p.work_per_butterfly));
                     for j in 0..p.n2 {
                         ctx.write::<f64>(src, p.at(i, j, k) * 2, lr[j]);
@@ -332,19 +340,19 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &FftParams) -> (RunResult, bool) {
             }
             for j in my_js.clone() {
                 for k in 0..p.n3 {
-                    let mut lr: Vec<f64> = (0..p.n1)
-                        .map(|i| ctx.read::<f64>(src, p.at(i, j, k) * 2))
-                        .collect();
-                    let mut li: Vec<f64> = (0..p.n1)
-                        .map(|i| ctx.read::<f64>(src, p.at(i, j, k) * 2 + 1))
-                        .collect();
-                    let b = fft_line(&mut lr, &mut li);
+                    // Gather is strided (one element per source plane); the
+                    // transposed output line is contiguous in i.
+                    for i in 0..p.n1 {
+                        lr[i] = ctx.read::<f64>(src, p.at(i, j, k) * 2);
+                        li[i] = ctx.read::<f64>(src, p.at(i, j, k) * 2 + 1);
+                    }
+                    let b = fft_line(&mut lr[..p.n1], &mut li[..p.n1]);
                     ctx.compute(Work::flops(b * p.work_per_butterfly));
                     for i in 0..p.n1 {
-                        let t = (j * p.n3 + k) * p.n1 + i;
-                        ctx.write::<f64>(dst, t * 2, lr[i]);
-                        ctx.write::<f64>(dst, t * 2 + 1, li[i]);
+                        line[2 * i] = lr[i];
+                        line[2 * i + 1] = li[i];
                     }
+                    ctx.write_slice::<f64>(dst, (j * p.n3 + k) * p.n1 * 2, &line[..2 * p.n1]);
                 }
             }
             if ec {
@@ -375,13 +383,14 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &FftParams) -> (RunResult, bool) {
                 }
                 for i in my_planes.clone() {
                     for j in 0..p.n2 {
+                        // Strided gather from the transposed array, one
+                        // contiguous span write back into our plane.
                         for k in 0..p.n3 {
                             let t = (j * p.n3 + k) * p.n1 + i;
-                            let re = ctx.read::<f64>(dst, t * 2);
-                            let im = ctx.read::<f64>(dst, t * 2 + 1);
-                            ctx.write::<f64>(src, p.at(i, j, k) * 2, re);
-                            ctx.write::<f64>(src, p.at(i, j, k) * 2 + 1, im);
+                            line[2 * k] = ctx.read::<f64>(dst, t * 2);
+                            line[2 * k + 1] = ctx.read::<f64>(dst, t * 2 + 1);
                         }
+                        ctx.write_slice::<f64>(src, p.at(i, j, 0) * 2, &line[..2 * p.n3]);
                     }
                 }
                 if ec {

@@ -102,6 +102,8 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &IsParams) -> (RunResult, bool) {
         let per = p.keys / n;
         let lo = me * per;
         let hi = if me == n - 1 { p.keys } else { lo + per };
+        let zeros = vec![0u32; p.buckets];
+        let mut counts = vec![0u32; p.buckets];
 
         for rep in 0..p.rankings {
             // Phase 0 (first repetition excluded): processor 0 clears the
@@ -109,9 +111,7 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &IsParams) -> (RunResult, bool) {
             if rep > 0 {
                 if me == 0 {
                     ctx.acquire(BUCKET_LOCK, LockMode::Exclusive);
-                    for b in 0..p.buckets {
-                        ctx.write::<u32>(buckets, b, 0);
-                    }
+                    ctx.write_slice::<u32>(buckets, 0, &zeros);
                     ctx.release(BUCKET_LOCK);
                 }
                 ctx.barrier(barrier);
@@ -140,10 +140,8 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &IsParams) -> (RunResult, bool) {
             if ec {
                 ctx.acquire(BUCKET_LOCK, LockMode::ReadOnly);
             }
-            let mut checksum = 0u64;
-            for b in 0..p.buckets {
-                checksum += ctx.read::<u32>(buckets, b) as u64;
-            }
+            ctx.read_slice::<u32>(buckets, 0, &mut counts);
+            let checksum: u64 = counts.iter().map(|&c| c as u64).sum();
             assert_eq!(checksum, p.keys as u64, "bucket counts must sum to N");
             if ec {
                 ctx.release(BUCKET_LOCK);

@@ -201,10 +201,10 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &QsParams) -> (RunResult, bool) {
             // Keep splitting the larger partition until it is small enough.
             while len > p.threshold {
                 // Partition [start, start+len) around a pivot using a local
-                // buffer (one read and one write of each element).
-                let mut buf: Vec<i32> = (0..len)
-                    .map(|k| ctx.read::<i32>(array, start + k))
-                    .collect();
+                // buffer (one read and one write of each element, page-batched
+                // through the span API).
+                let mut buf = vec![0i32; len];
+                ctx.read_slice::<i32>(array, start, &mut buf);
                 ctx.compute(Work::ops(len as u64 * p.work_partition));
                 let pivot = buf[len / 2];
                 let mut lower: Vec<i32> = Vec::with_capacity(len);
@@ -223,9 +223,7 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &QsParams) -> (RunResult, bool) {
                 buf.extend_from_slice(&lower);
                 buf.extend(std::iter::repeat(pivot).take(equal));
                 buf.extend_from_slice(&upper);
-                for (k, &x) in buf.iter().enumerate() {
-                    ctx.write::<i32>(array, start + k, x);
-                }
+                ctx.write_slice::<i32>(array, start, &buf);
                 let split = lower.len() + equal / 2 + 1;
                 let split = split.clamp(1, len - 1);
                 // Smaller partition goes to the queue, larger stays with us.
@@ -269,9 +267,8 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &QsParams) -> (RunResult, bool) {
             }
 
             // Leaf: bubblesort the remaining partition in a local buffer.
-            let mut buf: Vec<i32> = (0..len)
-                .map(|k| ctx.read::<i32>(array, start + k))
-                .collect();
+            let mut buf = vec![0i32; len];
+            ctx.read_slice::<i32>(array, start, &mut buf);
             ctx.compute(Work::ops(bubble_work(len, &p)));
             for i in 0..buf.len() {
                 for j in 0..buf.len().saturating_sub(1 + i) {
@@ -280,9 +277,7 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &QsParams) -> (RunResult, bool) {
                     }
                 }
             }
-            for (k, &x) in buf.iter().enumerate() {
-                ctx.write::<i32>(array, start + k, x);
-            }
+            ctx.write_slice::<i32>(array, start, &buf);
             if ec {
                 ctx.release(entry_lock(slot));
             }

@@ -183,6 +183,30 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &SorParams, plus: bool) -> (RunResu
         // shared region.
         let mut private: Vec<f32> = if plus { initial_layout(&p) } else { Vec::new() };
 
+        // Scratch half-rows for the span-API stencil: the four neighbour
+        // sources of one (row, colour) sweep and its output.  In the
+        // red-first/black-next layout each source is one contiguous span.
+        let max_m = tc / 2;
+        let mut up = vec![0.0f32; max_m];
+        let mut down = vec![0.0f32; max_m];
+        let mut left = vec![0.0f32; max_m];
+        let mut right = vec![0.0f32; max_m];
+        let mut out = vec![0.0f32; max_m];
+
+        // Copies `m` elements starting at flat index `start` from the shared
+        // matrix (a span read) or from the private copy (SOR+ interior).
+        let fetch = |ctx: &mut dsm_core::ProcessContext<'_>,
+                     private: &[f32],
+                     buf: &mut [f32],
+                     shared: bool,
+                     start: usize| {
+            if shared {
+                ctx.read_slice::<f32>(matrix, start, buf);
+            } else {
+                buf.copy_from_slice(&private[start..start + buf.len()]);
+            }
+        };
+
         for _ in 0..p.iterations {
             for colour in 0..2usize {
                 // EC: read-only locks on the boundary half-rows we read.
@@ -203,42 +227,45 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &SorParams, plus: bool) -> (RunResu
                     if ec && plus && boundary_row {
                         ctx.acquire(row_lock(i, colour), LockMode::Exclusive);
                     }
-                    for j in 1..tc - 1 {
-                        if (i + j) % 2 != colour {
-                            continue;
+                    // Interior columns of this colour in row i: j runs over
+                    // first_j, first_j + 2, ..; each neighbour source maps to
+                    // m consecutive elements of a (1-colour) half-row.
+                    let first_j = if (colour + i) % 2 == 1 { 1 } else { 2 };
+                    let m = (tc - 1).saturating_sub(first_j).div_ceil(2);
+                    if m > 0 {
+                        // In SOR+, only the rows adjacent to a band edge are
+                        // read from the shared region; everything else (and
+                        // the row's own sideways neighbours) is private.
+                        let up_shared = !plus || i == lo;
+                        let down_shared = !plus || i == hi - 1;
+                        fetch(
+                            ctx,
+                            &private,
+                            &mut up[..m],
+                            up_shared,
+                            p.idx(i - 1, first_j),
+                        );
+                        fetch(
+                            ctx,
+                            &private,
+                            &mut down[..m],
+                            down_shared,
+                            p.idx(i + 1, first_j),
+                        );
+                        fetch(ctx, &private, &mut left[..m], !plus, p.idx(i, first_j - 1));
+                        fetch(ctx, &private, &mut right[..m], !plus, p.idx(i, first_j + 1));
+                        for t in 0..m {
+                            out[t] = 0.25 * (up[t] + down[t] + left[t] + right[t]);
                         }
-                        let read = |ctx: &mut dsm_core::ProcessContext<'_>,
-                                    private: &Vec<f32>,
-                                    ri: usize,
-                                    rj: usize|
-                         -> f32 {
-                            // In SOR+, only rows adjacent to a band edge are
-                            // read from the shared region.
-                            let neighbour_boundary =
-                                ri == lo - 1 || ri == hi || ri == lo || ri == hi - 1;
-                            if plus && !neighbour_boundary {
-                                private[p.idx(ri, rj)]
-                            } else if plus && (ri == lo - 1 || ri == hi) {
-                                ctx.read::<f32>(matrix, p.idx(ri, rj))
-                            } else if plus {
-                                private[p.idx(ri, rj)]
-                            } else {
-                                ctx.read::<f32>(matrix, p.idx(ri, rj))
-                            }
-                        };
-                        let v = 0.25
-                            * (read(ctx, &private, i - 1, j)
-                                + read(ctx, &private, i + 1, j)
-                                + read(ctx, &private, i, j - 1)
-                                + read(ctx, &private, i, j + 1));
-                        ctx.compute(Work::flops(p.work_per_element));
+                        ctx.compute(Work::flops(p.work_per_element * m as u64));
+                        let out_start = p.idx(i, first_j);
                         if plus {
-                            private[p.idx(i, j)] = v;
+                            private[out_start..out_start + m].copy_from_slice(&out[..m]);
                             if boundary_row {
-                                ctx.write::<f32>(matrix, p.idx(i, j), v);
+                                ctx.write_slice::<f32>(matrix, out_start, &out[..m]);
                             }
                         } else {
-                            ctx.write::<f32>(matrix, p.idx(i, j), v);
+                            ctx.write_slice::<f32>(matrix, out_start, &out[..m]);
                         }
                     }
                     if ec && (!plus || boundary_row) {
@@ -267,8 +294,13 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &SorParams, plus: bool) -> (RunResu
                 }
             }
             for i in lo..hi {
-                for j in 1..tc - 1 {
-                    ctx.write::<f32>(matrix, p.idx(i, j), private[p.idx(i, j)]);
+                // One span per colour: in this layout the interior elements
+                // of one colour are contiguous (and so is the private copy).
+                for colour in 0..2usize {
+                    let first_j = if (colour + i) % 2 == 1 { 1 } else { 2 };
+                    let m = (tc - 1).saturating_sub(first_j).div_ceil(2);
+                    let start = p.idx(i, first_j);
+                    ctx.write_slice::<f32>(matrix, start, &private[start..start + m]);
                 }
             }
             if ec {

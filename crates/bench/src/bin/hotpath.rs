@@ -1,0 +1,136 @@
+//! Micro-benchmark of the per-access hot path: shared reads/sec and shared
+//! writes/sec of the simulator itself (host throughput, not simulated time).
+//!
+//! The paper's thesis is that per-access software overhead decides the
+//! EC-vs-LRC contest; this binary measures what *our* per-access pipeline
+//! costs.  The workload deliberately churns epochs (one acquire/release per
+//! sweep) so that LRC's per-page freshness validation — the part the
+//! generation-counter fast path and the span APIs optimise — stays on the
+//! measured path instead of being amortised away by a single long epoch.
+//!
+//! Emits one JSON object per line; `BENCH_hotpath.json` at the repo root
+//! records the trajectory across commits.
+//!
+//! Usage: `cargo run --release -p dsm-bench --bin hotpath [-- --scale tiny|small|paper --procs N]`
+
+use std::time::Instant;
+
+use dsm_apps::Scale;
+use dsm_core::{BarrierId, BlockGranularity, Dsm, DsmConfig, ImplKind, LockId, LockMode};
+
+/// Elements (u32) in the shared region: 16 pages.
+const ELEMS: usize = 16 * 1024;
+
+fn sweeps(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 24,
+        Scale::Small => 96,
+        Scale::Paper => 384,
+    }
+}
+
+struct Row {
+    kind: ImplKind,
+    op: &'static str,
+    api: &'static str,
+    accesses: u64,
+    wall_ms: f64,
+}
+
+impl Row {
+    fn print(&self, scale_name: &str, nprocs: usize) {
+        println!(
+            "{{\"bench\":\"hotpath\",\"impl\":\"{}\",\"op\":\"{}\",\"api\":\"{}\",\
+             \"scale\":\"{}\",\"procs\":{},\"accesses\":{},\"wall_ms\":{:.3},\
+             \"accesses_per_sec\":{:.0}}}",
+            self.kind.name(),
+            self.op,
+            self.api,
+            scale_name,
+            nprocs,
+            self.accesses,
+            self.wall_ms,
+            self.accesses as f64 / (self.wall_ms / 1e3),
+        );
+    }
+}
+
+/// One timed run: every processor sweeps the whole region (reads) or its own
+/// slice (writes) once per acquire/release epoch.  Returns (accesses, best
+/// wall ms of 3 repetitions).
+fn measure(kind: ImplKind, nprocs: usize, iters: usize, op: &'static str, slices: bool) -> Row {
+    let mut best = f64::INFINITY;
+    let mut accesses = 0u64;
+    for _ in 0..3 {
+        let mut dsm = Dsm::new(DsmConfig::with_procs(kind, nprocs)).expect("valid config");
+        let region = dsm.alloc_array::<u32>("hot", ELEMS, BlockGranularity::Word);
+        dsm.init_region::<u32>(region, |i| i as u32);
+        // One lock per processor; under EC nothing is bound to it, so the
+        // acquire is pure epoch churn for both models.
+        let per = ELEMS / nprocs;
+        let start = Instant::now();
+        let result = dsm.run(|ctx| {
+            let me = ctx.node();
+            let mut buf = vec![0u32; per.max(1)];
+            let mut sink = 0u64;
+            for it in 0..iters {
+                ctx.acquire(LockId::new(me as u32), LockMode::Exclusive);
+                match (op, slices) {
+                    ("read", false) => {
+                        for e in 0..ELEMS {
+                            sink = sink.wrapping_add(ctx.read::<u32>(region, e) as u64);
+                        }
+                    }
+                    ("read", true) => {
+                        for chunk in 0..nprocs {
+                            ctx.read_slice::<u32>(region, chunk * per, &mut buf[..per]);
+                            sink = sink.wrapping_add(buf[0] as u64);
+                        }
+                    }
+                    ("write", false) => {
+                        for e in 0..per {
+                            ctx.write::<u32>(region, me * per + e, (it + e) as u32);
+                        }
+                    }
+                    ("write", true) => {
+                        for (e, slot) in buf[..per].iter_mut().enumerate() {
+                            *slot = (it + e) as u32;
+                        }
+                        ctx.write_slice::<u32>(region, me * per, &buf[..per]);
+                    }
+                    _ => unreachable!("op is read|write"),
+                }
+                ctx.release(LockId::new(me as u32));
+            }
+            assert!(sink != 1, "keep the reads live");
+            ctx.barrier(BarrierId::new(0));
+        });
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        best = best.min(wall_ms);
+        accesses = result.stats.total().shared_accesses;
+    }
+    Row {
+        kind,
+        op,
+        api: if slices { "slice" } else { "scalar" },
+        accesses,
+        wall_ms: best,
+    }
+}
+
+fn main() {
+    let opts = dsm_bench::HarnessOpts::from_args();
+    let scale_name = match opts.scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Paper => "paper",
+    };
+    let iters = sweeps(opts.scale);
+    for kind in [ImplKind::ec_time(), ImplKind::lrc_diff()] {
+        for op in ["read", "write"] {
+            for slices in [false, true] {
+                measure(kind, opts.nprocs, iters, op, slices).print(scale_name, opts.nprocs);
+            }
+        }
+    }
+}

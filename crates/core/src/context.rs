@@ -75,10 +75,11 @@ impl<'a> ProcessContext<'a> {
 
     fn check_bounds(&self, region: Region, offset: usize, size: usize) {
         let len = self.global.regions[region.id().index()].len;
+        // `checked_add`: an adversarial index near `usize::MAX` must fail the
+        // bounds check, not wrap around it.
         assert!(
-            offset + size <= len,
-            "shared access at byte {offset}..{} is outside region {} of {len} bytes",
-            offset + size,
+            offset.checked_add(size).is_some_and(|end| end <= len),
+            "shared access at byte {offset}..{offset}+{size} is outside region {} of {len} bytes",
             self.global.regions[region.id().index()].name
         );
     }
@@ -93,7 +94,7 @@ impl<'a> ProcessContext<'a> {
     ///
     /// Panics if the access is out of bounds.
     pub fn read<T: Scalar>(&mut self, region: Region, idx: usize) -> T {
-        let off = idx * T::SIZE;
+        let off = idx.saturating_mul(T::SIZE);
         self.check_bounds(region, off, T::SIZE);
         self.local.stats.shared_accesses += 1;
         self.local.clock.advance(self.cost().shared_access(1));
@@ -115,7 +116,7 @@ impl<'a> ProcessContext<'a> {
     ///
     /// Panics if the access is out of bounds.
     pub fn write<T: Scalar>(&mut self, region: Region, idx: usize, value: T) {
-        let off = idx * T::SIZE;
+        let off = idx.saturating_mul(T::SIZE);
         self.check_bounds(region, off, T::SIZE);
         self.local.stats.shared_accesses += 1;
         self.local.clock.advance(self.cost().shared_access(1));
@@ -125,6 +126,77 @@ impl<'a> ProcessContext<'a> {
             .trap_write(&mut self.local, ridx, off, T::SIZE);
         let data = &mut self.local.regions[ridx].data;
         value.write_le(&mut data[off..off + T::SIZE]);
+    }
+
+    /// Reads `out.len()` consecutive elements of type `T` starting at element
+    /// `start` from a shared region.
+    ///
+    /// Semantically identical to calling [`read`](ProcessContext::read) once
+    /// per element — the simulated cost, statistics and any access misses are
+    /// exactly those of the element-wise loop — but the bounds check,
+    /// per-page freshness validation and engine dispatch run once per *page*
+    /// instead of once per word, which is what makes this the preferred form
+    /// for an application's inner loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is out of bounds.
+    pub fn read_slice<T: Scalar>(&mut self, region: Region, start: usize, out: &mut [T]) {
+        if out.is_empty() {
+            return;
+        }
+        let off = start.saturating_mul(T::SIZE);
+        let len = out.len() * T::SIZE;
+        self.check_bounds(region, off, len);
+        self.local.stats.shared_accesses += out.len() as u64;
+        self.local
+            .clock
+            .advance(self.cost().shared_access(out.len() as u64));
+        let ridx = region.id().index();
+        dsm_mem::for_each_page(off, len, |page, _| {
+            self.global
+                .engine
+                .ensure_read_fresh(&mut self.local, ridx, page);
+        });
+        let data = &self.local.regions[ridx].data;
+        for (i, slot) in out.iter_mut().enumerate() {
+            let at = off + i * T::SIZE;
+            *slot = T::read_le(&data[at..at + T::SIZE]);
+        }
+    }
+
+    /// Writes `values.len()` consecutive elements of type `T` starting at
+    /// element `start` of a shared region.
+    ///
+    /// Semantically identical to calling [`write`](ProcessContext::write)
+    /// once per element — same simulated cost, statistics, dirty bits and
+    /// twin creation — but the write trap runs once per *page* of the span
+    /// (via the engine's bulk `trap_write_span` hook) instead of once per
+    /// word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is out of bounds.
+    pub fn write_slice<T: Scalar>(&mut self, region: Region, start: usize, values: &[T]) {
+        if values.is_empty() {
+            return;
+        }
+        let off = start.saturating_mul(T::SIZE);
+        let len = values.len() * T::SIZE;
+        self.check_bounds(region, off, len);
+        self.local.stats.shared_accesses += values.len() as u64;
+        self.local
+            .clock
+            .advance(self.cost().shared_access(values.len() as u64));
+        let ridx = region.id().index();
+        self.global
+            .engine
+            .trap_write_span(&mut self.local, ridx, off, len, values.len());
+        let data = &mut self.local.regions[ridx].data;
+        for (i, v) in values.iter().enumerate() {
+            let at = off + i * T::SIZE;
+            v.write_le(&mut data[at..at + T::SIZE]);
+        }
     }
 
     /// Read-modify-write convenience: applies `f` to the current value.
@@ -148,7 +220,7 @@ impl<'a> ProcessContext<'a> {
     ///
     /// Panics if the access is out of bounds.
     pub fn poll<T: Scalar>(&mut self, region: Region, idx: usize) -> T {
-        let off = idx * T::SIZE;
+        let off = idx.saturating_mul(T::SIZE);
         self.check_bounds(region, off, T::SIZE);
         let mut buf = [0u8; 16];
         self.global

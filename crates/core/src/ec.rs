@@ -68,6 +68,13 @@ pub(crate) struct EcEngine {
     regions: Vec<RegionDesc>,
     /// Published master copies, one `RwLock` per region.
     region_state: Vec<RwLock<EcRegionState>>,
+    /// Per-region monotonic publish generation, bumped (under the region's
+    /// write lock) whenever a release publishes modifications to the region.
+    /// EC needs no freshness checks — consistency travels with lock grants —
+    /// so this is bookkeeping symmetry with `LrcEngine`: it gives region
+    /// observers (debug output, future engines layered on the master copies)
+    /// the same cheap "has anything been published?" signal.
+    publish_gen: Vec<AtomicU64>,
     /// Per-lock metadata, one mutex per lock, created on demand.
     locks: SlotTable<Mutex<EcLockState>>,
     /// Global publish sequence counter (orders publishes across all locks).
@@ -102,6 +109,7 @@ impl EcEngine {
             cfg: cfg.clone(),
             regions: regions.to_vec(),
             region_state,
+            publish_gen: regions.iter().map(|_| AtomicU64::new(0)).collect(),
             locks: SlotTable::new(move |_| {
                 Mutex::new(EcLockState {
                     seen_seq: vec![0; nprocs],
@@ -149,17 +157,18 @@ impl ProtocolEngine for EcEngine {
         // ordered the publish), so its own high-water mark is the safe
         // "applied through" value to record below.
         let publish_seq = meta.last_seq;
-        let bound = meta.bound.clone();
         let seen = meta.seen_seq[me];
         let rebound = meta.seen_epoch[me] != meta.rebind_epoch;
-        let bound_bytes: usize = bound.iter().map(|r| r.len).sum();
+        let bound_bytes: usize = meta.bound.iter().map(|r| r.len).sum();
 
         let mut applied_words = 0usize;
         let mut ts_runs = 0usize;
         let mut scan_blocks = 0u64;
         let mut prev: Option<(usize, usize, u64)> = None;
 
-        for range in &bound {
+        // The binding is borrowed, not cloned: the grant path runs once per
+        // remote acquire and must not allocate.
+        for range in &meta.bound {
             let ridx = range.region.index();
             let rs = sync::read(&self.region_state[ridx]);
             let local_data = &mut local.regions[ridx].data;
@@ -242,11 +251,12 @@ impl ProtocolEngine for EcEngine {
         }
         let cost = &self.cfg.cost;
         let small_limit = self.cfg.ec_small_object_limit;
-        let bound = {
-            let slot = self.locks.get(lock.index());
-            let meta = sync::lock(&slot);
-            meta.bound.clone()
-        };
+        // Arming touches only this node's private state, so the binding can
+        // be borrowed under the lock's mutex (no clone): no other lock of
+        // the ordering hierarchy is taken below.
+        let slot = self.locks.get(lock.index());
+        let meta = sync::lock(&slot);
+        let bound = &meta.bound;
         let total: usize = bound.iter().map(|r| r.len).sum();
         if total == 0 {
             return;
@@ -255,7 +265,7 @@ impl ProtocolEngine for EcEngine {
             // Small object: copy it eagerly at acquire, avoiding the
             // protection fault the Midway VM implementation takes.
             let mut twins = Vec::with_capacity(bound.len());
-            for range in &bound {
+            for range in bound {
                 let data = &local.regions[range.region.index()].data;
                 twins.push(data[range.start..range.end()].to_vec());
             }
@@ -268,7 +278,7 @@ impl ProtocolEngine for EcEngine {
             // Large object: write-protect its pages; the first write to each
             // page faults and creates a per-page twin.
             let mut mprotects = 0u64;
-            for range in &bound {
+            for range in bound {
                 let ridx = range.region.index();
                 for page in range.pages() {
                     let lp = &mut local.regions[ridx].pages[page];
@@ -298,8 +308,7 @@ impl ProtocolEngine for EcEngine {
 
         let slot = self.locks.get(lock.index());
         let mut meta = sync::lock(&slot);
-        let bound = meta.bound.clone();
-        if bound.is_empty() {
+        if meta.bound.is_empty() {
             return;
         }
         // The global counter only allocates unique, monotone stamps; the
@@ -312,10 +321,13 @@ impl ProtocolEngine for EcEngine {
         let mut compare_words = 0usize;
         let mut prev_changed: Option<(usize, usize)> = None;
 
+        // Borrowed, not cloned: the release path must not allocate.
+        let bound = &meta.bound;
         for (range_i, range) in bound.iter().enumerate() {
             let ridx = range.region.index();
             let local_region = &mut local.regions[ridx];
             let mut rs = sync::write(&self.region_state[ridx]);
+            let changed_before = changed_words;
             for block in range.blocks(BlockGranularity::Word) {
                 let start = block * 4;
                 let end = (start + 4).min(local_region.data.len());
@@ -358,12 +370,17 @@ impl ProtocolEngine for EcEngine {
                     prev_changed = Some((ridx, block));
                 }
             }
+            if changed_words > changed_before {
+                // Commit the publish to the region's generation while its
+                // write lock is still held.
+                self.publish_gen[ridx].fetch_add(1, Ordering::Release);
+            }
         }
 
         // Reset the per-holding trapping state.
         match trapping {
             Trapping::Instrumentation => {
-                for range in &bound {
+                for range in bound {
                     let ridx = range.region.index();
                     let region = &mut local.regions[ridx];
                     for block in range.blocks(BlockGranularity::Word) {
@@ -432,38 +449,50 @@ impl ProtocolEngine for EcEngine {
     }
 
     /// Write-trapping for EC (the bound data is writable only while the
-    /// exclusive lock is held, so there is no freshness check).
-    fn trap_write(&self, local: &mut NodeLocal, ridx: usize, off: usize, size: usize) {
+    /// exclusive lock is held, so there is no freshness check), batched over
+    /// the span's pages.
+    fn trap_write_span(
+        &self,
+        local: &mut NodeLocal,
+        ridx: usize,
+        off: usize,
+        len: usize,
+        count: usize,
+    ) {
         let cost = &self.cfg.cost;
         let trapping = self.cfg.kind.trapping();
-        let page = off / dsm_mem::PAGE_SIZE;
         let region = &mut local.regions[ridx];
+        let region_len = region.data.len();
         match trapping {
             Trapping::Instrumentation => {
                 let factor = if self.cfg.ci_loop_optimization { 1 } else { 2 };
-                local.stats.instrumented_writes += 1;
-                local.clock.advance(cost.instrumented_writes(factor));
-                let base_word = page * (dsm_mem::PAGE_SIZE / 4);
-                let first_word = off / 4;
-                let lp = &mut region.pages[page];
-                for w in 0..size.div_ceil(4) {
-                    lp.written_mut().set(first_word + w - base_word);
-                }
+                local.stats.instrumented_writes += count as u64;
+                local
+                    .clock
+                    .advance(cost.instrumented_writes(factor).times(count as u64));
+                dsm_mem::for_each_page(off, len, |page, bytes| {
+                    let base_word = page * (dsm_mem::PAGE_SIZE / 4);
+                    region.pages[page]
+                        .written_mut()
+                        .set_range(bytes.start / 4 - base_word..bytes.end.div_ceil(4) - base_word);
+                });
             }
             Trapping::Twinning => {
-                let needs_twin = region.pages[page].armed && region.pages[page].twin.is_none();
-                if needs_twin {
-                    let span = dsm_mem::page_range(page, region.data.len());
-                    let words = span.len().div_ceil(4) as u64;
-                    let copy = region.data[span].to_vec();
-                    region.pages[page].twin = Some(copy);
-                    local.stats.write_faults += 1;
-                    local.stats.twins_created += 1;
-                    local.stats.twin_words += words;
-                    local
-                        .clock
-                        .advance(cost.page_fault() + cost.twin_copy(words) + cost.mprotect());
-                }
+                dsm_mem::for_each_page(off, len, |page, _| {
+                    let needs_twin = region.pages[page].armed && region.pages[page].twin.is_none();
+                    if needs_twin {
+                        let span = dsm_mem::page_range(page, region_len);
+                        let words = span.len().div_ceil(4) as u64;
+                        let copy = region.data[span].to_vec();
+                        region.pages[page].twin = Some(copy);
+                        local.stats.write_faults += 1;
+                        local.stats.twins_created += 1;
+                        local.stats.twin_words += words;
+                        local
+                            .clock
+                            .advance(cost.page_fault() + cost.twin_copy(words) + cost.mprotect());
+                    }
+                });
             }
         }
     }
@@ -509,6 +538,28 @@ mod tests {
         let meta = sync::lock(&slot);
         assert_eq!(meta.bound, vec![r]);
         assert_eq!(meta.seen_seq.len(), 4);
+    }
+
+    #[test]
+    fn release_publish_bumps_the_region_generation() {
+        let e = engine(ImplKind::ec_ci());
+        e.bind(LockId::new(0), vec![MemRange::new(RegionId::new(0), 0, 64)]);
+        let regions = e.regions.clone();
+        let init = vec![vec![0u8; 8192]];
+        let mut local = NodeLocal::new(dsm_sim::NodeId::new(0), 4, &regions, &init);
+        let mut held = HeldLock {
+            mode: LockMode::Exclusive,
+            small_twins: None,
+            armed_pages: Vec::new(),
+        };
+        e.after_acquire(&mut local, LockId::new(0), &mut held);
+        local.regions[0].data[0..4].copy_from_slice(&7u32.to_le_bytes());
+        e.trap_write(&mut local, 0, 0, 4);
+        e.before_release(&mut local, LockId::new(0), &held);
+        assert_eq!(e.publish_gen[0].load(Ordering::Relaxed), 1);
+        let mut buf = [0u8; 4];
+        e.read_master(0, 0, &mut buf);
+        assert_eq!(buf, 7u32.to_le_bytes());
     }
 
     #[test]

@@ -97,7 +97,28 @@ pub(crate) trait ProtocolEngine: Send + Sync + std::fmt::Debug {
     fn ensure_read_fresh(&self, local: &mut NodeLocal, ridx: usize, page: usize);
 
     /// Traps a shared write according to the configured mechanism.
-    fn trap_write(&self, local: &mut NodeLocal, ridx: usize, off: usize, size: usize);
+    fn trap_write(&self, local: &mut NodeLocal, ridx: usize, off: usize, size: usize) {
+        self.trap_write_span(local, ridx, off, size, 1);
+    }
+
+    /// Bulk write trap behind [`write_slice`](crate::ProcessContext::write_slice):
+    /// traps `count` contiguous scalar writes covering bytes `off..off + len`
+    /// of region `ridx` in one call.
+    ///
+    /// Contract: the charged costs and statistics must be *identical* to
+    /// `count` individual [`trap_write`](ProtocolEngine::trap_write) calls
+    /// over the same span (per-access charges are linear in the access
+    /// count), but each page's trapping state — twin creation, dirty
+    /// arming, written bits — is touched once per page instead of once per
+    /// word, by walking the span with [`dsm_mem::for_each_page`].
+    fn trap_write_span(
+        &self,
+        local: &mut NodeLocal,
+        ridx: usize,
+        off: usize,
+        len: usize,
+        count: usize,
+    );
 
     /// Reads the most recently published bytes at `off` into `out` without
     /// any consistency action or cost (the [`poll`](crate::ProcessContext::poll)

@@ -38,6 +38,15 @@ pub(crate) struct LocalPage {
     /// verified; if it equals the node's current epoch the page is known
     /// up to date and accesses proceed without consulting the shared state.
     pub checked_epoch: u64,
+    /// LRC: the region's publish generation *plus one* as of the last
+    /// freshness check that left this page fully caught up (every publish to
+    /// the page applied, `applied[q] >= latest[q]` for all `q`), or 0 if the
+    /// last check left entitled-but-unseen intervals pending.  While the
+    /// region generation still equals `checked_gen - 1` the page is fresh in
+    /// *every* epoch — no publish exists that any acquire could entitle us
+    /// to — so the check is a single atomic load, with no region lock and no
+    /// per-processor scan.
+    pub checked_gen: u64,
 }
 
 impl LocalPage {
@@ -135,6 +144,14 @@ pub(crate) struct NodeLocal {
     /// The value of this node's own interval counter at its last barrier
     /// arrival (used to size barrier arrival messages).
     pub intervals_at_last_barrier: u32,
+    /// Scratch buffer for the LRC stale-source scan, reused across access
+    /// misses so the slow path never allocates.  Ownership rule: a hook that
+    /// needs it takes it with `std::mem::take` (so `self` stays borrowable)
+    /// and must move it back before returning on every path.
+    pub scratch_stale: Vec<(usize, u32, u32)>,
+    /// Scratch vector clock for grant-time merges, reused so `remote_grant`
+    /// never clones a release vector.
+    pub scratch_clock: dsm_mem::VectorClock,
 }
 
 impl NodeLocal {
@@ -156,6 +173,8 @@ impl NodeLocal {
             held: HashMap::new(),
             dirty_pages: Vec::new(),
             intervals_at_last_barrier: 0,
+            scratch_stale: Vec::new(),
+            scratch_clock: dsm_mem::VectorClock::new(nprocs),
         }
     }
 }

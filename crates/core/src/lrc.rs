@@ -15,6 +15,7 @@
 //! another.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
 
 use dsm_mem::{pages_in, IntervalId, MemRange, RegionDesc, VectorClock, WriteNotice};
@@ -85,6 +86,13 @@ pub(crate) struct LrcEngine {
     /// Published master copies and write-notice indexes, one `RwLock` per
     /// region.
     region_state: Vec<RwLock<LrcRegionState>>,
+    /// Per-region monotonic publish generation, bumped (while the region's
+    /// write lock is held) every time an interval publishes modifications to
+    /// the region.  Freshness checks compare it lock-free against each
+    /// page's `checked_gen`: an unchanged generation proves no publish —
+    /// entitled or not — has landed since the page was last verified fully
+    /// caught up, so the O(nprocs) stale-source scan can be skipped.
+    publish_gen: Vec<AtomicU64>,
     /// Per node, per interval (1-based): how many pages that interval
     /// published.  One `RwLock` per node: only the owner appends, anyone may
     /// read while counting write notices.
@@ -128,6 +136,7 @@ impl LrcEngine {
             cfg: cfg.clone(),
             regions: regions.to_vec(),
             region_state,
+            publish_gen: regions.iter().map(|_| AtomicU64::new(0)).collect(),
             interval_pages: (0..nprocs).map(|_| RwLock::new(Vec::new())).collect(),
             lock_state: SlotTable::new(move |_| {
                 Mutex::new(LrcLockState {
@@ -184,38 +193,57 @@ impl LrcEngine {
             let mut rs = sync::write(&self.region_state[ridx]);
             let base_word = span.start / 4;
             let nwords = span.len().div_ceil(4);
+            let stamp = pack_stamp(me, next_interval);
 
             let mut changed_words = 0usize;
             let mut runs = 0usize;
             let mut compare_words = 0usize;
-            let mut prev_changed = false;
 
             {
                 let crate::local::LocalRegion { data, pages } = local_region;
                 let lp = &mut pages[page];
-                for w in 0..nwords {
-                    let start = span.start + w * 4;
-                    let end = (start + 4).min(data.len());
-                    let changed = match trapping {
-                        Trapping::Instrumentation => lp.was_written(w),
-                        Trapping::Twinning => match &lp.twin {
-                            Some(twin) => {
-                                compare_words += 1;
-                                twin[start - span.start..end - span.start] != data[start..end]
+                match trapping {
+                    // The dirty bits already are the change set: walk their
+                    // maximal runs directly (word-at-a-time trailing_zeros)
+                    // instead of branching on every block of the page, and
+                    // emit each run as one copy + one stamp fill.
+                    Trapping::Instrumentation => {
+                        for (first, len) in lp.written.iter().flat_map(|b| b.iter_runs()) {
+                            if first >= nwords {
+                                break;
                             }
-                            None => false,
-                        },
-                    };
-                    if changed {
-                        rs.master[start..end].copy_from_slice(&data[start..end]);
-                        rs.stamp[base_word + w] = pack_stamp(me, next_interval);
-                        changed_words += 1;
-                        if !prev_changed {
+                            let last = (first + len).min(nwords);
+                            let start = span.start + first * 4;
+                            let end = (span.start + last * 4).min(data.len());
+                            rs.master[start..end].copy_from_slice(&data[start..end]);
+                            rs.stamp[base_word + first..base_word + last].fill(stamp);
+                            changed_words += last - first;
                             runs += 1;
                         }
-                        prev_changed = true;
-                    } else {
-                        prev_changed = false;
+                    }
+                    // Twinning has no dirty bits to trust: every block is
+                    // compared against the twin (that comparison *is* the
+                    // charged collection cost).
+                    Trapping::Twinning => {
+                        if let Some(twin) = &lp.twin {
+                            let mut prev_changed = false;
+                            for w in 0..nwords {
+                                let start = span.start + w * 4;
+                                let end = (start + 4).min(data.len());
+                                compare_words += 1;
+                                let changed =
+                                    twin[start - span.start..end - span.start] != data[start..end];
+                                if changed {
+                                    rs.master[start..end].copy_from_slice(&data[start..end]);
+                                    rs.stamp[base_word + w] = stamp;
+                                    changed_words += 1;
+                                    if !prev_changed {
+                                        runs += 1;
+                                    }
+                                }
+                                prev_changed = changed;
+                            }
+                        }
                     }
                 }
                 lp.applied[me_idx] = next_interval;
@@ -233,12 +261,15 @@ impl LrcEngine {
                 if collection == Collection::Diffs {
                     local.stats.diffs_created += 1;
                 }
+                // Commit the publish to the region's generation while the
+                // write lock is still held, so a concurrent freshness check
+                // under the read lock sees a stable value.
+                self.publish_gen[ridx].fetch_add(1, Ordering::Release);
                 let ps = &mut rs.pages[page];
                 ps.latest[me_idx] = next_interval;
                 ps.last_publisher = Some(me);
-                let mut pub_vec = local.vector.clone();
-                pub_vec.set_entry(me, next_interval);
-                ps.last_pub_vector = pub_vec;
+                ps.last_pub_vector.copy_from(&local.vector);
+                ps.last_pub_vector.set_entry(me, next_interval);
                 ps.diffs.push_back(PublishRec {
                     stamp: next_interval as u64,
                     node: me,
@@ -280,17 +311,19 @@ impl LrcEngine {
 
     /// Which processors have published modifications to this page that the
     /// caller is entitled to see (their interval happens-before the caller's
-    /// acquire) but has not yet applied?  `(proc, from, upto)` per source.
-    fn stale_sources(
+    /// acquire) but has not yet applied?  Appends `(proc, from, upto)` per
+    /// source to `out`, a scratch buffer owned by the caller's `NodeLocal`
+    /// so the per-access path never allocates.
+    fn stale_sources_into(
         &self,
         rs: &LrcRegionState,
         local: &NodeLocal,
         ridx: usize,
         page: usize,
-    ) -> Vec<(usize, u32, u32)> {
+        out: &mut Vec<(usize, u32, u32)>,
+    ) {
         let ps = &rs.pages[page];
         let lp = &local.regions[ridx].pages[page];
-        let mut stale = Vec::new();
         for q in 0..local.nprocs {
             if q == local.node.index() {
                 continue;
@@ -298,10 +331,20 @@ impl LrcEngine {
             let qn = NodeId::new(q as u32);
             let upto = local.vector.entry(qn).min(ps.latest[q]);
             if upto > lp.applied[q] {
-                stale.push((q, lp.applied[q], upto));
+                out.push((q, lp.applied[q], upto));
             }
         }
-        stale
+    }
+
+    /// True if the page has applied *every* publish made to it (not merely
+    /// every publish the node is entitled to).  Such a page stays fresh
+    /// across epochs for as long as the region's publish generation is
+    /// unchanged, whatever the node's vector gains at later acquires.
+    fn caught_up(ps: &LrcPageState, lp: &crate::local::LocalPage, me_idx: usize) -> bool {
+        ps.latest
+            .iter()
+            .enumerate()
+            .all(|(q, &latest)| q == me_idx || latest <= lp.applied[q])
     }
 }
 
@@ -324,15 +367,23 @@ impl ProtocolEngine for LrcEngine {
     /// Merge the releaser's vector and receive its write notices; returns the
     /// grant payload size in bytes.
     fn remote_grant(&self, local: &mut NodeLocal, lock: LockId) -> usize {
-        let relvec = {
+        // Copy the release vector into the node's scratch clock (reused
+        // buffer, no allocation) so the lock mutex is not held across the
+        // interval-log reads below.
+        {
             let slot = self.lock_state.get(lock.index());
             let st = sync::lock(&slot);
-            st.release_vec.clone()
-        };
-        let notices = self.notices_between(&local.vector, &relvec);
-        let payload = relvec.wire_size() + notices as usize * WriteNotice::WIRE_SIZE;
+            local.scratch_clock.copy_from(&st.release_vec);
+        }
+        let notices = self.notices_between(&local.vector, &local.scratch_clock);
+        let payload = local.scratch_clock.wire_size() + notices as usize * WriteNotice::WIRE_SIZE;
         local.stats.write_notices_received += notices;
-        local.vector.merge_max(&relvec);
+        let NodeLocal {
+            vector,
+            scratch_clock,
+            ..
+        } = local;
+        vector.merge_max(scratch_clock);
         payload
     }
 
@@ -345,7 +396,7 @@ impl ProtocolEngine for LrcEngine {
     fn before_release(&self, local: &mut NodeLocal, lock: LockId, _held: &HeldLock) {
         self.publish_interval(local);
         let slot = self.lock_state.get(lock.index());
-        sync::lock(&slot).release_vec = local.vector.clone();
+        sync::lock(&slot).release_vec.copy_from(&local.vector);
     }
 
     fn barrier_arrive(&self, local: &mut NodeLocal) -> usize {
@@ -383,18 +434,42 @@ impl ProtocolEngine for LrcEngine {
     /// is entitled to see, taking an access miss (invalidate protocol) if it
     /// does not.
     fn ensure_read_fresh(&self, local: &mut NodeLocal, ridx: usize, page: usize) {
+        let epoch = local.epoch;
         {
             let lp = &local.regions[ridx].pages[page];
-            if lp.checked_epoch == local.epoch {
+            if lp.checked_epoch == epoch {
                 return;
             }
         }
+
+        // Cross-epoch fast path, lock-free: if the page had applied *every*
+        // publish when last verified (`checked_gen` is that generation + 1)
+        // and the region's generation has not moved, then no modification we
+        // could be entitled to exists — whatever our vector gained since.
+        // Any publish we became entitled to at this epoch's acquire
+        // happened-before the vector merge that entitled us (both orderings
+        // run through the lock/barrier mutexes), so its generation bump is
+        // guaranteed visible to this load.
+        let gen = self.publish_gen[ridx].load(Ordering::Acquire);
+        {
+            let lp = &mut local.regions[ridx].pages[page];
+            if lp.checked_gen == gen + 1 {
+                lp.checked_epoch = epoch;
+                return;
+            }
+        }
+
         let cost = &self.cfg.cost;
         let trapping = self.cfg.kind.trapping();
         let collection = self.cfg.kind.collection();
         let gran = self.regions[ridx].granularity;
         let me_idx = local.node.index();
-        let epoch = local.epoch;
+
+        // The stale-source scan reuses the node's scratch buffer (taken out
+        // of `local` so the borrows below stay disjoint; every return path
+        // puts it back).
+        let mut stale = std::mem::take(&mut local.scratch_stale);
+        stale.clear();
 
         // Fast path: a read lock suffices to discover the page is fresh.
         // Staleness is monotone while our vector is fixed (remote `latest`
@@ -402,9 +477,18 @@ impl ProtocolEngine for LrcEngine {
         // epoch.
         {
             let rs = sync::read(&self.region_state[ridx]);
-            if self.stale_sources(&rs, local, ridx, page).is_empty() {
+            // Stable under the read lock: generations move only under the
+            // region's write lock.
+            let rgen = self.publish_gen[ridx].load(Ordering::Acquire);
+            self.stale_sources_into(&rs, local, ridx, page, &mut stale);
+            if stale.is_empty() {
+                let caught_up =
+                    Self::caught_up(&rs.pages[page], &local.regions[ridx].pages[page], me_idx);
                 drop(rs);
-                local.regions[ridx].pages[page].checked_epoch = epoch;
+                let lp = &mut local.regions[ridx].pages[page];
+                lp.checked_epoch = epoch;
+                lp.checked_gen = if caught_up { rgen + 1 } else { 0 };
+                local.scratch_stale = stale;
                 return;
             }
         }
@@ -413,10 +497,17 @@ impl ProtocolEngine for LrcEngine {
         // have been published meanwhile; applying them too is within our
         // entitlement).
         let mut rs = sync::write(&self.region_state[ridx]);
-        let stale = self.stale_sources(&rs, local, ridx, page);
+        let rgen = self.publish_gen[ridx].load(Ordering::Acquire);
+        stale.clear();
+        self.stale_sources_into(&rs, local, ridx, page, &mut stale);
         if stale.is_empty() {
+            let caught_up =
+                Self::caught_up(&rs.pages[page], &local.regions[ridx].pages[page], me_idx);
             drop(rs);
-            local.regions[ridx].pages[page].checked_epoch = epoch;
+            let lp = &mut local.regions[ridx].pages[page];
+            lp.checked_epoch = epoch;
+            lp.checked_gen = if caught_up { rgen + 1 } else { 0 };
+            local.scratch_stale = stale;
             return;
         }
 
@@ -518,6 +609,11 @@ impl ProtocolEngine for LrcEngine {
                 lp.applied[q] = lp.applied[q].max(upto);
             }
             lp.checked_epoch = epoch;
+            lp.checked_gen = if Self::caught_up(&rs.pages[page], lp, me_idx) {
+                rgen + 1
+            } else {
+                0
+            };
         }
         drop(rs);
 
@@ -549,54 +645,61 @@ impl ProtocolEngine for LrcEngine {
             local.stats.record_msg(MsgKind::DataReply, bytes);
             local.clock.advance(cost.round_trip(req_bytes, bytes));
         }
+        local.scratch_stale = stale;
     }
 
-    /// Write-trapping for LRC: ensure freshness, then record the write in the
-    /// current interval.
-    fn trap_write(&self, local: &mut NodeLocal, ridx: usize, off: usize, size: usize) {
-        self.ensure_read_fresh(local, ridx, off / dsm_mem::PAGE_SIZE);
+    /// Write-trapping for LRC: ensure freshness, then record the span's
+    /// writes in the current interval, touching each page's state once.
+    fn trap_write_span(
+        &self,
+        local: &mut NodeLocal,
+        ridx: usize,
+        off: usize,
+        len: usize,
+        count: usize,
+    ) {
+        dsm_mem::for_each_page(off, len, |page, _| {
+            self.ensure_read_fresh(local, ridx, page);
+        });
         let cost = &self.cfg.cost;
         let trapping = self.cfg.kind.trapping();
-        let hierarchical = self.cfg.hierarchical_dirty_bits;
-        let page = off / dsm_mem::PAGE_SIZE;
+
+        if trapping == Trapping::Instrumentation {
+            let mut factor = if self.cfg.ci_loop_optimization { 1 } else { 2 };
+            if self.cfg.hierarchical_dirty_bits {
+                // The hierarchical scheme also sets a page-level dirty bit.
+                factor += 1;
+            }
+            local.stats.instrumented_writes += count as u64;
+            local
+                .clock
+                .advance(cost.instrumented_writes(factor).times(count as u64));
+        }
+
         let region = &mut local.regions[ridx];
-        let span = dsm_mem::page_range(page, region.data.len());
-        let base_word = span.start / 4;
-        let first_word = off / 4;
-
-        match trapping {
-            Trapping::Instrumentation => {
-                let mut factor = if self.cfg.ci_loop_optimization { 1 } else { 2 };
-                if hierarchical {
-                    // The hierarchical scheme also sets a page-level dirty bit.
-                    factor += 1;
-                }
-                local.stats.instrumented_writes += 1;
-                local.clock.advance(cost.instrumented_writes(factor));
+        let region_len = region.data.len();
+        dsm_mem::for_each_page(off, len, |page, bytes| {
+            if trapping == Trapping::Twinning && region.pages[page].twin.is_none() {
+                let span = dsm_mem::page_range(page, region_len);
+                let words = span.len().div_ceil(4) as u64;
+                let copy = region.data[span].to_vec();
+                region.pages[page].twin = Some(copy);
+                local.stats.write_faults += 1;
+                local.stats.twins_created += 1;
+                local.stats.twin_words += words;
+                local
+                    .clock
+                    .advance(cost.page_fault() + cost.twin_copy(words) + cost.mprotect());
             }
-            Trapping::Twinning => {
-                if region.pages[page].twin.is_none() {
-                    let words = span.len().div_ceil(4) as u64;
-                    let copy = region.data[span.clone()].to_vec();
-                    region.pages[page].twin = Some(copy);
-                    local.stats.write_faults += 1;
-                    local.stats.twins_created += 1;
-                    local.stats.twin_words += words;
-                    local
-                        .clock
-                        .advance(cost.page_fault() + cost.twin_copy(words) + cost.mprotect());
-                }
+            let base_word = (page * dsm_mem::PAGE_SIZE) / 4;
+            let lp = &mut region.pages[page];
+            lp.written_mut()
+                .set_range(bytes.start / 4 - base_word..bytes.end.div_ceil(4) - base_word);
+            if !lp.dirty {
+                lp.dirty = true;
+                local.dirty_pages.push((ridx, page));
             }
-        }
-
-        let lp = &mut region.pages[page];
-        for w in 0..size.div_ceil(4) {
-            lp.written_mut().set(first_word + w - base_word);
-        }
-        if !lp.dirty {
-            lp.dirty = true;
-            local.dirty_pages.push((ridx, page));
-        }
+        });
     }
 
     fn read_master(&self, ridx: usize, off: usize, out: &mut [u8]) {
@@ -659,5 +762,77 @@ mod tests {
     fn read_only_acquire_is_rejected() {
         let e = engine(ImplKind::lrc_time());
         e.validate_acquire(LockId::new(0), LockMode::ReadOnly);
+    }
+
+    fn node(e: &LrcEngine, idx: u32) -> NodeLocal {
+        let regions = e.regions.clone();
+        let init = vec![vec![0u8; 8192]];
+        NodeLocal::new(NodeId::new(idx), e.cfg.nprocs, &regions, &init)
+    }
+
+    #[test]
+    fn instrumented_publish_walks_dirty_bit_runs() {
+        let e = engine(ImplKind::lrc_ci());
+        let mut local = node(&e, 0);
+        // Two runs on page 0 (words 0..3 and word 100) and one on page 1.
+        for word in [0usize, 1, 2, 100, 1024] {
+            let off = word * 4;
+            local.regions[0].data[off..off + 4].copy_from_slice(&(word as u32 + 9).to_le_bytes());
+            e.trap_write(&mut local, 0, off, 4);
+        }
+        assert_eq!(local.dirty_pages, vec![(0, 0), (0, 1)]);
+        e.barrier_arrive(&mut local);
+        assert_eq!(local.stats.diff_words, 5);
+        let rs = sync::read(&e.region_state[0]);
+        for word in [0usize, 1, 2, 100, 1024] {
+            assert_eq!(
+                rs.master[word * 4..word * 4 + 4],
+                (word as u32 + 9).to_le_bytes(),
+                "word {word}"
+            );
+            assert_eq!(rs.stamp[word], pack_stamp(NodeId::new(0), 1), "word {word}");
+        }
+        assert_eq!(rs.stamp[3], 0, "untouched word must stay unstamped");
+        drop(rs);
+        // One generation bump per published page.
+        assert_eq!(e.publish_gen[0].load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn generation_fast_path_tracks_publishes_across_epochs() {
+        let e = engine(ImplKind::lrc_diff());
+        let mut reader = node(&e, 0);
+        let mut writer = node(&e, 1);
+
+        // Nothing published: the first check records a caught-up generation.
+        e.ensure_read_fresh(&mut reader, 0, 0);
+        assert_eq!(reader.regions[0].pages[0].checked_gen, 1);
+        assert_eq!(reader.stats.access_misses, 0);
+
+        // A publish the reader is *not yet* entitled to invalidates the
+        // recorded generation (checked_gen = 0: not caught up).
+        // Trap first, then store: the twin must snapshot the pre-write bytes.
+        e.trap_write(&mut writer, 0, 0, 4);
+        writer.regions[0].data[0..4].copy_from_slice(&42u32.to_le_bytes());
+        e.barrier_arrive(&mut writer);
+        reader.epoch += 1;
+        e.ensure_read_fresh(&mut reader, 0, 0);
+        assert_eq!(reader.stats.access_misses, 0, "not entitled: no miss");
+        assert_eq!(reader.regions[0].pages[0].checked_gen, 0);
+
+        // Becoming entitled takes the miss, applies, and is caught up again.
+        reader.vector.set_entry(NodeId::new(1), 1);
+        reader.epoch += 1;
+        e.ensure_read_fresh(&mut reader, 0, 0);
+        assert_eq!(reader.stats.access_misses, 1);
+        assert_eq!(reader.regions[0].data[0..4], 42u32.to_le_bytes());
+        let gen = e.publish_gen[0].load(Ordering::Relaxed);
+        assert_eq!(reader.regions[0].pages[0].checked_gen, gen + 1);
+
+        // Later epochs ride the lock-free fast path: no further misses.
+        reader.epoch += 1;
+        e.ensure_read_fresh(&mut reader, 0, 0);
+        assert_eq!(reader.stats.access_misses, 1);
+        assert_eq!(reader.regions[0].pages[0].checked_epoch, reader.epoch);
     }
 }

@@ -42,11 +42,11 @@ mod region;
 pub mod testutil;
 mod vclock;
 
-pub use bitset::BitSet;
+pub use bitset::{BitRuns, BitSet};
 pub use diff::{Diff, DiffRun};
 pub use granularity::BlockGranularity;
 pub use interval::{IntervalId, WriteNotice};
 pub use merge::{ReplyCost, UpdateMerge};
-pub use page::{page_of, page_range, pages_in, Protection, PAGE_SIZE};
+pub use page::{for_each_page, page_of, page_range, pages_in, Protection, PAGE_SIZE};
 pub use region::{MemRange, RegionDesc, RegionId};
 pub use vclock::{ClockOrd, VectorClock};

@@ -35,6 +35,32 @@ pub fn page_range(page: usize, region_len: usize) -> std::ops::Range<usize> {
     start..end
 }
 
+/// Calls `f(page, byte_range)` for every page overlapping the byte span
+/// `off..off + len`, with each range clamped to the span — the page-batched
+/// walk behind the span access APIs (`read_slice`/`write_slice`), which trap
+/// and validate once per page instead of once per word.
+///
+/// ```
+/// use dsm_mem::{for_each_page, PAGE_SIZE};
+/// let mut seen = Vec::new();
+/// for_each_page(PAGE_SIZE - 8, 16, |page, range| seen.push((page, range)));
+/// assert_eq!(
+///     seen,
+///     vec![(0, PAGE_SIZE - 8..PAGE_SIZE), (1, PAGE_SIZE..PAGE_SIZE + 8)]
+/// );
+/// ```
+pub fn for_each_page(off: usize, len: usize, mut f: impl FnMut(usize, std::ops::Range<usize>)) {
+    if len == 0 {
+        return;
+    }
+    let end = off + len;
+    for page in page_of(off)..=page_of(end - 1) {
+        let lo = off.max(page * PAGE_SIZE);
+        let hi = end.min((page + 1) * PAGE_SIZE);
+        f(page, lo..hi);
+    }
+}
+
 /// Number of pages needed to cover `len` bytes.
 ///
 /// ```

@@ -88,6 +88,14 @@ impl VectorClock {
         self.entries[node.index()]
     }
 
+    /// Overwrites this clock with `other`'s entries, reusing the existing
+    /// allocation — the hot-path replacement for `clone()` when the
+    /// destination clock already exists (grant and release paths run once
+    /// per lock operation and must not allocate).
+    pub fn copy_from(&mut self, other: &VectorClock) {
+        self.entries.clone_from(&other.entries);
+    }
+
     /// Pairwise maximum with `other` (the consistency action at an acquire).
     pub fn merge_max(&mut self, other: &VectorClock) {
         if other.entries.len() > self.entries.len() {
@@ -203,6 +211,22 @@ mod tests {
         assert!(m.dominates(&a));
         assert!(m.dominates(&b));
         assert_eq!(m.entries(), &[5, 7, 3]);
+    }
+
+    #[test]
+    fn copy_from_matches_clone_without_reallocating() {
+        let mut src = VectorClock::new(4);
+        src.set_entry(n(2), 9);
+        let mut dst = VectorClock::new(4);
+        dst.set_entry(n(0), 3);
+        let buf = dst.entries.as_ptr();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(
+            dst.entries.as_ptr(),
+            buf,
+            "same-length copy must reuse the buffer"
+        );
     }
 
     #[test]
