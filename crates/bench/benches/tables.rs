@@ -36,7 +36,11 @@ fn bench<R>(group: &str, name: &str, mut f: impl FnMut() -> R) {
 /// Table 3: best-EC vs best-LRC candidates per application (tiny scale).
 fn table3() {
     for app in [App::Sor, App::IntegerSort, App::Quicksort, App::Fft3d] {
-        for kind in [ImplKind::ec_time(), ImplKind::lrc_diff()] {
+        for kind in [
+            ImplKind::ec_time(),
+            ImplKind::lrc_diff(),
+            ImplKind::hlrc_diff(),
+        ] {
             bench(
                 "table3_ec_vs_lrc",
                 &format!("{}/{}", app.name(), kind.name()),
@@ -55,10 +59,19 @@ fn table4() {
     }
 }
 
-/// Table 5: the three LRC implementations (tiny scale).
+/// Table 5: the three homeless LRC implementations (tiny scale).
 fn table5() {
     for kind in ImplKind::lrc_all() {
         bench("table5_lrc_impls", &format!("SOR/{}", kind.name()), || {
+            run_app(App::Sor, kind, 4, Scale::Tiny)
+        });
+    }
+}
+
+/// Table 6: the three home-based LRC implementations (tiny scale).
+fn table6() {
+    for kind in ImplKind::hlrc_all() {
+        bench("table6_hlrc_impls", &format!("SOR/{}", kind.name()), || {
             run_app(App::Sor, kind, 4, Scale::Tiny)
         });
     }
@@ -98,5 +111,6 @@ fn main() {
     table3();
     table4();
     table5();
+    table6();
     mechanisms();
 }

@@ -126,7 +126,12 @@ fn main() {
         Scale::Paper => "paper",
     };
     let iters = sweeps(opts.scale);
-    for kind in [ImplKind::ec_time(), ImplKind::lrc_diff()] {
+    let kinds = opts.filter_nonempty(&[
+        ImplKind::ec_time(),
+        ImplKind::lrc_diff(),
+        ImplKind::hlrc_diff(),
+    ]);
+    for kind in kinds {
         for op in ["read", "write"] {
             for slices in [false, true] {
                 measure(kind, opts.nprocs, iters, op, slices).print(scale_name, opts.nprocs);

@@ -1,0 +1,62 @@
+//! CI matrix smoke: one small application under all nine implementations.
+//!
+//! Runs SOR at tiny scale on 4 processors under every [`ImplKind`], asserts
+//! each run verifies against the sequential output, prints one canonical line
+//! per implementation, and diffs the three homeless-LRC lines against the
+//! committed golden file (`tests/golden/matrix_smoke_lrc.txt`, shared with
+//! the integration-test goldens) — regenerate with `DSM_BLESS_GOLDEN=1`
+//! after an intentional behaviour change.  SOR under the LRC family is
+//! barrier-structured, so its report is deterministic at any processor count
+//! (see `DESIGN.md`, "Determinism").
+//!
+//! Usage: `cargo run --release -p dsm-bench --bin matrix_smoke`
+
+use std::fmt::Write as _;
+
+use dsm_apps::{run_app, App, Scale};
+use dsm_core::ImplKind;
+
+const PROCS: usize = 4;
+
+fn canon_line(kind: ImplKind) -> (bool, String) {
+    let r = run_app(App::Sor, kind, PROCS, Scale::Tiny);
+    let mut line = format!(
+        "impl={} verified={} traffic: {}",
+        kind.name(),
+        r.verified,
+        r.traffic
+    );
+    for i in 0..r.stats.num_nodes() {
+        let s = r.stats.node(i);
+        write!(
+            line,
+            " n{i}={}/{}/{}",
+            s.messages(),
+            s.bytes(),
+            s.access_misses
+        )
+        .expect("write to string");
+    }
+    line.push('\n');
+    (r.verified, line)
+}
+
+fn main() {
+    let mut all_verified = true;
+    let mut lrc_lines = String::new();
+    for kind in ImplKind::all() {
+        let (verified, line) = canon_line(kind);
+        print!("{line}");
+        all_verified &= verified;
+        if kind.model() == dsm_core::Model::Lrc {
+            lrc_lines.push_str(&line);
+        }
+    }
+    assert!(
+        all_verified,
+        "at least one implementation failed verification"
+    );
+
+    dsm_tests::check_golden("matrix_smoke_lrc.txt", &lrc_lines);
+    println!("homeless-LRC output matches the committed golden file");
+}

@@ -21,14 +21,20 @@ const REPS: usize = 3;
 
 fn main() {
     // Reuse the shared flag parser but sweep processor counts ourselves.
-    let scale = dsm_bench::HarnessOpts::from_args().scale;
+    let opts = dsm_bench::HarnessOpts::from_args();
+    let scale = opts.scale;
     let scale_name = match scale {
         Scale::Tiny => "tiny",
         Scale::Small => "small",
         Scale::Paper => "paper",
     };
+    let kinds = opts.filter_nonempty(&[
+        ImplKind::ec_time(),
+        ImplKind::lrc_diff(),
+        ImplKind::hlrc_diff(),
+    ]);
     for app in [App::Sor, App::IntegerSort, App::Water] {
-        for kind in [ImplKind::ec_time(), ImplKind::lrc_diff()] {
+        for &kind in &kinds {
             for nprocs in PROC_COUNTS {
                 // Report the fastest of a few repetitions: host scheduling
                 // noise only ever slows a run down.

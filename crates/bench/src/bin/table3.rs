@@ -1,38 +1,51 @@
-//! Table 3: execution times for the best EC and best LRC implementation of
-//! every application, plus the single-processor sequential time and the
-//! implementation that achieved the best time ("EC Imp." / "LRC Imp.").
+//! Table 3: execution times for the best EC, best LRC and best HLRC
+//! implementation of every application, plus the single-processor sequential
+//! time and the implementation that achieved each best time.
 
-use dsm_apps::sequential_time;
-use dsm_bench::{best, check, print_table, run_family, secs, table_apps, HarnessOpts};
+use dsm_apps::{sequential_time, AppReport};
+use dsm_bench::{best, check, opt_col, print_table, run_family, secs, table_apps, HarnessOpts};
 use dsm_core::{CostModel, ImplKind};
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let cost = CostModel::atm_lan_1996();
     let mut rows = Vec::new();
+    let time_of = |r: Option<&AppReport>| opt_col(r, |r| secs(r.time));
+    let impl_of =
+        |r: Option<&AppReport>, prefix: &str| opt_col(r, |r| r.kind.name().replace(prefix, ""));
+    let speedup_of = |r: Option<&AppReport>| opt_col(r, |r| format!("{:.2}", r.speedup()));
     for app in table_apps() {
         let seq = sequential_time(app, opts.scale, &cost);
-        let ec_reports = run_family(app, &ImplKind::ec_all(), opts);
-        let lrc_reports = run_family(app, &ImplKind::lrc_all(), opts);
-        for r in ec_reports.iter().chain(lrc_reports.iter()) {
+        let ec_reports = run_family(app, &ImplKind::ec_all(), &opts);
+        let lrc_reports = run_family(app, &ImplKind::lrc_all(), &opts);
+        let hlrc_reports = run_family(app, &ImplKind::hlrc_all(), &opts);
+        for r in ec_reports
+            .iter()
+            .chain(lrc_reports.iter())
+            .chain(hlrc_reports.iter())
+        {
             check(r);
         }
         let ec = best(&ec_reports);
         let lrc = best(&lrc_reports);
+        let hlrc = best(&hlrc_reports);
         rows.push(vec![
             app.name().to_string(),
             secs(seq),
-            secs(ec.time),
-            secs(lrc.time),
-            ec.kind.name().replace("EC-", ""),
-            lrc.kind.name().replace("LRC-", ""),
-            format!("{:.2}", ec.speedup()),
-            format!("{:.2}", lrc.speedup()),
+            time_of(ec),
+            time_of(lrc),
+            time_of(hlrc),
+            impl_of(ec, "EC-"),
+            impl_of(lrc, "LRC-"),
+            impl_of(hlrc, "HLRC-"),
+            speedup_of(ec),
+            speedup_of(lrc),
+            speedup_of(hlrc),
         ]);
     }
     print_table(
         &format!(
-            "Table 3: Execution Times for EC and LRC (best implementation, {})",
+            "Table 3: Execution Times for EC, LRC and HLRC (best implementation, {})",
             opts.describe()
         ),
         &[
@@ -40,10 +53,13 @@ fn main() {
             "1 proc.",
             "EC",
             "LRC",
+            "HLRC",
             "EC Imp.",
             "LRC Imp.",
+            "HLRC Imp.",
             "EC spdup",
             "LRC spdup",
+            "HLRC spdup",
         ],
         &rows,
     );

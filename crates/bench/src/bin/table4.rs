@@ -1,27 +1,16 @@
 //! Table 4: execution times for the three EC implementations
 //! (EC-ci, EC-time, EC-diff).
 
-use dsm_bench::{check, print_table, run_family, secs, table_apps, HarnessOpts};
+use dsm_bench::{check, print_family_times, table_apps, HarnessOpts};
 use dsm_core::ImplKind;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let mut rows = Vec::new();
-    for app in table_apps() {
-        let reports = run_family(app, &ImplKind::ec_all(), opts);
-        for r in &reports {
-            check(r);
-        }
-        let mut row = vec![app.name().to_string()];
-        row.extend(reports.iter().map(|r| secs(r.time)));
-        rows.push(row);
-    }
-    print_table(
-        &format!(
-            "Table 4: Execution Times for Write Trapping / Collection Combinations in EC ({})",
-            opts.describe()
-        ),
-        &["Application", "EC-ci", "EC-time", "EC-diff"],
-        &rows,
+    print_family_times(
+        "Table 4: Execution Times for Write Trapping / Collection Combinations in EC",
+        &ImplKind::ec_all(),
+        &table_apps(),
+        &opts,
+        check,
     );
 }

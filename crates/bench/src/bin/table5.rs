@@ -1,27 +1,16 @@
-//! Table 5: execution times for the three LRC implementations
+//! Table 5: execution times for the three homeless LRC implementations
 //! (LRC-ci, LRC-time, LRC-diff).
 
-use dsm_bench::{check, print_table, run_family, secs, table_apps, HarnessOpts};
+use dsm_bench::{check, print_family_times, table_apps, HarnessOpts};
 use dsm_core::ImplKind;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let mut rows = Vec::new();
-    for app in table_apps() {
-        let reports = run_family(app, &ImplKind::lrc_all(), opts);
-        for r in &reports {
-            check(r);
-        }
-        let mut row = vec![app.name().to_string()];
-        row.extend(reports.iter().map(|r| secs(r.time)));
-        rows.push(row);
-    }
-    print_table(
-        &format!(
-            "Table 5: Execution Times for Write Trapping / Collection Combinations in LRC ({})",
-            opts.describe()
-        ),
-        &["Application", "LRC-ci", "LRC-time", "LRC-diff"],
-        &rows,
+    print_family_times(
+        "Table 5: Execution Times for Write Trapping / Collection Combinations in LRC",
+        &ImplKind::lrc_all(),
+        &table_apps(),
+        &opts,
+        check,
     );
 }

@@ -1,0 +1,18 @@
+//! Table 6 (beyond the paper): execution times for the three home-based LRC
+//! implementations (HLRC-ci, HLRC-time, HLRC-diff).  Together with tables 4
+//! and 5 this completes the per-implementation comparison across all nine
+//! members of the protocol family.
+
+use dsm_bench::{check, print_family_times, table_apps, HarnessOpts};
+use dsm_core::ImplKind;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    print_family_times(
+        "Table 6: Execution Times for Write Trapping / Collection Combinations in HLRC",
+        &ImplKind::hlrc_all(),
+        &table_apps(),
+        &opts,
+        check,
+    );
+}

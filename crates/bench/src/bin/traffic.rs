@@ -1,31 +1,48 @@
 //! Section 7.2 traffic statistics: message counts and megabytes transferred
-//! for the best EC and best LRC implementation of every application (the
-//! quantities quoted in the per-application analysis, e.g. "EC-time transfers
-//! 9.5 MB while LRC-diff transfers 29.9 MB for Barnes-Hut").
+//! for the best EC, best LRC and best HLRC implementation of every
+//! application (the quantities quoted in the per-application analysis, e.g.
+//! "EC-time transfers 9.5 MB while LRC-diff transfers 29.9 MB for
+//! Barnes-Hut"), plus the miss counts of the two invalidate-protocol
+//! families.
 
-use dsm_bench::{best, check, print_table, run_family, table_apps, HarnessOpts};
+use dsm_apps::AppReport;
+use dsm_bench::{best, check, opt_col, print_table, run_family, table_apps, HarnessOpts};
 use dsm_core::ImplKind;
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let mut rows = Vec::new();
+    let name_of = |r: Option<&AppReport>| opt_col(r, |r| r.kind.name());
+    let msgs_of = |r: Option<&AppReport>| opt_col(r, |r| r.traffic.messages.to_string());
+    let mb_of = |r: Option<&AppReport>| opt_col(r, |r| format!("{:.2}", r.traffic.megabytes()));
+    let misses_of = |r: Option<&AppReport>| opt_col(r, |r| r.traffic.access_misses.to_string());
     for app in table_apps() {
-        let ec_reports = run_family(app, &ImplKind::ec_all(), opts);
-        let lrc_reports = run_family(app, &ImplKind::lrc_all(), opts);
-        for r in ec_reports.iter().chain(lrc_reports.iter()) {
+        let ec_reports = run_family(app, &ImplKind::ec_all(), &opts);
+        let lrc_reports = run_family(app, &ImplKind::lrc_all(), &opts);
+        let hlrc_reports = run_family(app, &ImplKind::hlrc_all(), &opts);
+        for r in ec_reports
+            .iter()
+            .chain(lrc_reports.iter())
+            .chain(hlrc_reports.iter())
+        {
             check(r);
         }
         let ec = best(&ec_reports);
         let lrc = best(&lrc_reports);
+        let hlrc = best(&hlrc_reports);
         rows.push(vec![
             app.name().to_string(),
-            ec.kind.name(),
-            format!("{}", ec.traffic.messages),
-            format!("{:.2}", ec.traffic.megabytes()),
-            lrc.kind.name(),
-            format!("{}", lrc.traffic.messages),
-            format!("{:.2}", lrc.traffic.megabytes()),
-            format!("{}", lrc.traffic.access_misses),
+            name_of(ec),
+            msgs_of(ec),
+            mb_of(ec),
+            name_of(lrc),
+            msgs_of(lrc),
+            mb_of(lrc),
+            misses_of(lrc),
+            name_of(hlrc),
+            msgs_of(hlrc),
+            mb_of(hlrc),
+            misses_of(hlrc),
         ]);
     }
     print_table(
@@ -42,6 +59,10 @@ fn main() {
             "LRC msgs",
             "LRC MB",
             "LRC misses",
+            "HLRC impl",
+            "HLRC msgs",
+            "HLRC MB",
+            "HLRC misses",
         ],
         &rows,
     );

@@ -8,17 +8,24 @@
 //! |---|---|
 //! | `table1` | Table 1 — the trapping x collection combinations |
 //! | `table2` | Table 2 — application parameters |
-//! | `table3` | Table 3 — best EC vs best LRC execution times (+ 1 proc.) |
+//! | `table3` | Table 3 — best EC vs best LRC vs best HLRC execution times (+ 1 proc.) |
 //! | `table4` | Table 4 — EC-ci / EC-time / EC-diff execution times |
 //! | `table5` | Table 5 — LRC-ci / LRC-time / LRC-diff execution times |
+//! | `table6` | beyond the paper — HLRC-ci / HLRC-time / HLRC-diff execution times |
 //! | `traffic` | Section 7.2 — message counts and megabytes per application |
 //! | `scaling` | host wall-clock vs simulated time at 8/16/32 processors (JSON) |
+//! | `matrix_smoke` | CI smoke — SOR under all 9 implementations + golden diff |
 //! | `water_restructured` | Section 7.2 — the restructured Water experiment |
 //! | `ablation_ci_opt` | Section 8.1 — the dirty-bit loop-splitting optimisation |
 //! | `ablation_small_objects` | Section 4.2 — eager small-object twins vs page faults |
 //!
 //! All binaries accept `--scale tiny|small|paper` (default `small`) and
-//! `--procs N` (default 8).
+//! `--procs N` (default 8).  The binaries that sweep implementations —
+//! `table3`–`table6`, `traffic`, `scaling`, `hotpath`, `matrix_smoke` — also
+//! honor `--impls NAME[,NAME...]` (a comma-separated subset of the nine
+//! implementation names, e.g. `--impls EC-time,HLRC-diff`; default: all);
+//! the parameter tables (`table1`, `table2`) and the fixed-pair experiments
+//! (`water_restructured`, the ablations) ignore it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,12 +34,15 @@ use dsm_apps::{run_app, App, AppReport, Scale};
 use dsm_core::ImplKind;
 
 /// Command-line options shared by the table binaries.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct HarnessOpts {
     /// Problem scale.
     pub scale: Scale,
     /// Number of simulated processors.
     pub nprocs: usize,
+    /// Implementations to run (`--impls`); `None` means every implementation
+    /// a binary would normally run.
+    pub impls: Option<Vec<ImplKind>>,
 }
 
 impl Default for HarnessOpts {
@@ -40,12 +50,13 @@ impl Default for HarnessOpts {
         HarnessOpts {
             scale: Scale::Small,
             nprocs: 8,
+            impls: None,
         }
     }
 }
 
 impl HarnessOpts {
-    /// Parses `--scale` and `--procs` from the process arguments.
+    /// Parses `--scale`, `--procs` and `--impls` from the process arguments.
     pub fn from_args() -> Self {
         let mut opts = HarnessOpts::default();
         let args: Vec<String> = std::env::args().collect();
@@ -65,15 +76,59 @@ impl HarnessOpts {
                     opts.nprocs = args[i + 1].parse().expect("--procs takes a number");
                     i += 2;
                 }
+                "--impls" if i + 1 < args.len() => {
+                    let kinds: Vec<ImplKind> = args[i + 1]
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(|name| {
+                            ImplKind::from_name(name.trim()).unwrap_or_else(|e| panic!("{e}"))
+                        })
+                        .collect();
+                    assert!(!kinds.is_empty(), "--impls takes at least one name");
+                    opts.impls = Some(kinds);
+                    i += 2;
+                }
                 other => panic!("unknown argument '{other}'"),
             }
         }
         opts
     }
 
+    /// Restricts `kinds` to the `--impls` selection, preserving order.  With
+    /// no `--impls` the input is returned unchanged; the result may be empty
+    /// (the caller skips that family).
+    pub fn filter(&self, kinds: &[ImplKind]) -> Vec<ImplKind> {
+        match &self.impls {
+            None => kinds.to_vec(),
+            Some(sel) => kinds.iter().copied().filter(|k| sel.contains(k)).collect(),
+        }
+    }
+
+    /// [`HarnessOpts::filter`] for bins that sweep a fixed implementation
+    /// list: panics when `--impls` matches none of them, because a silent
+    /// empty sweep would look like a green run to CI.
+    pub fn filter_nonempty(&self, kinds: &[ImplKind]) -> Vec<ImplKind> {
+        let filtered = self.filter(kinds);
+        assert!(
+            !filtered.is_empty(),
+            "--impls matched none of the implementations this bin offers ({})",
+            kinds
+                .iter()
+                .map(|k| k.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        filtered
+    }
+
     /// A short human-readable description of the options.
     pub fn describe(&self) -> String {
-        format!("{:?} scale, {} processors", self.scale, self.nprocs)
+        let mut s = format!("{:?} scale, {} processors", self.scale, self.nprocs);
+        if let Some(sel) = &self.impls {
+            let names: Vec<String> = sel.iter().map(|k| k.name()).collect();
+            s.push_str(&format!(", impls {}", names.join(",")));
+        }
+        s
     }
 }
 
@@ -82,21 +137,20 @@ pub fn table_apps() -> Vec<App> {
     App::ALL.to_vec()
 }
 
-/// Runs one application under every implementation of one model family and
-/// returns the reports in the same order.
-pub fn run_family(app: App, kinds: &[ImplKind], opts: HarnessOpts) -> Vec<AppReport> {
-    kinds
-        .iter()
-        .map(|&kind| run_app(app, kind, opts.nprocs, opts.scale))
+/// Runs one application under every implementation of one model family
+/// (restricted by `--impls`) and returns the reports in the same order.  An
+/// empty result means the whole family was filtered out.
+pub fn run_family(app: App, kinds: &[ImplKind], opts: &HarnessOpts) -> Vec<AppReport> {
+    opts.filter(kinds)
+        .into_iter()
+        .map(|kind| run_app(app, kind, opts.nprocs, opts.scale))
         .collect()
 }
 
-/// Picks the report with the lowest simulated time.
-pub fn best(reports: &[AppReport]) -> &AppReport {
-    reports
-        .iter()
-        .min_by(|a, b| a.time.cmp(&b.time))
-        .expect("at least one report")
+/// Picks the report with the lowest simulated time, if any survived the
+/// `--impls` filter.
+pub fn best(reports: &[AppReport]) -> Option<&AppReport> {
+    reports.iter().min_by(|a, b| a.time.cmp(&b.time))
 }
 
 /// Formats a simulated time in seconds with two decimals, like the paper.
@@ -134,6 +188,48 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Formats one table cell from a family's best report, or the `-`
+/// placeholder when the whole family was filtered out by `--impls`.
+pub fn opt_col(report: Option<&AppReport>, f: impl Fn(&AppReport) -> String) -> String {
+    report.map_or_else(|| "-".to_string(), f)
+}
+
+/// Prints one family table (tables 4, 5 and 6): one row per application, one
+/// execution-time column per implementation of the family that survived the
+/// `--impls` filter.  `check` is called on every report (the bins pass
+/// [`check`]; tests can pass a recording closure).
+pub fn print_family_times(
+    title: &str,
+    family: &[ImplKind],
+    apps: &[App],
+    opts: &HarnessOpts,
+    check: impl Fn(&AppReport),
+) {
+    let kinds = opts.filter(family);
+    if kinds.is_empty() {
+        println!("\n{title}: every implementation filtered out by --impls");
+        return;
+    }
+    let mut rows = Vec::new();
+    for &app in apps {
+        let reports = run_family(app, &kinds, opts);
+        for r in &reports {
+            check(r);
+        }
+        let mut row = vec![app.name().to_string()];
+        row.extend(reports.iter().map(|r| secs(r.time)));
+        rows.push(row);
+    }
+    let mut header = vec!["Application".to_string()];
+    header.extend(kinds.iter().map(|k| k.name()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table(
+        &format!("{title} ({})", opts.describe()),
+        &header_refs,
+        &rows,
+    );
+}
+
 /// Warns (loudly) if a run failed verification against the sequential output.
 pub fn check(report: &AppReport) {
     if !report.verified {
@@ -153,10 +249,33 @@ mod tests {
         let opts = HarnessOpts {
             scale: Scale::Tiny,
             nprocs: 2,
+            impls: None,
         };
-        let reports = run_family(App::IntegerSort, &ImplKind::ec_all(), opts);
-        let b = best(&reports);
+        let reports = run_family(App::IntegerSort, &ImplKind::ec_all(), &opts);
+        let b = best(&reports).expect("unfiltered family is non-empty");
         assert!(reports.iter().all(|r| r.time >= b.time));
+    }
+
+    #[test]
+    fn impls_filter_restricts_families() {
+        let opts = HarnessOpts {
+            scale: Scale::Tiny,
+            nprocs: 2,
+            impls: Some(vec![ImplKind::lrc_diff(), ImplKind::hlrc_diff()]),
+        };
+        assert_eq!(opts.filter(&ImplKind::ec_all()), vec![]);
+        assert_eq!(
+            opts.filter(&ImplKind::lrc_all()),
+            vec![ImplKind::lrc_diff()]
+        );
+        assert_eq!(
+            opts.filter(&ImplKind::hlrc_all()),
+            vec![ImplKind::hlrc_diff()]
+        );
+        let reports = run_family(App::IntegerSort, &ImplKind::ec_all(), &opts);
+        assert!(reports.is_empty());
+        assert!(best(&reports).is_none());
+        assert!(opts.describe().contains("LRC-diff,HLRC-diff"));
     }
 
     #[test]

@@ -6,23 +6,30 @@ use dsm_sim::CostModel;
 
 use crate::DsmError;
 
-/// The consistency model (Section 3 of the paper).
+/// The consistency model (Section 3 of the paper, plus home-based LRC).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Model {
     /// Entry consistency (Midway): shared data is bound to locks, only the
     /// bound data is made consistent at an acquire, update protocol.
     Ec,
     /// Lazy release consistency (TreadMarks): no binding, all shared data is
-    /// made consistent lazily, invalidate protocol with multiple writers.
+    /// made consistent lazily, invalidate protocol with multiple writers,
+    /// data collected from the writers at the miss (homeless).
     Lrc,
+    /// Home-based lazy release consistency: same ordering layer as
+    /// [`Model::Lrc`], but every page has a statically assigned home node;
+    /// releasers eagerly flush their modifications to the home and an access
+    /// miss fetches the whole page from the home in one round trip.
+    Hlrc,
 }
 
 impl Model {
-    /// Short label ("EC" / "LRC").
+    /// Short label ("EC" / "LRC" / "HLRC").
     pub fn label(self) -> &'static str {
         match self {
             Model::Ec => "EC",
             Model::Lrc => "LRC",
+            Model::Hlrc => "HLRC",
         }
     }
 }
@@ -89,8 +96,10 @@ impl fmt::Display for Collection {
     }
 }
 
-/// One of the implementations studied in the paper (Table 1): a consistency
-/// model crossed with a write-trapping and a write-collection mechanism.
+/// One of the implementations of the study: a consistency model crossed with
+/// a write-trapping and a write-collection mechanism.  The six combinations
+/// of the paper's Table 1 (EC and homeless LRC) are extended with the three
+/// home-based LRC variants, nine implementations in total.
 ///
 /// The combination of compiler instrumentation and diffing is rejected, as in
 /// the paper, "because its memory requirements appear prohibitive" (it would
@@ -104,8 +113,13 @@ impl fmt::Display for Collection {
 /// let ec_ci = ImplKind::new(Model::Ec, Trapping::Instrumentation, Collection::Timestamps)?;
 /// assert_eq!(ec_ci.name(), "EC-ci");
 ///
-/// // The six implementations of Table 1:
-/// assert_eq!(ImplKind::all().len(), 6);
+/// // The six implementations of Table 1 plus the three HLRC variants:
+/// assert_eq!(ImplKind::all().len(), 9);
+///
+/// // Names round-trip through the parser used by the bench bins' --impls.
+/// for kind in ImplKind::all() {
+///     assert_eq!(ImplKind::from_name(&kind.name())?, kind);
+/// }
 /// # Ok::<(), dsm_core::DsmError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -188,8 +202,36 @@ impl ImplKind {
         }
     }
 
-    /// All six implementations explored in the paper, in Table-1 order.
-    pub fn all() -> [ImplKind; 6] {
+    /// Home-based LRC with compiler instrumentation and timestamps.
+    pub fn hlrc_ci() -> Self {
+        ImplKind {
+            model: Model::Hlrc,
+            trapping: Trapping::Instrumentation,
+            collection: Collection::Timestamps,
+        }
+    }
+
+    /// Home-based LRC with twinning and timestamps.
+    pub fn hlrc_time() -> Self {
+        ImplKind {
+            model: Model::Hlrc,
+            trapping: Trapping::Twinning,
+            collection: Collection::Timestamps,
+        }
+    }
+
+    /// Home-based LRC with twinning and diffs (the Princeton HLRC design).
+    pub fn hlrc_diff() -> Self {
+        ImplKind {
+            model: Model::Hlrc,
+            trapping: Trapping::Twinning,
+            collection: Collection::Diffs,
+        }
+    }
+
+    /// All nine implementations: the paper's six (Table-1 order) followed by
+    /// the three home-based LRC variants.
+    pub fn all() -> [ImplKind; 9] {
         [
             Self::ec_ci(),
             Self::ec_time(),
@@ -197,6 +239,9 @@ impl ImplKind {
             Self::lrc_ci(),
             Self::lrc_time(),
             Self::lrc_diff(),
+            Self::hlrc_ci(),
+            Self::hlrc_time(),
+            Self::hlrc_diff(),
         ]
     }
 
@@ -205,9 +250,35 @@ impl ImplKind {
         [Self::ec_ci(), Self::ec_time(), Self::ec_diff()]
     }
 
-    /// The three LRC implementations (Table 5 columns).
+    /// The three homeless LRC implementations (Table 5 columns).
     pub fn lrc_all() -> [ImplKind; 3] {
         [Self::lrc_ci(), Self::lrc_time(), Self::lrc_diff()]
+    }
+
+    /// The three home-based LRC implementations.
+    pub fn hlrc_all() -> [ImplKind; 3] {
+        [Self::hlrc_ci(), Self::hlrc_time(), Self::hlrc_diff()]
+    }
+
+    /// Parses an implementation from its table name (`EC-ci`, `LRC-diff`,
+    /// `HLRC-time`, ...), the inverse of [`ImplKind::name`]/`Display`.  Used
+    /// by the bench bins' `--impls` filter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsmError::InvalidConfig`] naming the valid spellings if
+    /// `name` matches none of the nine implementations.
+    pub fn from_name(name: &str) -> Result<Self, DsmError> {
+        Self::all()
+            .into_iter()
+            .find(|k| k.name() == name)
+            .ok_or_else(|| {
+                let valid: Vec<String> = Self::all().iter().map(|k| k.name()).collect();
+                DsmError::InvalidConfig(format!(
+                    "unknown implementation '{name}' (expected one of: {})",
+                    valid.join(", ")
+                ))
+            })
     }
 
     /// The consistency model.
@@ -226,7 +297,8 @@ impl ImplKind {
     }
 
     /// The name used in the paper's tables: `EC-ci`, `EC-time`, `EC-diff`,
-    /// `LRC-ci`, `LRC-time`, `LRC-diff`.
+    /// `LRC-ci`, `LRC-time`, `LRC-diff`, plus `HLRC-ci`, `HLRC-time` and
+    /// `HLRC-diff` for the home-based family.
     pub fn name(self) -> String {
         let suffix = match (self.trapping, self.collection) {
             (Trapping::Instrumentation, _) => "ci",
@@ -248,7 +320,7 @@ impl fmt::Display for ImplKind {
 pub struct DsmConfig {
     /// Number of simulated processors (the paper uses 8).
     pub nprocs: usize,
-    /// Which of the six implementations to run.
+    /// Which of the nine implementations to run.
     pub kind: ImplKind,
     /// The cost model converting protocol events into simulated time.
     pub cost: CostModel,
@@ -324,19 +396,40 @@ mod tests {
 
     #[test]
     fn ci_plus_diff_is_rejected() {
-        let err = ImplKind::new(Model::Ec, Trapping::Instrumentation, Collection::Diffs);
-        assert!(matches!(err, Err(DsmError::UnsupportedCombination)));
-        let err = ImplKind::new(Model::Lrc, Trapping::Instrumentation, Collection::Diffs);
-        assert!(matches!(err, Err(DsmError::UnsupportedCombination)));
+        for model in [Model::Ec, Model::Lrc, Model::Hlrc] {
+            let err = ImplKind::new(model, Trapping::Instrumentation, Collection::Diffs);
+            assert!(matches!(err, Err(DsmError::UnsupportedCombination)));
+        }
     }
 
     #[test]
-    fn table1_names() {
+    fn family_names() {
         let names: Vec<String> = ImplKind::all().iter().map(|k| k.name()).collect();
         assert_eq!(
             names,
-            vec!["EC-ci", "EC-time", "EC-diff", "LRC-ci", "LRC-time", "LRC-diff"]
+            vec![
+                "EC-ci",
+                "EC-time",
+                "EC-diff",
+                "LRC-ci",
+                "LRC-time",
+                "LRC-diff",
+                "HLRC-ci",
+                "HLRC-time",
+                "HLRC-diff"
+            ]
         );
+    }
+
+    #[test]
+    fn from_name_roundtrips_with_display() {
+        for kind in ImplKind::all() {
+            assert_eq!(ImplKind::from_name(&kind.to_string()).unwrap(), kind);
+        }
+        assert!(ImplKind::from_name("LRC-CI").is_err(), "names are exact");
+        assert!(ImplKind::from_name("").is_err());
+        let msg = ImplKind::from_name("bogus").unwrap_err().to_string();
+        assert!(msg.contains("HLRC-diff"), "error lists the valid names");
     }
 
     #[test]
@@ -349,9 +442,12 @@ mod tests {
     }
 
     #[test]
-    fn ec_and_lrc_subsets() {
+    fn model_family_subsets() {
         assert!(ImplKind::ec_all().iter().all(|k| k.model() == Model::Ec));
         assert!(ImplKind::lrc_all().iter().all(|k| k.model() == Model::Lrc));
+        assert!(ImplKind::hlrc_all()
+            .iter()
+            .all(|k| k.model() == Model::Hlrc));
     }
 
     #[test]

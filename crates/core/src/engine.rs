@@ -6,9 +6,10 @@
 //! model-specific action — what a grant carries, what a release publishes,
 //! what a barrier exchanges, how writes are trapped and how stale pages are
 //! refreshed — is a hook on this trait.  `EcEngine` (Midway-style entry
-//! consistency) and `LrcEngine` (TreadMarks-style lazy release consistency)
-//! are the two implementations; [`build_engine`] is the *only* place the
-//! consistency model is matched on.
+//! consistency) and the layered LRC family (one ordering core specialised by
+//! a homeless or home-based data policy, see `lrc/`) are the
+//! implementations; [`build_engine`] is the *only* place the consistency
+//! model is matched on.
 //!
 //! Engines are shared by every worker thread (`&self` receivers) and shard
 //! their own state internally — per-lock metadata behind per-slot mutexes and
@@ -23,7 +24,7 @@ use crate::config::{DsmConfig, Model};
 use crate::ec::EcEngine;
 use crate::ids::{LockId, LockMode};
 use crate::local::{HeldLock, NodeLocal};
-use crate::lrc::LrcEngine;
+use crate::lrc::{HomeBasedLrcEngine, HomelessLrcEngine};
 
 /// Size of a small control message payload (lock request/forward, barrier
 /// bookkeeping) in bytes.
@@ -138,7 +139,8 @@ pub(crate) fn build_engine(
 ) -> Box<dyn ProtocolEngine> {
     match cfg.kind.model() {
         Model::Ec => Box::new(EcEngine::new(cfg, regions, init)),
-        Model::Lrc => Box::new(LrcEngine::new(cfg, regions, init)),
+        Model::Lrc => Box::new(HomelessLrcEngine::new(cfg, regions, init)),
+        Model::Hlrc => Box::new(HomeBasedLrcEngine::new(cfg, regions, init)),
     }
 }
 

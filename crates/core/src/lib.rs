@@ -7,30 +7,51 @@
 //! two consistency models crossed with two write-trapping mechanisms
 //! (compiler instrumentation, twinning) and two write-collection mechanisms
 //! (timestamps, diffs), minus the prohibitive instrumentation+diffs
-//! combination:
+//! combination — plus the three home-based LRC (HLRC) variants, nine
+//! implementations in total:
 //!
 //! | | compiler instrumentation | twinning |
 //! |---|---|---|
-//! | **timestamps** | `EC-ci`, `LRC-ci` | `EC-time`, `LRC-time` |
-//! | **diffs** | — | `EC-diff`, `LRC-diff` |
+//! | **timestamps** | `EC-ci`, `LRC-ci`, `HLRC-ci` | `EC-time`, `LRC-time`, `HLRC-time` |
+//! | **diffs** | — | `EC-diff`, `LRC-diff`, `HLRC-diff` |
 //!
 //! # Architecture
 //!
-//! Both models plug into the runtime through an internal `ProtocolEngine`
+//! All models plug into the runtime through an internal `ProtocolEngine`
 //! trait: the runtime owns the mechanics the models share (lock hand-off,
 //! barrier rendezvous, typed access) and calls model hooks for everything
-//! else (grant payloads, publishes, write trapping, access misses).  All
-//! cluster-wide state is **sharded** — each lock and barrier has its own
-//! slot, mutex and condition variable, and each region's published master
-//! copy sits behind its own reader/writer lock — so simulated processors
-//! synchronising on independent objects run truly in parallel on the host.
-//! See `DESIGN.md` for the sharding layout and the cost-substitution table.
+//! else (grant payloads, publishes, write trapping, access misses).  The two
+//! LRC models are one engine: a shared *ordering* core (intervals, vector
+//! clocks, write notices, freshness generations) parameterized by a
+//! *data policy* that decides where published data lives — homeless
+//! (TreadMarks: data moves lazily, from the writers, at the miss) or
+//! home-based (every page has a static home; releasers flush to it eagerly
+//! and a miss is one whole-page round trip).  All cluster-wide state is
+//! **sharded** — each lock and barrier has its own slot, mutex and condition
+//! variable, and each region's published master copy sits behind its own
+//! reader/writer lock — so simulated processors synchronising on independent
+//! objects run truly in parallel on the host.  See `DESIGN.md` for the
+//! sharding layout and the cost-substitution table.
+//!
+//! # Choosing a policy
+//!
+//! Prefer homeless LRC (`LRC-*`) when pages have few concurrent writers or
+//! sharing is migratory: only the encoded modifications move, and only on
+//! demand.  Prefer home-based LRC (`HLRC-*`) when pages are write-shared
+//! (falsely or truly) by several processors between synchronizations: the
+//! faulting node pays exactly one round trip to the page's home instead of
+//! one per concurrent writer, at the price of an eager flush per remote
+//! release and whole-page replies.  Entry consistency (`EC-*`) remains the
+//! choice when the program can name its sharing — data bound to locks moves
+//! on the grant, and nothing else moves at all.  The two LRC policies share
+//! their ordering layer, so switching between them never changes program
+//! results, only traffic and timing.
 //!
 //! Applications are written SPMD-style against [`Dsm`] and
 //! [`ProcessContext`]; the runtime executes them on simulated processors,
 //! charging every protocol action (messages, page faults, twin copies, diff
 //! creation, timestamp scans, instrumented stores) through the
-//! [`CostModel`](dsm_sim::CostModel) of the `dsm-sim` crate, and reports
+//! [`CostModel`] of the `dsm-sim` crate, and reports
 //! simulated execution time plus the traffic statistics the paper's tables
 //! are built from.
 //!

@@ -149,6 +149,11 @@ pub(crate) struct NodeLocal {
     /// needs it takes it with `std::mem::take` (so `self` stays borrowable)
     /// and must move it back before returning on every path.
     pub scratch_stale: Vec<(usize, u32, u32)>,
+    /// Per-node scratch for the LRC publish-history pass (largest entitled
+    /// publish interval per node), reused under the same ownership rule as
+    /// `scratch_stale` so the freshness check stays O(history + nprocs)
+    /// without allocating.
+    pub scratch_upto: Vec<u32>,
     /// Scratch vector clock for grant-time merges, reused so `remote_grant`
     /// never clones a release vector.
     pub scratch_clock: dsm_mem::VectorClock,
@@ -174,6 +179,7 @@ impl NodeLocal {
             dirty_pages: Vec::new(),
             intervals_at_last_barrier: 0,
             scratch_stale: Vec::new(),
+            scratch_upto: Vec::new(),
             scratch_clock: dsm_mem::VectorClock::new(nprocs),
         }
     }

@@ -1,0 +1,39 @@
+//! The lazy-release-consistency protocol family (Sections 3.2 / 4 / 5 of the
+//! paper, plus home-based LRC).
+//!
+//! The family is layered: [`ordering::LrcEngine`] owns everything that makes
+//! LRC *lazy release consistency* — intervals ended by releases and barrier
+//! arrivals, vector clocks, write notices, the invalidate protocol's
+//! freshness checks and the generation fast path — and is generic over a
+//! [`policy::DataPolicy`] that decides where published data lives and what an
+//! access miss fetches:
+//!
+//! * **Homeless** (`LRC-*`): the TreadMarks shape.  Data moves lazily, at
+//!   the access miss, collected from every concurrent writer.
+//! * **Home-based** (`HLRC-*`): every page has a static round-robin home;
+//!   releasers eagerly flush diffs to the home, and a miss is one whole-page
+//!   round trip to one node.
+//!
+//! Choosing a policy: homeless LRC sends less data when pages are rarely
+//! shared (only the diffs move, only on demand) but a multi-writer page costs
+//! a faulting node one round trip *per concurrent writer*.  Home-based LRC
+//! pays an eager flush per release and ships whole pages, but caps every miss
+//! at a single round trip however many writers raced on the page — the
+//! classic trade for write-shared (falsely shared) data.  Both policies run
+//! the same ordering layer, so their memory contents are identical on
+//! data-race-free programs; `tests/tests/hlrc_equivalence.rs` pins that, and
+//! pins the homeless policy byte-for-byte (traffic and per-node statistics
+//! included) against the pre-refactor monolithic engine.
+
+mod ordering;
+mod policy;
+mod state;
+
+use ordering::LrcEngine;
+use policy::{HomeBased, Homeless};
+
+/// The homeless (TreadMarks-style) engine: `LRC-ci`, `LRC-time`, `LRC-diff`.
+pub(crate) type HomelessLrcEngine = LrcEngine<Homeless>;
+
+/// The home-based engine: `HLRC-ci`, `HLRC-time`, `HLRC-diff`.
+pub(crate) type HomeBasedLrcEngine = LrcEngine<HomeBased>;

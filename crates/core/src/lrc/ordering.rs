@@ -1,12 +1,13 @@
-//! The lazy-release-consistency engine (TreadMarks-style), Sections 3.2 /
-//! 4 / 5 of the paper.
+//! The ordering core of the LRC protocol family, generic over a
+//! [`DataPolicy`].
 //!
 //! Execution is divided into intervals ended by releases and barrier
 //! arrivals.  At the end of an interval the modifications to every dirty page
 //! are recorded (a diff, or timestamped blocks) and announced through write
 //! notices; an acquire merges the releaser's vector and receives the notices;
-//! the data itself moves lazily, at the access miss that follows the
-//! invalidation (invalidate protocol, multiple-writer pages).
+//! the data itself moves according to the policy — lazily at the access miss
+//! that follows the invalidation (homeless), or eagerly to the page's home at
+//! release with a one-node fetch at the miss (home-based).
 //!
 //! State is sharded: each region's published pages sit behind their own
 //! `RwLock`, each node's interval-size log behind its own `RwLock` (one
@@ -14,73 +15,24 @@
 //! behind its own mutex.  Faults on one region never block publishes to
 //! another.
 
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
 
-use dsm_mem::{pages_in, IntervalId, MemRange, RegionDesc, VectorClock, WriteNotice};
-use dsm_sim::{MsgKind, NodeId};
+use dsm_mem::{pages_in, MemRange, RegionDesc, VectorClock, WriteNotice};
+use dsm_sim::NodeId;
 
 use crate::config::{Collection, DsmConfig, Trapping};
-use crate::engine::{ProtocolEngine, PublishRec, CTRL_MSG_BYTES};
+use crate::engine::{ProtocolEngine, PublishRec};
 use crate::ids::{LockId, LockMode};
 use crate::local::{HeldLock, NodeLocal};
 use crate::sync::{self, SlotTable};
 
-/// Packs an LRC `(node, interval)` timestamp into a `u64` (0 = never written).
-pub(crate) fn pack_stamp(node: NodeId, interval: u32) -> u64 {
-    ((node.index() as u64 + 1) << 32) | interval as u64
-}
+use super::policy::{DataPolicy, MissInfo};
+use super::state::{pack_stamp, unpack_stamp, LrcLockState, LrcPageState, LrcRegionState, PagePub};
 
-/// Unpacks a stamp produced by [`pack_stamp`]; `None` for the never-written
-/// sentinel.
-pub(crate) fn unpack_stamp(stamp: u64) -> Option<(NodeId, u32)> {
-    if stamp == 0 {
-        None
-    } else {
-        Some((
-            NodeId::new((stamp >> 32) as u32 - 1),
-            (stamp & 0xffff_ffff) as u32,
-        ))
-    }
-}
-
-/// Per-page lazy-release-consistency state.
-#[derive(Debug, Clone)]
-struct LrcPageState {
-    /// Per node: the latest interval in which that node published
-    /// modifications to this page (0 = never).
-    latest: Vec<u32>,
-    /// The node that published most recently.
-    last_publisher: Option<NodeId>,
-    /// The publisher's vector at the time of the most recent publish; used to
-    /// decide how many processors a faulting node must contact.
-    last_pub_vector: VectorClock,
-    /// Ring of recent per-interval publish records for traffic accounting.
-    diffs: VecDeque<PublishRec>,
-}
-
-/// Per-region lazy-release-consistency state.
-#[derive(Debug)]
-struct LrcRegionState {
-    /// Latest published value of every byte.
-    master: Vec<u8>,
-    /// Per word block: packed `(node, interval)` timestamp of the last
-    /// publish (0 = never).  See [`pack_stamp`]/[`unpack_stamp`].
-    stamp: Vec<u64>,
-    /// Per page metadata.
-    pages: Vec<LrcPageState>,
-}
-
-/// Per-lock lazy-release-consistency state.
-#[derive(Debug)]
-struct LrcLockState {
-    /// The releaser's vector at the last release of the lock.
-    release_vec: VectorClock,
-}
-
-/// The lazy-release-consistency [`ProtocolEngine`].
-pub(crate) struct LrcEngine {
+/// The lazy-release-consistency [`ProtocolEngine`], parameterized by the
+/// [`DataPolicy`] that decides where published data lives.
+pub(crate) struct LrcEngine<P: DataPolicy> {
     cfg: DsmConfig,
     regions: Vec<RegionDesc>,
     /// Published master copies and write-notice indexes, one `RwLock` per
@@ -99,18 +51,21 @@ pub(crate) struct LrcEngine {
     interval_pages: Vec<RwLock<Vec<u32>>>,
     /// Per-lock release vectors, one mutex per lock, created on demand.
     lock_state: SlotTable<Mutex<LrcLockState>>,
+    /// The data-movement policy.
+    policy: P,
 }
 
-impl std::fmt::Debug for LrcEngine {
+impl<P: DataPolicy> std::fmt::Debug for LrcEngine<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LrcEngine")
+            .field("policy", &self.policy.label())
             .field("regions", &self.regions.len())
             .field("locks", &self.lock_state.len())
             .finish()
     }
 }
 
-impl LrcEngine {
+impl<P: DataPolicy> LrcEngine<P> {
     /// Builds the engine for a run.
     pub fn new(cfg: &DsmConfig, regions: &[RegionDesc], init: &[Vec<u8>]) -> Self {
         let nprocs = cfg.nprocs;
@@ -122,12 +77,7 @@ impl LrcEngine {
                     master: init.clone(),
                     stamp: vec![0; d.len.div_ceil(4)],
                     pages: (0..pages_in(d.len).max(1))
-                        .map(|_| LrcPageState {
-                            latest: vec![0; nprocs],
-                            last_publisher: None,
-                            last_pub_vector: VectorClock::new(nprocs),
-                            diffs: VecDeque::new(),
-                        })
+                        .map(|_| LrcPageState::new(nprocs))
                         .collect(),
                 })
             })
@@ -143,6 +93,7 @@ impl LrcEngine {
                     release_vec: VectorClock::new(nprocs),
                 })
             }),
+            policy: P::build(cfg, regions),
         }
     }
 
@@ -166,8 +117,9 @@ impl LrcEngine {
     }
 
     /// Ends the current interval: for every page dirtied since the last
-    /// release/barrier, record the modifications in the shared store and
-    /// register a write notice.
+    /// release/barrier, record the modifications in the shared store,
+    /// register a write notice, and let the policy move the data (a no-op for
+    /// homeless LRC, an eager home flush for HLRC).
     fn publish_interval(&self, local: &mut NodeLocal) {
         if local.dirty_pages.is_empty() {
             return;
@@ -267,17 +219,38 @@ impl LrcEngine {
                 self.publish_gen[ridx].fetch_add(1, Ordering::Release);
                 let ps = &mut rs.pages[page];
                 ps.latest[me_idx] = next_interval;
-                ps.last_publisher = Some(me);
-                ps.last_pub_vector.copy_from(&local.vector);
-                ps.last_pub_vector.set_entry(me, next_interval);
-                ps.diffs.push_back(PublishRec {
+                // Append to the page's publish history, recycling the evicted
+                // record's vector buffer so steady-state publishes allocate
+                // nothing.
+                let mut hist_rec = if ps.history.len() >= diff_ring {
+                    let old = ps.history.pop_front().expect("non-empty ring");
+                    let slot = &mut ps.evicted_latest[old.node.index()];
+                    *slot = (*slot).max(old.interval);
+                    old
+                } else {
+                    PagePub {
+                        node: me,
+                        interval: 0,
+                        vector: VectorClock::new(local.nprocs),
+                    }
+                };
+                hist_rec.node = me;
+                hist_rec.interval = next_interval;
+                hist_rec.vector.copy_from(&local.vector);
+                hist_rec.vector.set_entry(me, next_interval);
+                ps.history.push_back(hist_rec);
+                let mut rec = PublishRec {
                     stamp: next_interval as u64,
                     node: me,
                     encoded_size: changed_words * 4 + runs * 8,
                     compare_words,
                     creation_charged: collection == Collection::Timestamps
                         || trapping == Trapping::Instrumentation,
-                });
+                };
+                self.policy
+                    .on_publish(&self.cfg, local, ridx, page, &mut rec);
+                let ps = &mut rs.pages[page];
+                ps.diffs.push_back(rec);
                 while ps.diffs.len() > diff_ring {
                     ps.diffs.pop_front();
                 }
@@ -314,22 +287,45 @@ impl LrcEngine {
     /// acquire) but has not yet applied?  Appends `(proc, from, upto)` per
     /// source to `out`, a scratch buffer owned by the caller's `NodeLocal`
     /// so the per-access path never allocates.
+    ///
+    /// The decision reads only *entitlement-visible* publish records: the
+    /// newest history entry per source whose interval the caller's vector
+    /// covers (plus the conservative evicted floor).  A concurrent publish
+    /// the caller is not yet entitled to therefore cannot flip the outcome,
+    /// which is what makes multi-processor miss counts deterministic for
+    /// data-race-free programs.
     fn stale_sources_into(
         &self,
         rs: &LrcRegionState,
         local: &NodeLocal,
         ridx: usize,
         page: usize,
+        upto_scratch: &mut Vec<u32>,
         out: &mut Vec<(usize, u32, u32)>,
     ) {
         let ps = &rs.pages[page];
         let lp = &local.regions[ridx].pages[page];
-        for q in 0..local.nprocs {
+        // One forward pass over the retained history: a node's publish
+        // intervals are strictly increasing along the ring, so the last
+        // entitled record seen per node is its largest — the check stays
+        // O(history + nprocs), not O(history * nprocs).
+        upto_scratch.clear();
+        upto_scratch.resize(local.nprocs, 0);
+        for rec in ps.history.iter() {
+            if rec.interval <= local.vector.entry(rec.node) {
+                upto_scratch[rec.node.index()] = rec.interval;
+            }
+        }
+        for (q, &ring_upto) in upto_scratch.iter().enumerate() {
             if q == local.node.index() {
                 continue;
             }
             let qn = NodeId::new(q as u32);
-            let upto = local.vector.entry(qn).min(ps.latest[q]);
+            let v = local.vector.entry(qn);
+            // Largest publish of `q` to this page that we are entitled to:
+            // exact over the retained history, conservative below the
+            // eviction mark.
+            let upto = ring_upto.max(ps.evicted_latest[q].min(v));
             if upto > lp.applied[q] {
                 out.push((q, lp.applied[q], upto));
             }
@@ -348,7 +344,7 @@ impl LrcEngine {
     }
 }
 
-impl ProtocolEngine for LrcEngine {
+impl<P: DataPolicy> ProtocolEngine for LrcEngine<P> {
     fn bind(&self, _lock: LockId, _ranges: Vec<MemRange>) {
         // LRC has no notion of binding; the call is accepted so the same
         // setup code can serve both models.
@@ -359,7 +355,7 @@ impl ProtocolEngine for LrcEngine {
     fn validate_acquire(&self, _lock: LockId, mode: LockMode) {
         assert!(
             mode.is_exclusive(),
-            "the LRC implementation provides exclusive locks only (no read-only locks are needed \
+            "the LRC implementations provide exclusive locks only (no read-only locks are needed \
              for the application suite, Section 3.2)"
         );
     }
@@ -432,7 +428,8 @@ impl ProtocolEngine for LrcEngine {
 
     /// Ensures the local copy of a page reflects every modification this node
     /// is entitled to see, taking an access miss (invalidate protocol) if it
-    /// does not.
+    /// does not.  The freshness decision and the apply loop are shared by
+    /// every policy; only the data-movement accounting of the miss differs.
     fn ensure_read_fresh(&self, local: &mut NodeLocal, ridx: usize, page: usize) {
         let epoch = local.epoch;
         {
@@ -460,27 +457,26 @@ impl ProtocolEngine for LrcEngine {
         }
 
         let cost = &self.cfg.cost;
-        let trapping = self.cfg.kind.trapping();
-        let collection = self.cfg.kind.collection();
         let gran = self.regions[ridx].granularity;
         let me_idx = local.node.index();
 
-        // The stale-source scan reuses the node's scratch buffer (taken out
+        // The stale-source scan reuses the node's scratch buffers (taken out
         // of `local` so the borrows below stay disjoint; every return path
-        // puts it back).
+        // puts them back).
         let mut stale = std::mem::take(&mut local.scratch_stale);
+        let mut upto_scratch = std::mem::take(&mut local.scratch_upto);
         stale.clear();
 
         // Fast path: a read lock suffices to discover the page is fresh.
-        // Staleness is monotone while our vector is fixed (remote `latest`
-        // entries only grow), so a page seen fresh here stays fresh for this
+        // Staleness is monotone while our vector is fixed (entitled publish
+        // records only grow), so a page seen fresh here stays fresh for this
         // epoch.
         {
             let rs = sync::read(&self.region_state[ridx]);
             // Stable under the read lock: generations move only under the
             // region's write lock.
             let rgen = self.publish_gen[ridx].load(Ordering::Acquire);
-            self.stale_sources_into(&rs, local, ridx, page, &mut stale);
+            self.stale_sources_into(&rs, local, ridx, page, &mut upto_scratch, &mut stale);
             if stale.is_empty() {
                 let caught_up =
                     Self::caught_up(&rs.pages[page], &local.regions[ridx].pages[page], me_idx);
@@ -489,6 +485,7 @@ impl ProtocolEngine for LrcEngine {
                 lp.checked_epoch = epoch;
                 lp.checked_gen = if caught_up { rgen + 1 } else { 0 };
                 local.scratch_stale = stale;
+                local.scratch_upto = upto_scratch;
                 return;
             }
         }
@@ -499,7 +496,7 @@ impl ProtocolEngine for LrcEngine {
         let mut rs = sync::write(&self.region_state[ridx]);
         let rgen = self.publish_gen[ridx].load(Ordering::Acquire);
         stale.clear();
-        self.stale_sources_into(&rs, local, ridx, page, &mut stale);
+        self.stale_sources_into(&rs, local, ridx, page, &mut upto_scratch, &mut stale);
         if stale.is_empty() {
             let caught_up =
                 Self::caught_up(&rs.pages[page], &local.regions[ridx].pages[page], me_idx);
@@ -508,6 +505,7 @@ impl ProtocolEngine for LrcEngine {
             lp.checked_epoch = epoch;
             lp.checked_gen = if caught_up { rgen + 1 } else { 0 };
             local.scratch_stale = stale;
+            local.scratch_upto = upto_scratch;
             return;
         }
 
@@ -515,37 +513,12 @@ impl ProtocolEngine for LrcEngine {
         local.stats.pages_invalidated += 1;
         local.clock.advance(cost.page_fault());
 
-        // How many processors must be asked?  The most recent publisher can
-        // forward every diff its publish-time vector dominates (it saved
-        // them); intervals concurrent with its publish require contacting the
-        // writer directly.
-        let responders = {
-            let ps = &rs.pages[page];
-            let last_pub = ps.last_publisher;
-            let mut extra = 0usize;
-            let mut primary = false;
-            for &(q, _, upto) in &stale {
-                let qn = NodeId::new(q as u32);
-                if Some(qn) == last_pub
-                    || (last_pub.is_some() && upto <= ps.last_pub_vector.entry(qn))
-                {
-                    primary = true;
-                } else {
-                    extra += 1;
-                }
-            }
-            (usize::from(primary) + extra).max(1)
-        };
-
         let span = local.regions[ridx].page_span(page);
         let base_word = span.start / 4;
         let nwords = span.len().div_ceil(4);
 
         let mut applied_words = 0usize;
         let mut ts_runs = 0usize;
-        let mut diff_bytes = 0usize;
-        let mut diff_count = 0u64;
-        let mut creation_words = 0u64;
 
         {
             let local_region = &mut local.regions[ridx];
@@ -583,28 +556,6 @@ impl ProtocolEngine for LrcEngine {
                 }
             }
 
-            // Diff-mode traffic accounting: every pending diff of a stale
-            // source is transferred (the overlapping-diff effect for
-            // migratory data).
-            if collection == Collection::Diffs {
-                let ps = &mut rs.pages[page];
-                for rec in ps.diffs.iter_mut() {
-                    let q = rec.node.index();
-                    let i = rec.stamp as u32;
-                    let needed = stale
-                        .iter()
-                        .any(|&(sq, from, upto)| sq == q && i > from && i <= upto);
-                    if needed {
-                        diff_bytes += rec.encoded_size;
-                        diff_count += 1;
-                        if !rec.creation_charged {
-                            rec.creation_charged = true;
-                            creation_words += rec.compare_words as u64;
-                        }
-                    }
-                }
-            }
-
             for &(q, _, upto) in &stale {
                 lp.applied[q] = lp.applied[q].max(upto);
             }
@@ -615,37 +566,22 @@ impl ProtocolEngine for LrcEngine {
                 0
             };
         }
-        drop(rs);
 
-        let reply_bytes = match collection {
-            Collection::Timestamps => {
-                let gran_div = if trapping == Trapping::Instrumentation {
-                    (gran.bytes() / 4).max(1)
-                } else {
-                    1
-                };
-                let scan = (nwords / gran_div) as u64;
-                local.stats.ts_blocks_scanned += scan;
-                local.clock.advance(cost.ts_scan(scan));
-                applied_words * 4 + ts_runs * (IntervalId::WIRE_SIZE + 6)
-            }
-            Collection::Diffs => {
-                local.stats.diffs_applied += diff_count;
-                local.clock.advance(cost.diff_compare(creation_words));
-                diff_bytes.max(applied_words * 4)
-            }
+        // Data movement: responders, reply sizes, collection costs and
+        // messages are the policy's concern.
+        let miss = MissInfo {
+            ridx,
+            page,
+            gran,
+            nwords,
+            applied_words,
+            ts_runs,
+            stale: &stale,
         };
-        local.stats.words_applied += applied_words as u64;
-        local.clock.advance(cost.apply_words(applied_words as u64));
-
-        let req_bytes = local.vector.wire_size();
-        for r in 0..responders {
-            let bytes = if r == 0 { reply_bytes } else { CTRL_MSG_BYTES };
-            local.stats.record_msg(MsgKind::DataRequest, req_bytes);
-            local.stats.record_msg(MsgKind::DataReply, bytes);
-            local.clock.advance(cost.round_trip(req_bytes, bytes));
-        }
+        self.policy.on_miss(&self.cfg, local, &mut rs, &miss);
+        drop(rs);
         local.scratch_stale = stale;
+        local.scratch_upto = upto_scratch;
     }
 
     /// Write-trapping for LRC: ensure freshness, then record the span's
@@ -717,11 +653,13 @@ impl ProtocolEngine for LrcEngine {
 
 #[cfg(test)]
 mod tests {
+    use super::super::policy::{HomeBased, Homeless};
     use super::*;
     use crate::config::ImplKind;
     use dsm_mem::{BlockGranularity, RegionId};
+    use dsm_sim::MsgKind;
 
-    fn engine(kind: ImplKind) -> LrcEngine {
+    fn engine<P: DataPolicy>(kind: ImplKind) -> LrcEngine<P> {
         let cfg = DsmConfig::with_procs(kind, 4);
         let regions = vec![RegionDesc::new(
             RegionId::new(0),
@@ -733,18 +671,15 @@ mod tests {
         LrcEngine::new(&cfg, &regions, &init)
     }
 
-    #[test]
-    fn stamp_packing_roundtrips() {
-        assert_eq!(unpack_stamp(0), None);
-        let s = pack_stamp(NodeId::new(3), 17);
-        assert_eq!(unpack_stamp(s), Some((NodeId::new(3), 17)));
-        let s = pack_stamp(NodeId::new(0), 0);
-        assert_ne!(s, 0, "node 0 interval 0 must not collide with the sentinel");
+    fn node<P: DataPolicy>(e: &LrcEngine<P>, idx: u32) -> NodeLocal {
+        let regions = e.regions.clone();
+        let init = vec![vec![0u8; 8192]];
+        NodeLocal::new(NodeId::new(idx), e.cfg.nprocs, &regions, &init)
     }
 
     #[test]
     fn notice_counting_over_sharded_interval_logs() {
-        let e = engine(ImplKind::lrc_diff());
+        let e = engine::<Homeless>(ImplKind::lrc_diff());
         *sync::write(&e.interval_pages[0]) = vec![2, 3, 1]; // node 0: intervals 1..=3
         *sync::write(&e.interval_pages[1]) = vec![5];
         let mut from = VectorClock::new(4);
@@ -760,19 +695,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "exclusive locks only")]
     fn read_only_acquire_is_rejected() {
-        let e = engine(ImplKind::lrc_time());
+        let e = engine::<Homeless>(ImplKind::lrc_time());
         e.validate_acquire(LockId::new(0), LockMode::ReadOnly);
     }
 
-    fn node(e: &LrcEngine, idx: u32) -> NodeLocal {
-        let regions = e.regions.clone();
-        let init = vec![vec![0u8; 8192]];
-        NodeLocal::new(NodeId::new(idx), e.cfg.nprocs, &regions, &init)
+    #[test]
+    #[should_panic(expected = "exclusive locks only")]
+    fn read_only_acquire_is_rejected_under_hlrc() {
+        let e = engine::<HomeBased>(ImplKind::hlrc_time());
+        e.validate_acquire(LockId::new(0), LockMode::ReadOnly);
     }
 
     #[test]
     fn instrumented_publish_walks_dirty_bit_runs() {
-        let e = engine(ImplKind::lrc_ci());
+        let e = engine::<Homeless>(ImplKind::lrc_ci());
         let mut local = node(&e, 0);
         // Two runs on page 0 (words 0..3 and word 100) and one on page 1.
         for word in [0usize, 1, 2, 100, 1024] {
@@ -800,7 +736,7 @@ mod tests {
 
     #[test]
     fn generation_fast_path_tracks_publishes_across_epochs() {
-        let e = engine(ImplKind::lrc_diff());
+        let e = engine::<Homeless>(ImplKind::lrc_diff());
         let mut reader = node(&e, 0);
         let mut writer = node(&e, 1);
 
@@ -834,5 +770,90 @@ mod tests {
         e.ensure_read_fresh(&mut reader, 0, 0);
         assert_eq!(reader.stats.access_misses, 1);
         assert_eq!(reader.regions[0].pages[0].checked_epoch, reader.epoch);
+    }
+
+    #[test]
+    fn unentitled_publishes_do_not_flip_freshness_decisions() {
+        let e = engine::<Homeless>(ImplKind::lrc_diff());
+        let mut reader = node(&e, 0);
+        let mut writer = node(&e, 1);
+
+        // Interval 1: a publish the reader will become entitled to.
+        e.trap_write(&mut writer, 0, 0, 4);
+        writer.regions[0].data[0..4].copy_from_slice(&7u32.to_le_bytes());
+        e.barrier_arrive(&mut writer);
+        reader.vector.set_entry(NodeId::new(1), 1);
+        reader.epoch += 1;
+        e.ensure_read_fresh(&mut reader, 0, 0);
+        assert_eq!(reader.stats.access_misses, 1);
+
+        // Interval 2: a publish the reader is NOT entitled to lands before
+        // its next check.  The raw `latest` mark moves, but the entitled
+        // history still tops out at interval 1, which the reader has
+        // applied — no spurious miss, deterministically.
+        e.trap_write(&mut writer, 0, 8, 4);
+        writer.regions[0].data[8..12].copy_from_slice(&8u32.to_le_bytes());
+        e.barrier_arrive(&mut writer);
+        reader.epoch += 1;
+        e.ensure_read_fresh(&mut reader, 0, 0);
+        assert_eq!(
+            reader.stats.access_misses, 1,
+            "an unentitled publish must not cause a spurious miss"
+        );
+    }
+
+    #[test]
+    fn home_based_miss_is_one_round_trip_from_the_home() {
+        let e = engine::<HomeBased>(ImplKind::hlrc_diff());
+        // Page 0's round-robin home is node 0; use readers 2 (remote) and a
+        // writer 1 so the flush and the fetch are both visible.
+        let mut writer = node(&e, 1);
+        e.trap_write(&mut writer, 0, 0, 4);
+        writer.regions[0].data[0..4].copy_from_slice(&5u32.to_le_bytes());
+        e.barrier_arrive(&mut writer);
+        // The flush to home 0 is one data-reply-class message at release.
+        assert_eq!(writer.stats.messages_of(MsgKind::DataReply), 1);
+        assert_eq!(writer.stats.messages_of(MsgKind::DataRequest), 0);
+
+        let mut remote = node(&e, 2);
+        remote.vector.set_entry(NodeId::new(1), 1);
+        remote.epoch += 1;
+        e.ensure_read_fresh(&mut remote, 0, 0);
+        assert_eq!(remote.stats.access_misses, 1);
+        assert_eq!(remote.stats.messages_of(MsgKind::DataRequest), 1);
+        assert_eq!(remote.stats.messages_of(MsgKind::DataReply), 1);
+        // The reply is the whole page, not the diff.
+        assert_eq!(
+            remote.stats.bytes_of(MsgKind::DataReply),
+            dsm_mem::PAGE_SIZE as u64
+        );
+        assert_eq!(remote.regions[0].data[0..4], 5u32.to_le_bytes());
+
+        // The home itself serves the fault locally: a miss, but no messages.
+        let mut home = node(&e, 0);
+        home.vector.set_entry(NodeId::new(1), 1);
+        home.epoch += 1;
+        e.ensure_read_fresh(&mut home, 0, 0);
+        assert_eq!(home.stats.access_misses, 1);
+        assert_eq!(home.stats.messages_of(MsgKind::DataRequest), 0);
+        assert_eq!(home.stats.messages_of(MsgKind::DataReply), 0);
+        assert_eq!(home.regions[0].data[0..4], 5u32.to_le_bytes());
+    }
+
+    #[test]
+    fn home_writer_flushes_nothing_to_itself() {
+        let e = engine::<HomeBased>(ImplKind::hlrc_diff());
+        // Page 0's home is node 0: its own publishes stay local.
+        let mut home = node(&e, 0);
+        e.trap_write(&mut home, 0, 0, 4);
+        home.regions[0].data[0..4].copy_from_slice(&9u32.to_le_bytes());
+        e.barrier_arrive(&mut home);
+        assert_eq!(home.stats.messages(), 0);
+        // Page 1's home is node 1: the same write one page later flushes.
+        e.trap_write(&mut home, 0, dsm_mem::PAGE_SIZE, 4);
+        home.regions[0].data[dsm_mem::PAGE_SIZE..dsm_mem::PAGE_SIZE + 4]
+            .copy_from_slice(&9u32.to_le_bytes());
+        e.barrier_arrive(&mut home);
+        assert_eq!(home.stats.messages_of(MsgKind::DataReply), 1);
     }
 }

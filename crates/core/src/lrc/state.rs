@@ -1,0 +1,156 @@
+//! Shared (engine-side) state of the LRC protocol family: master copies,
+//! block stamps, per-page write-notice indexes and per-lock release vectors.
+//!
+//! The state is policy-independent: both the homeless and the home-based
+//! [`DataPolicy`](super::policy::DataPolicy) operate on the same structures —
+//! a policy only changes *where data moves* (and what that movement costs),
+//! never what the ordering layer records.
+
+use std::collections::VecDeque;
+
+use dsm_mem::VectorClock;
+use dsm_sim::NodeId;
+
+use crate::engine::PublishRec;
+
+/// Packs an LRC `(node, interval)` timestamp into a `u64` (0 = never written).
+pub(crate) fn pack_stamp(node: NodeId, interval: u32) -> u64 {
+    ((node.index() as u64 + 1) << 32) | interval as u64
+}
+
+/// Unpacks a stamp produced by [`pack_stamp`]; `None` for the never-written
+/// sentinel.
+pub(crate) fn unpack_stamp(stamp: u64) -> Option<(NodeId, u32)> {
+    if stamp == 0 {
+        None
+    } else {
+        Some((
+            NodeId::new((stamp >> 32) as u32 - 1),
+            (stamp & 0xffff_ffff) as u32,
+        ))
+    }
+}
+
+/// One publish to a page: the writer, its interval, and its vector at publish
+/// time.  The bounded per-page history of these records is the simulation's
+/// stand-in for the write notices a real node would have received: freshness
+/// and responder decisions read only the records the faulting node's vector
+/// *entitles* it to, so a concurrent publish the node has not yet synchronized
+/// with can never change the outcome of its check.  (The raw `latest` high
+/// water marks are updated racily by design and must only feed monotone,
+/// stats-neutral fast paths such as the caught-up check.)
+#[derive(Debug, Clone)]
+pub(crate) struct PagePub {
+    /// The publishing node.
+    pub node: NodeId,
+    /// The interval the publish ended.
+    pub interval: u32,
+    /// The publisher's vector at publish time (own entry already bumped).
+    pub vector: VectorClock,
+}
+
+/// Per-page lazy-release-consistency state.
+#[derive(Debug, Clone)]
+pub(crate) struct LrcPageState {
+    /// Per node: the latest interval in which that node published
+    /// modifications to this page (0 = never).
+    pub latest: Vec<u32>,
+    /// Ring of recent publishes to this page, oldest first (see [`PagePub`]).
+    pub history: VecDeque<PagePub>,
+    /// Per node: the largest publish interval that has been evicted from
+    /// `history` (0 = none).  Below this mark the engine conservatively
+    /// assumes the page was touched.
+    pub evicted_latest: Vec<u32>,
+    /// Ring of recent per-interval publish records for traffic accounting.
+    pub diffs: VecDeque<PublishRec>,
+}
+
+impl LrcPageState {
+    /// Empty page state for a cluster of `nprocs` processors.
+    pub fn new(nprocs: usize) -> Self {
+        LrcPageState {
+            latest: vec![0; nprocs],
+            history: VecDeque::new(),
+            evicted_latest: vec![0; nprocs],
+            diffs: VecDeque::new(),
+        }
+    }
+
+    /// The most recent publish to this page that `vector` entitles its owner
+    /// to see, if any record of it is still retained.
+    pub fn last_entitled_pub(&self, vector: &VectorClock) -> Option<&PagePub> {
+        self.history
+            .iter()
+            .rev()
+            .find(|rec| rec.interval <= vector.entry(rec.node))
+    }
+}
+
+/// Per-region lazy-release-consistency state.
+#[derive(Debug)]
+pub(crate) struct LrcRegionState {
+    /// Latest published value of every byte.
+    pub master: Vec<u8>,
+    /// Per word block: packed `(node, interval)` timestamp of the last
+    /// publish (0 = never).  See [`pack_stamp`]/[`unpack_stamp`].
+    pub stamp: Vec<u64>,
+    /// Per page metadata.
+    pub pages: Vec<LrcPageState>,
+}
+
+/// Per-lock lazy-release-consistency state.
+#[derive(Debug)]
+pub(crate) struct LrcLockState {
+    /// The releaser's vector at the last release of the lock.
+    pub release_vec: VectorClock,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_packing_roundtrips() {
+        assert_eq!(unpack_stamp(0), None);
+        let s = pack_stamp(NodeId::new(3), 17);
+        assert_eq!(unpack_stamp(s), Some((NodeId::new(3), 17)));
+        let s = pack_stamp(NodeId::new(0), 0);
+        assert_ne!(s, 0, "node 0 interval 0 must not collide with the sentinel");
+    }
+
+    #[test]
+    fn last_entitled_pub_skips_unentitled_records() {
+        let mut ps = LrcPageState::new(4);
+        let mut v1 = VectorClock::new(4);
+        v1.set_entry(NodeId::new(1), 3);
+        ps.history.push_back(PagePub {
+            node: NodeId::new(1),
+            interval: 3,
+            vector: v1,
+        });
+        let mut v2 = VectorClock::new(4);
+        v2.set_entry(NodeId::new(2), 9);
+        ps.history.push_back(PagePub {
+            node: NodeId::new(2),
+            interval: 9,
+            vector: v2,
+        });
+
+        // Entitled to node 1's interval 3 but not node 2's interval 9: the
+        // newest *entitled* record wins, whatever landed after it.
+        let mut mine = VectorClock::new(4);
+        mine.set_entry(NodeId::new(1), 5);
+        mine.set_entry(NodeId::new(2), 8);
+        let last = ps.last_entitled_pub(&mine).expect("one entitled record");
+        assert_eq!(last.node, NodeId::new(1));
+        assert_eq!(last.interval, 3);
+
+        // Entitled to both: the newest record wins.
+        mine.set_entry(NodeId::new(2), 9);
+        assert_eq!(ps.last_entitled_pub(&mine).unwrap().node, NodeId::new(2));
+
+        // Entitled to neither.
+        let nothing = VectorClock::new(4);
+        assert!(ps.last_entitled_pub(&nothing).is_none());
+    }
+}

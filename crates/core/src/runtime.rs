@@ -136,10 +136,10 @@ impl std::fmt::Debug for RunGlobal {
 
 /// The software distributed shared memory system.
 ///
-/// A `Dsm` is configured with one of the six implementations of the paper
-/// ([`ImplKind`](crate::ImplKind)), populated with shared regions, lock
-/// bindings (for EC) and initial data, and then executes an SPMD worker
-/// closure on every simulated processor.
+/// A `Dsm` is configured with one of the nine implementations of the
+/// protocol family ([`ImplKind`](crate::ImplKind)), populated with shared
+/// regions, lock bindings (for EC) and initial data, and then executes an
+/// SPMD worker closure on every simulated processor.
 ///
 /// # Examples
 ///

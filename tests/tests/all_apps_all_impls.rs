@@ -1,11 +1,14 @@
-//! Every application of the suite, under every one of the six
-//! implementations, must produce the same answer as its sequential version.
+//! Every application of the suite, under every one of the nine
+//! implementations (EC, homeless LRC and home-based LRC crossed with the
+//! trapping/collection mechanisms), must produce the same answer as its
+//! sequential version.
 
 use dsm_apps::{run_app, App, Scale};
 use dsm_core::ImplKind;
 
 #[test]
 fn every_app_matches_sequential_under_every_implementation() {
+    assert_eq!(ImplKind::all().len(), 9, "the full nine-member matrix runs");
     for app in App::ALL {
         for kind in ImplKind::all() {
             let report = run_app(app, kind, 4, Scale::Tiny);
@@ -22,9 +25,13 @@ fn every_app_matches_sequential_under_every_implementation() {
 }
 
 #[test]
-fn single_processor_runs_work_for_both_models() {
+fn single_processor_runs_work_for_every_model() {
     for app in [App::Sor, App::IntegerSort, App::Quicksort] {
-        for kind in [ImplKind::ec_time(), ImplKind::lrc_diff()] {
+        for kind in [
+            ImplKind::ec_time(),
+            ImplKind::lrc_diff(),
+            ImplKind::hlrc_diff(),
+        ] {
             let report = run_app(app, kind, 1, Scale::Tiny);
             assert!(report.verified, "{app} under {kind} on 1 processor");
         }
