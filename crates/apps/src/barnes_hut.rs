@@ -21,7 +21,7 @@
 
 use dsm_core::{
     BarrierId, BlockGranularity, Dsm, DsmConfig, ImplKind, LockId, LockMode, Model, ProcessContext,
-    Region, RunResult,
+    RunResult, SharedArray,
 };
 use dsm_sim::Work;
 
@@ -319,23 +319,23 @@ fn body_slot(b: usize, s: usize) -> usize {
 }
 
 struct SharedTree {
-    cells_f: Region,
-    cells_c: Region,
-    meta: Region,
+    cells_f: SharedArray<f64>,
+    cells_c: SharedArray<i32>,
+    meta: SharedArray<u32>,
 }
 
 impl SharedTree {
     /// Writes the locally built tree into the shared regions.
     fn store(&self, ctx: &mut ProcessContext<'_>, tree: &Tree) {
-        ctx.write::<u32>(self.meta, 0, tree.cells.len() as u32);
+        ctx.set(self.meta, 0, tree.cells.len() as u32);
         for (i, c) in tree.cells.iter().enumerate() {
-            ctx.write::<f64>(self.cells_f, i * CELL_F_SLOTS, c.com[0]);
-            ctx.write::<f64>(self.cells_f, i * CELL_F_SLOTS + 1, c.com[1]);
-            ctx.write::<f64>(self.cells_f, i * CELL_F_SLOTS + 2, c.com[2]);
-            ctx.write::<f64>(self.cells_f, i * CELL_F_SLOTS + 3, c.mass);
-            ctx.write::<f64>(self.cells_f, i * CELL_F_SLOTS + 4, c.size);
+            ctx.set(self.cells_f, i * CELL_F_SLOTS, c.com[0]);
+            ctx.set(self.cells_f, i * CELL_F_SLOTS + 1, c.com[1]);
+            ctx.set(self.cells_f, i * CELL_F_SLOTS + 2, c.com[2]);
+            ctx.set(self.cells_f, i * CELL_F_SLOTS + 3, c.mass);
+            ctx.set(self.cells_f, i * CELL_F_SLOTS + 4, c.size);
             for (k, ch) in c.children.iter().enumerate() {
-                ctx.write::<i32>(self.cells_c, i * CELL_CHILDREN + k, *ch as i32);
+                ctx.set(self.cells_c, i * CELL_CHILDREN + k, *ch as i32);
             }
         }
     }
@@ -343,21 +343,21 @@ impl SharedTree {
     /// Reads the shared tree back into a private structure (used by the
     /// traversal phases; every read goes through the DSM).
     fn load(&self, ctx: &mut ProcessContext<'_>) -> Tree {
-        let ncells = ctx.read::<u32>(self.meta, 0) as usize;
+        let ncells = ctx.get(self.meta, 0) as usize;
         let mut cells = Vec::with_capacity(ncells);
         for i in 0..ncells {
             let mut c = Cell {
                 com: [
-                    ctx.read::<f64>(self.cells_f, i * CELL_F_SLOTS),
-                    ctx.read::<f64>(self.cells_f, i * CELL_F_SLOTS + 1),
-                    ctx.read::<f64>(self.cells_f, i * CELL_F_SLOTS + 2),
+                    ctx.get(self.cells_f, i * CELL_F_SLOTS),
+                    ctx.get(self.cells_f, i * CELL_F_SLOTS + 1),
+                    ctx.get(self.cells_f, i * CELL_F_SLOTS + 2),
                 ],
-                mass: ctx.read::<f64>(self.cells_f, i * CELL_F_SLOTS + 3),
-                size: ctx.read::<f64>(self.cells_f, i * CELL_F_SLOTS + 4),
+                mass: ctx.get(self.cells_f, i * CELL_F_SLOTS + 3),
+                size: ctx.get(self.cells_f, i * CELL_F_SLOTS + 4),
                 ..Cell::default()
             };
             for k in 0..CELL_CHILDREN {
-                c.children[k] = ctx.read::<i32>(self.cells_c, i * CELL_CHILDREN + k) as i64;
+                c.children[k] = ctx.get(self.cells_c, i * CELL_CHILDREN + k) as i64;
             }
             cells.push(c);
         }
@@ -385,7 +385,7 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &BarnesParams) -> (RunResult, bool)
         BlockGranularity::Word,
     );
     let meta = dsm.alloc_array::<u32>("bh-meta", 4, BlockGranularity::Word);
-    dsm.init_region::<f64>(bodies, |slot| {
+    dsm.init_array(bodies, |slot| {
         let (b, s) = (slot / BODY_SLOTS, slot % BODY_SLOTS);
         match s {
             0..=2 => p.initial_pos(b, s),
@@ -396,21 +396,12 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &BarnesParams) -> (RunResult, bool)
 
     let ec = kind.model() == Model::Ec;
     if ec {
-        dsm.bind(
-            TREE_LOCK,
-            vec![cells_f.whole(), cells_c.whole(), meta.whole()],
-        );
+        dsm.bind(TREE_LOCK, [cells_f.whole(), cells_c.whole(), meta.whole()]);
         for b in 0..n {
             // Position + mass fields under one lock, velocity + force fields
             // under another (the two-set split of Section 3.3).
-            dsm.bind(
-                body_pos_lock(b),
-                vec![bodies.range_of::<f64>(body_slot(b, 0), 4)],
-            );
-            dsm.bind(
-                body_state_lock(b),
-                vec![bodies.range_of::<f64>(body_slot(b, 4), 8)],
-            );
+            dsm.bind(body_pos_lock(b), [bodies.range(body_slot(b, 0), 4)]);
+            dsm.bind(body_state_lock(b), [bodies.range(body_slot(b, 4), 8)]);
         }
     }
     let shared_tree = SharedTree {
@@ -437,45 +428,33 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &BarnesParams) -> (RunResult, bool)
                 let mut pos = vec![[0.0f64; 3]; n];
                 for (b, pb) in pos.iter_mut().enumerate() {
                     let foreign = !(lo..hi).contains(&b);
-                    if ec && foreign {
-                        ctx.acquire(body_pos_lock(b), LockMode::ReadOnly);
-                    }
+                    let mut g = ctx.lock_if(ec && foreign, body_pos_lock(b), LockMode::ReadOnly);
                     for (a, pv) in pb.iter_mut().enumerate() {
-                        *pv = ctx.read::<f64>(bodies, body_slot(b, a));
-                    }
-                    if ec && foreign {
-                        ctx.release(body_pos_lock(b));
+                        *pv = g.get(bodies, body_slot(b, a));
                     }
                 }
                 let (tree, w) = Tree::build(&pos, &mass);
                 ctx.compute(w);
-                if ec {
-                    ctx.acquire(TREE_LOCK, LockMode::Exclusive);
-                }
-                shared_tree.store(ctx, &tree);
-                if ec {
-                    ctx.release(TREE_LOCK);
-                }
+                let mut g = ctx.lock_if(ec, TREE_LOCK, LockMode::Exclusive);
+                shared_tree.store(&mut g, &tree);
             }
             ctx.barrier(barrier);
 
             // --- Load-balancing phase: every processor walks the tree once
             // to decide which bodies it owns this step (we keep the static
             // contiguous assignment, but the traversal reads are real). ---
-            if ec {
-                ctx.acquire(TREE_LOCK, LockMode::ReadOnly);
-            }
-            let tree = shared_tree.load(ctx);
-            ctx.compute(Work::ops(tree.cells.len() as u64 * 5));
-            if ec {
-                ctx.release(TREE_LOCK);
-            }
+            let tree = {
+                let mut g = ctx.lock_if(ec, TREE_LOCK, LockMode::ReadOnly);
+                let tree = shared_tree.load(&mut g);
+                g.compute(Work::ops(tree.cells.len() as u64 * 5));
+                tree
+            };
             ctx.barrier(barrier);
 
-            // --- Force-computation phase. ---
-            if ec {
-                ctx.acquire(TREE_LOCK, LockMode::ReadOnly);
-            }
+            // --- Force-computation phase.  EC holds the tree's read lock
+            // across the whole phase; per-body locks nest inside it through
+            // the guard. ---
+            let mut gtree = ctx.lock_if(ec, TREE_LOCK, LockMode::ReadOnly);
             // Body positions are read lazily, with per-body read locks under
             // EC, and cached for the rest of the phase.
             let mut pos_cache: Vec<Option<[f64; 3]>> = vec![None; n];
@@ -484,7 +463,7 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &BarnesParams) -> (RunResult, bool)
                 let mut stack = vec![0usize];
                 let mut f = [0.0f64; 3];
                 let mut interactions = 0u64;
-                let my_pos = read_body_pos(ctx, &bodies, b, lo..hi, ec, &mut pos_cache);
+                let my_pos = read_body_pos(&mut gtree, bodies, b, lo..hi, ec, &mut pos_cache);
                 while let Some(ci) = stack.pop() {
                     for child in tree.cells[ci].children {
                         match child {
@@ -503,8 +482,14 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &BarnesParams) -> (RunResult, bool)
                                 let ob = (-other - 1) as usize;
                                 if ob != b {
                                     interactions += 1;
-                                    let op =
-                                        read_body_pos(ctx, &bodies, ob, lo..hi, ec, &mut pos_cache);
+                                    let op = read_body_pos(
+                                        &mut gtree,
+                                        bodies,
+                                        ob,
+                                        lo..hi,
+                                        ec,
+                                        &mut pos_cache,
+                                    );
                                     let d = dist(&my_pos, &op);
                                     add_grav(&mut f, &my_pos, &op, mass[ob], d);
                                 }
@@ -512,44 +497,31 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &BarnesParams) -> (RunResult, bool)
                         }
                     }
                 }
-                ctx.compute(Work::flops(interactions * p.work_per_interaction));
+                gtree.compute(Work::flops(interactions * p.work_per_interaction));
                 forces[b - lo] = f;
             }
             // Write the forces of our own bodies (one writer per body).
             for b in lo..hi {
-                if ec {
-                    ctx.acquire(body_state_lock(b), LockMode::Exclusive);
-                }
+                let mut g = gtree.lock_if(ec, body_state_lock(b), LockMode::Exclusive);
                 for (a, &f) in forces[b - lo].iter().enumerate() {
-                    ctx.write::<f64>(bodies, body_slot(b, 7 + a), f);
-                }
-                if ec {
-                    ctx.release(body_state_lock(b));
+                    g.set(bodies, body_slot(b, 7 + a), f);
                 }
             }
-            if ec {
-                ctx.release(TREE_LOCK);
-            }
+            drop(gtree);
             ctx.barrier(barrier);
 
             // --- Position-computation phase. ---
             for b in lo..hi {
-                if ec {
-                    ctx.acquire(body_state_lock(b), LockMode::Exclusive);
-                    ctx.acquire(body_pos_lock(b), LockMode::Exclusive);
-                }
+                let mut gstate = ctx.lock_if(ec, body_state_lock(b), LockMode::Exclusive);
+                let mut gpos = gstate.lock_if(ec, body_pos_lock(b), LockMode::Exclusive);
                 for (a, v) in vel[b - lo].iter_mut().enumerate() {
-                    let f = ctx.read::<f64>(bodies, body_slot(b, 7 + a));
+                    let f = gpos.get(bodies, body_slot(b, 7 + a));
                     *v += f * p.dt / mass[b];
-                    let cur = ctx.read::<f64>(bodies, body_slot(b, a));
-                    ctx.write::<f64>(bodies, body_slot(b, a), cur + *v * p.dt);
-                    ctx.write::<f64>(bodies, body_slot(b, 4 + a), *v);
+                    let cur = gpos.get(bodies, body_slot(b, a));
+                    gpos.set(bodies, body_slot(b, a), cur + *v * p.dt);
+                    gpos.set(bodies, body_slot(b, 4 + a), *v);
                 }
-                ctx.compute(Work::flops(20));
-                if ec {
-                    ctx.release(body_pos_lock(b));
-                    ctx.release(body_state_lock(b));
-                }
+                gpos.compute(Work::flops(20));
             }
             ctx.barrier(barrier);
         }
@@ -558,7 +530,7 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &BarnesParams) -> (RunResult, bool)
     let (expected, _) = sequential(&p);
     let ok = (0..n).all(|b| {
         (0..3).all(|a| {
-            let got = result.read_final::<f64>(bodies, body_slot(b, a));
+            let got = result.final_at(bodies, body_slot(b, a));
             (got - expected[b][a]).abs() <= 1e-6 * expected[b][a].abs().max(1.0)
         })
     });
@@ -569,7 +541,7 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &BarnesParams) -> (RunResult, bool)
 /// foreign bodies under EC, and caching the value for the rest of the phase.
 fn read_body_pos(
     ctx: &mut ProcessContext<'_>,
-    bodies: &Region,
+    bodies: SharedArray<f64>,
     b: usize,
     mine: std::ops::Range<usize>,
     ec: bool,
@@ -579,17 +551,13 @@ fn read_body_pos(
         return v;
     }
     let foreign = !mine.contains(&b);
-    if ec && foreign {
-        ctx.acquire(body_pos_lock(b), LockMode::ReadOnly);
-    }
+    let mut g = ctx.lock_if(ec && foreign, body_pos_lock(b), LockMode::ReadOnly);
     let v = [
-        ctx.read::<f64>(*bodies, body_slot(b, 0)),
-        ctx.read::<f64>(*bodies, body_slot(b, 1)),
-        ctx.read::<f64>(*bodies, body_slot(b, 2)),
+        g.get(bodies, body_slot(b, 0)),
+        g.get(bodies, body_slot(b, 1)),
+        g.get(bodies, body_slot(b, 2)),
     ];
-    if ec && foreign {
-        ctx.release(body_pos_lock(b));
-    }
+    drop(g);
     cache[b] = Some(v);
     v
 }

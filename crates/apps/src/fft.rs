@@ -226,7 +226,7 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &FftParams) -> (RunResult, bool) {
     // Interleaved complex layout: element e occupies slots 2e (re) and 2e+1 (im).
     let src = dsm.alloc_array::<f64>("fft-src", 2 * n, BlockGranularity::DoubleWord);
     let dst = dsm.alloc_array::<f64>("fft-dst", 2 * n, BlockGranularity::DoubleWord);
-    dsm.init_region::<f64>(src, |slot| {
+    dsm.init_array(src, |slot| {
         let (re, im) = p.initial(slot / 2);
         if slot % 2 == 0 {
             re
@@ -249,7 +249,7 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &FftParams) -> (RunResult, bool) {
                     let j0 = reader * j_per_proc;
                     let start = p.at(i, j0, 0) * 2;
                     let len = j_per_proc * p.n3 * 2;
-                    ranges.push(src.range_of::<f64>(start, len));
+                    ranges.push(src.range(start, len));
                 }
                 dsm.bind(chunk_lock(nprocs, owner, reader), ranges);
             }
@@ -259,10 +259,7 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &FftParams) -> (RunResult, bool) {
         for proc in 0..nprocs {
             let start = proc * j_per_proc * p.n3 * p.n1 * 2;
             let len = j_per_proc * p.n3 * p.n1 * 2;
-            dsm.bind(
-                dst_lock(nprocs, proc),
-                vec![dst.range_of::<f64>(start, len)],
-            );
+            dsm.bind(dst_lock(nprocs, proc), [dst.range(start, len)]);
         }
     }
     let barrier = BarrierId::new(0);
@@ -285,6 +282,9 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &FftParams) -> (RunResult, bool) {
             let scale = 1.0 / (1.0 + it as f64);
 
             // Local phases: dim-3 and dim-2 FFTs on our planes of `src`.
+            // EC holds a *dynamic* set of chunk locks (one per reader) at
+            // once, which RAII guards cannot express, so the FFT stays on
+            // the raw acquire/release escape hatch for its locking.
             if ec {
                 for reader in 0..nproc {
                     ctx.acquire(chunk_lock(nproc, me, reader), LockMode::Exclusive);
@@ -294,7 +294,7 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &FftParams) -> (RunResult, bool) {
                 for j in 0..p.n2 {
                     // The k-line is contiguous: one span read, one span write.
                     let base = p.at(i, j, 0) * 2;
-                    ctx.read_slice::<f64>(src, base, &mut line[..2 * p.n3]);
+                    ctx.read_into(src, base, &mut line[..2 * p.n3]);
                     for k in 0..p.n3 {
                         lr[k] = line[2 * k] * scale;
                         li[k] = line[2 * k + 1] * scale;
@@ -305,19 +305,19 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &FftParams) -> (RunResult, bool) {
                         line[2 * k] = lr[k];
                         line[2 * k + 1] = li[k];
                     }
-                    ctx.write_slice::<f64>(src, base, &line[..2 * p.n3]);
+                    ctx.write_from(src, base, &line[..2 * p.n3]);
                 }
                 for k in 0..p.n3 {
                     // The j-line is strided by n3: element-wise access.
                     for j in 0..p.n2 {
-                        lr[j] = ctx.read::<f64>(src, p.at(i, j, k) * 2);
-                        li[j] = ctx.read::<f64>(src, p.at(i, j, k) * 2 + 1);
+                        lr[j] = ctx.get(src, p.at(i, j, k) * 2);
+                        li[j] = ctx.get(src, p.at(i, j, k) * 2 + 1);
                     }
                     let b = fft_line(&mut lr[..p.n2], &mut li[..p.n2]);
                     ctx.compute(Work::flops(b * p.work_per_butterfly));
                     for j in 0..p.n2 {
-                        ctx.write::<f64>(src, p.at(i, j, k) * 2, lr[j]);
-                        ctx.write::<f64>(src, p.at(i, j, k) * 2 + 1, li[j]);
+                        ctx.set(src, p.at(i, j, k) * 2, lr[j]);
+                        ctx.set(src, p.at(i, j, k) * 2 + 1, li[j]);
                     }
                 }
             }
@@ -343,8 +343,8 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &FftParams) -> (RunResult, bool) {
                     // Gather is strided (one element per source plane); the
                     // transposed output line is contiguous in i.
                     for i in 0..p.n1 {
-                        lr[i] = ctx.read::<f64>(src, p.at(i, j, k) * 2);
-                        li[i] = ctx.read::<f64>(src, p.at(i, j, k) * 2 + 1);
+                        lr[i] = ctx.get(src, p.at(i, j, k) * 2);
+                        li[i] = ctx.get(src, p.at(i, j, k) * 2 + 1);
                     }
                     let b = fft_line(&mut lr[..p.n1], &mut li[..p.n1]);
                     ctx.compute(Work::flops(b * p.work_per_butterfly));
@@ -352,7 +352,7 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &FftParams) -> (RunResult, bool) {
                         line[2 * i] = lr[i];
                         line[2 * i + 1] = li[i];
                     }
-                    ctx.write_slice::<f64>(dst, (j * p.n3 + k) * p.n1 * 2, &line[..2 * p.n1]);
+                    ctx.write_from(dst, (j * p.n3 + k) * p.n1 * 2, &line[..2 * p.n1]);
                 }
             }
             if ec {
@@ -387,10 +387,10 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &FftParams) -> (RunResult, bool) {
                         // contiguous span write back into our plane.
                         for k in 0..p.n3 {
                             let t = (j * p.n3 + k) * p.n1 + i;
-                            line[2 * k] = ctx.read::<f64>(dst, t * 2);
-                            line[2 * k + 1] = ctx.read::<f64>(dst, t * 2 + 1);
+                            line[2 * k] = ctx.get(dst, t * 2);
+                            line[2 * k + 1] = ctx.get(dst, t * 2 + 1);
                         }
-                        ctx.write_slice::<f64>(src, p.at(i, j, 0) * 2, &line[..2 * p.n3]);
+                        ctx.write_from(src, p.at(i, j, 0) * 2, &line[..2 * p.n3]);
                     }
                 }
                 if ec {
@@ -411,8 +411,8 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &FftParams) -> (RunResult, bool) {
     // Verify the final transposed array.
     let (tre, tim, _) = sequential(&p);
     let ok = (0..n).all(|t| {
-        let gre = result.read_final::<f64>(dst, t * 2);
-        let gim = result.read_final::<f64>(dst, t * 2 + 1);
+        let gre = result.final_at(dst, t * 2);
+        let gim = result.final_at(dst, t * 2 + 1);
         (gre - tre[t]).abs() <= 1e-6 * tre[t].abs().max(1.0)
             && (gim - tim[t]).abs() <= 1e-6 * tim[t].abs().max(1.0)
     });

@@ -89,10 +89,11 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &IsParams) -> (RunResult, bool) {
     let p = p.clone();
     let cfg = DsmConfig::with_procs(kind, nprocs);
     let mut dsm = Dsm::new(cfg).expect("valid config");
-    let buckets = dsm.alloc_array::<u32>("is-buckets", p.buckets, BlockGranularity::Word);
-    if kind.model() == Model::Ec {
-        dsm.bind(BUCKET_LOCK, vec![buckets.whole()]);
-    }
+    // The lock→data association is constructed in one place: under EC every
+    // acquire of BUCKET_LOCK makes the bucket array consistent, under LRC
+    // the binding is a no-op.
+    let buckets =
+        dsm.alloc_bound::<u32>("is-buckets", p.buckets, BlockGranularity::Word, BUCKET_LOCK);
     let barrier = BarrierId::new(0);
     let ec = kind.model() == Model::Ec;
 
@@ -110,9 +111,8 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &IsParams) -> (RunResult, bool) {
             // shared array under the lock so every ranking starts fresh.
             if rep > 0 {
                 if me == 0 {
-                    ctx.acquire(BUCKET_LOCK, LockMode::Exclusive);
-                    ctx.write_slice::<u32>(buckets, 0, &zeros);
-                    ctx.release(BUCKET_LOCK);
+                    let mut g = ctx.lock(buckets.lock(), LockMode::Exclusive);
+                    g.view_mut(buckets).fill_from(&zeros);
                 }
                 ctx.barrier(barrier);
             }
@@ -125,33 +125,32 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &IsParams) -> (RunResult, bool) {
             }
             ctx.compute(Work::ops(p.work_per_key * (hi - lo) as u64));
 
-            ctx.acquire(BUCKET_LOCK, LockMode::Exclusive);
-            for (b, &c) in local.iter().enumerate() {
-                if c != 0 {
-                    let cur = ctx.read::<u32>(buckets, b);
-                    ctx.write::<u32>(buckets, b, cur + c);
+            {
+                let mut g = ctx.lock(buckets.lock(), LockMode::Exclusive);
+                for (b, &c) in local.iter().enumerate() {
+                    if c != 0 {
+                        g.modify(buckets, b, |cur: u32| cur + c);
+                    }
                 }
             }
-            ctx.release(BUCKET_LOCK);
             ctx.barrier(barrier);
 
             // Phase 2: read the final counts to compute global ranks of the
             // local keys (the reads themselves are what matters to the DSM).
-            if ec {
-                ctx.acquire(BUCKET_LOCK, LockMode::ReadOnly);
-            }
-            ctx.read_slice::<u32>(buckets, 0, &mut counts);
-            let checksum: u64 = counts.iter().map(|&c| c as u64).sum();
-            assert_eq!(checksum, p.keys as u64, "bucket counts must sum to N");
-            if ec {
-                ctx.release(BUCKET_LOCK);
+            // EC takes a read-only lock (Section 3.3); LRC relies on the
+            // barrier alone.
+            {
+                let mut g = ctx.lock_if(ec, buckets.lock(), LockMode::ReadOnly);
+                g.view(buckets).read_into(0, &mut counts);
+                let checksum: u64 = counts.iter().map(|&c| c as u64).sum();
+                assert_eq!(checksum, p.keys as u64, "bucket counts must sum to N");
             }
             ctx.barrier(barrier);
         }
     });
 
     let (expected, _) = sequential(&p);
-    let got = result.final_vec::<u32>(buckets);
+    let got = result.final_array(buckets);
     let ok = expected == got;
     (result, ok)
 }

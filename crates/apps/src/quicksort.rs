@@ -133,15 +133,21 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &QsParams) -> (RunResult, bool) {
     let cfg = DsmConfig::with_procs(kind, nprocs);
     let mut dsm = Dsm::new(cfg).expect("valid config");
     let array = dsm.alloc_array::<i32>("qs-array", p.n, BlockGranularity::Word);
-    dsm.init_region::<i32>(array, |i| p.value(i));
+    dsm.init_array(array, |i| p.value(i));
 
     // Enough queue entries for the worst case: every leaf task plus the
     // partition chain.
     let capacity = (p.n / p.threshold).max(8) * 4;
-    let queue =
-        dsm.alloc_array::<u32>("qs-queue", Q_ENTRIES + capacity * 2, BlockGranularity::Word);
+    // The queue is bound to its lock in one step; under LRC the binding is a
+    // no-op and the lock alone orders both queue and task data.
+    let queue = dsm.alloc_bound::<u32>(
+        "qs-queue",
+        Q_ENTRIES + capacity * 2,
+        BlockGranularity::Word,
+        QUEUE_LOCK,
+    );
     // The whole array is initially one task in the queue.
-    dsm.init_region::<u32>(queue, |i| match i {
+    dsm.init_array(queue, |i| match i {
         x if x == Q_HEAD => 0,
         x if x == Q_TAIL => 1,
         x if x == Q_PENDING => 1,
@@ -152,29 +158,31 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &QsParams) -> (RunResult, bool) {
 
     let ec = kind.model() == Model::Ec;
     if ec {
-        dsm.bind(QUEUE_LOCK, vec![queue.whole()]);
-        // Entry 0 initially holds the whole array.
-        dsm.bind(entry_lock(0), vec![array.whole()]);
+        // Entry 0 initially holds the whole array; the entry locks are
+        // *rebound* to their task's sub-array as tasks are created.
+        dsm.bind(entry_lock(0), [array.whole()]);
     }
     let barrier = BarrierId::new(0);
 
     let result = dsm.run(|ctx| {
         loop {
             // Try to dequeue a task.
-            ctx.acquire(QUEUE_LOCK, LockMode::Exclusive);
-            let head = ctx.read::<u32>(queue, Q_HEAD) as usize;
-            let tail = ctx.read::<u32>(queue, Q_TAIL) as usize;
-            let pending = ctx.read::<u32>(queue, Q_PENDING);
-            let task = if head < tail {
-                let slot = head % capacity;
-                let start = ctx.read::<u32>(queue, Q_ENTRIES + slot * 2) as usize;
-                let len = ctx.read::<u32>(queue, Q_ENTRIES + slot * 2 + 1) as usize;
-                ctx.write::<u32>(queue, Q_HEAD, (head + 1) as u32);
-                Some((slot, start, len))
-            } else {
-                None
+            let (task, tail, pending) = {
+                let mut q = ctx.lock(queue.lock(), LockMode::Exclusive);
+                let head = q.get(queue, Q_HEAD) as usize;
+                let tail = q.get(queue, Q_TAIL) as usize;
+                let pending = q.get(queue, Q_PENDING);
+                let task = if head < tail {
+                    let slot = head % capacity;
+                    let start = q.get(queue, Q_ENTRIES + slot * 2) as usize;
+                    let len = q.get(queue, Q_ENTRIES + slot * 2 + 1) as usize;
+                    q.set(queue, Q_HEAD, (head + 1) as u32);
+                    Some((slot, start, len))
+                } else {
+                    None
+                };
+                (task, tail, pending)
             };
-            ctx.release(QUEUE_LOCK);
 
             let (slot, mut start, mut len) = match task {
                 Some(t) => t,
@@ -185,15 +193,16 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &QsParams) -> (RunResult, bool) {
                     // simulated clock is synchronised by the dequeue that
                     // follows.
                     let tail_seen = tail as u32;
-                    while ctx.poll::<u32>(queue, Q_TAIL) == tail_seen
-                        && ctx.poll::<u32>(queue, Q_PENDING) != 0
-                    {
+                    while ctx.peek(queue, Q_TAIL) == tail_seen && ctx.peek(queue, Q_PENDING) != 0 {
                         std::thread::yield_now();
                     }
                     continue;
                 }
             };
 
+            // The entry lock stays held across the queue-lock critical
+            // sections below (and is released/rebound/reacquired mid-task),
+            // so it uses the raw acquire/release escape hatch.
             if ec {
                 ctx.acquire(entry_lock(slot), LockMode::Exclusive);
             }
@@ -204,7 +213,7 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &QsParams) -> (RunResult, bool) {
                 // buffer (one read and one write of each element, page-batched
                 // through the span API).
                 let mut buf = vec![0i32; len];
-                ctx.read_slice::<i32>(array, start, &mut buf);
+                ctx.read_into(array, start, &mut buf);
                 ctx.compute(Work::ops(len as u64 * p.work_partition));
                 let pivot = buf[len / 2];
                 let mut lower: Vec<i32> = Vec::with_capacity(len);
@@ -223,7 +232,7 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &QsParams) -> (RunResult, bool) {
                 buf.extend_from_slice(&lower);
                 buf.extend(std::iter::repeat(pivot).take(equal));
                 buf.extend_from_slice(&upper);
-                ctx.write_slice::<i32>(array, start, &buf);
+                ctx.write_from(array, start, &buf);
                 let split = lower.len() + equal / 2 + 1;
                 let split = split.clamp(1, len - 1);
                 // Smaller partition goes to the queue, larger stays with us.
@@ -237,29 +246,23 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &QsParams) -> (RunResult, bool) {
                     // Publish the writes made so far and narrow the binding
                     // of our entry lock to the partition we keep.
                     ctx.release(entry_lock(slot));
-                    ctx.rebind(
-                        entry_lock(slot),
-                        vec![array.range_of::<i32>(large_start, large_len)],
-                    );
+                    ctx.rebind(entry_lock(slot), [array.range(large_start, large_len)]);
                     ctx.acquire(entry_lock(slot), LockMode::Exclusive);
                 }
 
                 // Enqueue the smaller partition.
-                ctx.acquire(QUEUE_LOCK, LockMode::Exclusive);
-                let tail = ctx.read::<u32>(queue, Q_TAIL) as usize;
-                let new_slot = tail % capacity;
-                ctx.write::<u32>(queue, Q_ENTRIES + new_slot * 2, small_start as u32);
-                ctx.write::<u32>(queue, Q_ENTRIES + new_slot * 2 + 1, small_len as u32);
-                ctx.write::<u32>(queue, Q_TAIL, (tail + 1) as u32);
-                let pending = ctx.read::<u32>(queue, Q_PENDING);
-                ctx.write::<u32>(queue, Q_PENDING, pending + 1);
-                if ec {
-                    ctx.rebind(
-                        entry_lock(new_slot),
-                        vec![array.range_of::<i32>(small_start, small_len)],
-                    );
+                {
+                    let mut q = ctx.lock(queue.lock(), LockMode::Exclusive);
+                    let tail = q.get(queue, Q_TAIL) as usize;
+                    let new_slot = tail % capacity;
+                    q.set(queue, Q_ENTRIES + new_slot * 2, small_start as u32);
+                    q.set(queue, Q_ENTRIES + new_slot * 2 + 1, small_len as u32);
+                    q.set(queue, Q_TAIL, (tail + 1) as u32);
+                    q.modify(queue, Q_PENDING, |pending: u32| pending + 1);
+                    if ec {
+                        q.rebind(entry_lock(new_slot), [array.range(small_start, small_len)]);
+                    }
                 }
-                ctx.release(QUEUE_LOCK);
 
                 // The entry lock we hold (slot) now covers [start, len).
                 start = large_start;
@@ -268,7 +271,7 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &QsParams) -> (RunResult, bool) {
 
             // Leaf: bubblesort the remaining partition in a local buffer.
             let mut buf = vec![0i32; len];
-            ctx.read_slice::<i32>(array, start, &mut buf);
+            ctx.read_into(array, start, &mut buf);
             ctx.compute(Work::ops(bubble_work(len, &p)));
             for i in 0..buf.len() {
                 for j in 0..buf.len().saturating_sub(1 + i) {
@@ -277,22 +280,20 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &QsParams) -> (RunResult, bool) {
                     }
                 }
             }
-            ctx.write_slice::<i32>(array, start, &buf);
+            ctx.write_from(array, start, &buf);
             if ec {
                 ctx.release(entry_lock(slot));
             }
 
             // Mark the task done.
-            ctx.acquire(QUEUE_LOCK, LockMode::Exclusive);
-            let pending = ctx.read::<u32>(queue, Q_PENDING);
-            ctx.write::<u32>(queue, Q_PENDING, pending - 1);
-            ctx.release(QUEUE_LOCK);
+            ctx.lock(queue.lock(), LockMode::Exclusive)
+                .modify(queue, Q_PENDING, |pending: u32| pending - 1);
         }
         ctx.barrier(barrier);
     });
 
     let (expected, _) = sequential(&p);
-    let got = result.final_vec::<i32>(array);
+    let got = result.final_array(array);
     let mut got_sorted_check = got.clone();
     got_sorted_check.sort_unstable();
     let ok = got == expected && got == got_sorted_check;

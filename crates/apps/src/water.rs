@@ -22,7 +22,7 @@
 
 use dsm_core::{
     BarrierId, BlockGranularity, Dsm, DsmConfig, ImplKind, LockId, LockMode, Model, ProcessContext,
-    Region, RunResult,
+    RunResult, SharedArray,
 };
 use dsm_sim::Work;
 
@@ -179,14 +179,14 @@ fn proc_pos_lock(n_molecules: usize, p: usize) -> LockId {
 }
 
 struct Layout {
-    mol: Region,
-    pos_region: Region,
-    force_region: Region,
+    mol: SharedArray<f64>,
+    pos_region: SharedArray<f64>,
+    force_region: SharedArray<f64>,
     restructured: bool,
 }
 
 impl Layout {
-    fn pos_index(&self, m: usize, s: usize) -> (Region, usize) {
+    fn pos_index(&self, m: usize, s: usize) -> (SharedArray<f64>, usize) {
         if self.restructured {
             (self.pos_region, m * POS_SLOTS + s)
         } else {
@@ -194,7 +194,7 @@ impl Layout {
         }
     }
 
-    fn force_index(&self, m: usize, s: usize) -> (Region, usize) {
+    fn force_index(&self, m: usize, s: usize) -> (SharedArray<f64>, usize) {
         if self.restructured {
             (self.force_region, m * FORCE_SLOTS + s)
         } else {
@@ -204,22 +204,22 @@ impl Layout {
 
     fn read_pos(&self, ctx: &mut ProcessContext<'_>, m: usize, s: usize) -> f64 {
         let (r, i) = self.pos_index(m, s);
-        ctx.read::<f64>(r, i)
+        ctx.get(r, i)
     }
 
     fn write_pos(&self, ctx: &mut ProcessContext<'_>, m: usize, s: usize, v: f64) {
         let (r, i) = self.pos_index(m, s);
-        ctx.write::<f64>(r, i, v);
+        ctx.set(r, i, v);
     }
 
     fn read_force(&self, ctx: &mut ProcessContext<'_>, m: usize, s: usize) -> f64 {
         let (r, i) = self.force_index(m, s);
-        ctx.read::<f64>(r, i)
+        ctx.get(r, i)
     }
 
     fn write_force(&self, ctx: &mut ProcessContext<'_>, m: usize, s: usize, v: f64) {
         let (r, i) = self.force_index(m, s);
-        ctx.write::<f64>(r, i, v);
+        ctx.set(r, i, v);
     }
 }
 
@@ -254,9 +254,9 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &WaterParams) -> (RunResult, bool) 
 
     // Initial positions.
     if p.restructured {
-        dsm.init_region::<f64>(pos_region, |k| p.initial_pos(k / POS_SLOTS, k % POS_SLOTS));
+        dsm.init_array(pos_region, |k| p.initial_pos(k / POS_SLOTS, k % POS_SLOTS));
     } else {
-        dsm.init_region::<f64>(mol, |k| {
+        dsm.init_array(mol, |k| {
             let (m, s) = (k / MOL_SLOTS, k % MOL_SLOTS);
             if s < POS_SLOTS {
                 p.initial_pos(m, s)
@@ -271,8 +271,8 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &WaterParams) -> (RunResult, bool) 
         for m in 0..n {
             let (pr, pi) = layout.pos_index(m, 0);
             let (fr, fi) = layout.force_index(m, 0);
-            dsm.bind(pos_lock(m), vec![pr.range_of::<f64>(pi, POS_SLOTS)]);
-            dsm.bind(force_lock(m), vec![fr.range_of::<f64>(fi, FORCE_SLOTS)]);
+            dsm.bind(pos_lock(m), [pr.range(pi, POS_SLOTS)]);
+            dsm.bind(force_lock(m), [fr.range(fi, FORCE_SLOTS)]);
         }
         if p.restructured {
             for proc in 0..nprocs {
@@ -283,7 +283,7 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &WaterParams) -> (RunResult, bool) 
                 let (pr, pi) = layout.pos_index(mine.start, 0);
                 dsm.bind(
                     proc_pos_lock(n, proc),
-                    vec![pr.range_of::<f64>(pi, mine.len() * POS_SLOTS)],
+                    [pr.range(pi, mine.len() * POS_SLOTS)],
                 );
             }
         }
@@ -299,16 +299,12 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &WaterParams) -> (RunResult, bool) 
 
         for _step in 0..p.steps {
             // Zero the forces of our own molecules (they were consumed in the
-            // previous displacement phase).
+            // previous displacement phase).  EC annotates the writes with the
+            // molecule's force lock; under LRC the guard holds nothing.
             for m in mine.clone() {
-                if ec {
-                    ctx.acquire(force_lock(m), LockMode::Exclusive);
-                }
+                let mut g = ctx.lock_if(ec, force_lock(m), LockMode::Exclusive);
                 for s in 0..FORCE_SLOTS {
-                    layout.write_force(ctx, m, s, 0.0);
-                }
-                if ec {
-                    ctx.release(force_lock(m));
+                    layout.write_force(&mut g, m, s, 0.0);
                 }
             }
             ctx.barrier(barrier);
@@ -324,29 +320,28 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &WaterParams) -> (RunResult, bool) 
                     for &m in &[i, j] {
                         if pos_cache[m].is_none() {
                             let foreign = !mine.contains(&m);
-                            if ec && foreign {
-                                if p.restructured {
-                                    let own = owner(n, nproc, m);
-                                    if !fetched_proc[own] {
-                                        // One per-processor read lock fetches
-                                        // every displacement that processor
-                                        // produced (the prefetch effect).
-                                        ctx.acquire(proc_pos_lock(n, own), LockMode::ReadOnly);
-                                        ctx.release(proc_pos_lock(n, own));
-                                        fetched_proc[own] = true;
-                                    }
-                                } else {
-                                    ctx.acquire(pos_lock(m), LockMode::ReadOnly);
+                            if ec && foreign && p.restructured {
+                                let own = owner(n, nproc, m);
+                                if !fetched_proc[own] {
+                                    // One per-processor read-lock pulse
+                                    // fetches every displacement that
+                                    // processor produced (the prefetch
+                                    // effect).
+                                    ctx.lock(proc_pos_lock(n, own), LockMode::ReadOnly).unlock();
+                                    fetched_proc[own] = true;
                                 }
                             }
+                            let mut g = ctx.lock_if(
+                                ec && foreign && !p.restructured,
+                                pos_lock(m),
+                                LockMode::ReadOnly,
+                            );
                             let v = [
-                                layout.read_pos(ctx, m, 0),
-                                layout.read_pos(ctx, m, 1),
-                                layout.read_pos(ctx, m, 2),
+                                layout.read_pos(&mut g, m, 0),
+                                layout.read_pos(&mut g, m, 1),
+                                layout.read_pos(&mut g, m, 2),
                             ];
-                            if ec && foreign && !p.restructured {
-                                ctx.release(pos_lock(m));
-                            }
+                            drop(g);
                             pos_cache[m] = Some(v);
                         }
                     }
@@ -368,42 +363,35 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &WaterParams) -> (RunResult, bool) 
                 if !touched {
                     continue;
                 }
-                ctx.acquire(force_lock(m), LockMode::Exclusive);
+                let mut g = ctx.lock(force_lock(m), LockMode::Exclusive);
                 for s in 0..3 {
-                    let cur = layout.read_force(ctx, m, s);
-                    layout.write_force(ctx, m, s, cur + acc[m * 3 + s]);
+                    let cur = layout.read_force(&mut g, m, s);
+                    layout.write_force(&mut g, m, s, cur + acc[m * 3 + s]);
                 }
-                ctx.release(force_lock(m));
             }
             ctx.barrier(barrier);
 
             // Displacement phase: each processor updates its own molecules.
-            if ec && p.restructured {
-                ctx.acquire(proc_pos_lock(n, me), LockMode::Exclusive);
-            }
+            // The restructured layout holds one per-processor displacement
+            // lock across the loop; per-molecule guards nest inside it and
+            // the borrow checker enforces the LIFO release order.
+            let mut gproc = ctx.lock_if(
+                ec && p.restructured,
+                proc_pos_lock(n, me),
+                LockMode::Exclusive,
+            );
             for m in mine.clone() {
-                if ec {
-                    ctx.acquire(force_lock(m), LockMode::ReadOnly);
-                    if !p.restructured {
-                        ctx.acquire(pos_lock(m), LockMode::Exclusive);
-                    }
-                }
+                let mut gforce = gproc.lock_if(ec, force_lock(m), LockMode::ReadOnly);
+                let mut gpos =
+                    gforce.lock_if(ec && !p.restructured, pos_lock(m), LockMode::Exclusive);
                 for s in 0..3 {
-                    let f = layout.read_force(ctx, m, s);
-                    let cur = layout.read_pos(ctx, m, s);
-                    layout.write_pos(ctx, m, s, cur + 0.01 * f);
+                    let f = layout.read_force(&mut gpos, m, s);
+                    let cur = layout.read_pos(&mut gpos, m, s);
+                    layout.write_pos(&mut gpos, m, s, cur + 0.01 * f);
                 }
-                ctx.compute(Work::flops(50));
-                if ec {
-                    if !p.restructured {
-                        ctx.release(pos_lock(m));
-                    }
-                    ctx.release(force_lock(m));
-                }
+                gpos.compute(Work::flops(50));
             }
-            if ec && p.restructured {
-                ctx.release(proc_pos_lock(n, me));
-            }
+            drop(gproc);
             ctx.barrier(barrier);
         }
     });
@@ -413,7 +401,7 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &WaterParams) -> (RunResult, bool) 
     let ok = (0..n).all(|m| {
         (0..3).all(|s| {
             let (r, i) = layout.pos_index(m, s);
-            let got = result.read_final::<f64>(r, i);
+            let got = result.final_at(r, i);
             let want = expected.pos[m * POS_SLOTS + s];
             (got - want).abs() <= 1e-6 * want.abs().max(1.0)
         })

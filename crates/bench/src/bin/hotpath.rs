@@ -64,9 +64,11 @@ fn measure(kind: ImplKind, nprocs: usize, iters: usize, op: &'static str, slices
     for _ in 0..3 {
         let mut dsm = Dsm::new(DsmConfig::with_procs(kind, nprocs)).expect("valid config");
         let region = dsm.alloc_array::<u32>("hot", ELEMS, BlockGranularity::Word);
-        dsm.init_region::<u32>(region, |i| i as u32);
+        dsm.init_array(region, |i| i as u32);
         // One lock per processor; under EC nothing is bound to it, so the
-        // acquire is pure epoch churn for both models.
+        // acquire is pure epoch churn for both models.  The typed accessors
+        // are zero-cost wrappers over the raw hot path, so the measured
+        // throughput is the same pipeline the apps exercise.
         let per = ELEMS / nprocs;
         let start = Instant::now();
         let result = dsm.run(|ctx| {
@@ -74,33 +76,32 @@ fn measure(kind: ImplKind, nprocs: usize, iters: usize, op: &'static str, slices
             let mut buf = vec![0u32; per.max(1)];
             let mut sink = 0u64;
             for it in 0..iters {
-                ctx.acquire(LockId::new(me as u32), LockMode::Exclusive);
+                let mut g = ctx.lock(LockId::new(me as u32), LockMode::Exclusive);
                 match (op, slices) {
                     ("read", false) => {
                         for e in 0..ELEMS {
-                            sink = sink.wrapping_add(ctx.read::<u32>(region, e) as u64);
+                            sink = sink.wrapping_add(g.get(region, e) as u64);
                         }
                     }
                     ("read", true) => {
                         for chunk in 0..nprocs {
-                            ctx.read_slice::<u32>(region, chunk * per, &mut buf[..per]);
+                            g.read_into(region, chunk * per, &mut buf[..per]);
                             sink = sink.wrapping_add(buf[0] as u64);
                         }
                     }
                     ("write", false) => {
                         for e in 0..per {
-                            ctx.write::<u32>(region, me * per + e, (it + e) as u32);
+                            g.set(region, me * per + e, (it + e) as u32);
                         }
                     }
                     ("write", true) => {
                         for (e, slot) in buf[..per].iter_mut().enumerate() {
                             *slot = (it + e) as u32;
                         }
-                        ctx.write_slice::<u32>(region, me * per, &buf[..per]);
+                        g.write_from(region, me * per, &buf[..per]);
                     }
                     _ => unreachable!("op is read|write"),
                 }
-                ctx.release(LockId::new(me as u32));
             }
             assert!(sink != 1, "keep the reads live");
             ctx.barrier(BarrierId::new(0));

@@ -262,7 +262,9 @@ impl ImplKind {
 
     /// Parses an implementation from its table name (`EC-ci`, `LRC-diff`,
     /// `HLRC-time`, ...), the inverse of [`ImplKind::name`]/`Display`.  Used
-    /// by the bench bins' `--impls` filter.
+    /// by the bench bins' `--impls` filter.  Matching is case-insensitive
+    /// (`lrc-diff` and `HLRC-TIME` both parse), so shell users never trip
+    /// over the tables' mixed-case spellings.
     ///
     /// # Errors
     ///
@@ -271,7 +273,7 @@ impl ImplKind {
     pub fn from_name(name: &str) -> Result<Self, DsmError> {
         Self::all()
             .into_iter()
-            .find(|k| k.name() == name)
+            .find(|k| k.name().eq_ignore_ascii_case(name))
             .ok_or_else(|| {
                 let valid: Vec<String> = Self::all().iter().map(|k| k.name()).collect();
                 DsmError::InvalidConfig(format!(
@@ -425,9 +427,17 @@ mod tests {
     fn from_name_roundtrips_with_display() {
         for kind in ImplKind::all() {
             assert_eq!(ImplKind::from_name(&kind.to_string()).unwrap(), kind);
+            // Case-insensitive: lowercase and uppercase spellings also parse.
+            let lower = kind.to_string().to_ascii_lowercase();
+            let upper = kind.to_string().to_ascii_uppercase();
+            assert_eq!(ImplKind::from_name(&lower).unwrap(), kind);
+            assert_eq!(ImplKind::from_name(&upper).unwrap(), kind);
         }
-        assert!(ImplKind::from_name("LRC-CI").is_err(), "names are exact");
         assert!(ImplKind::from_name("").is_err());
+        assert!(
+            ImplKind::from_name("LRC").is_err(),
+            "model alone is not an impl"
+        );
         let msg = ImplKind::from_name("bogus").unwrap_err().to_string();
         assert!(msg.contains("HLRC-diff"), "error lists the valid names");
     }

@@ -381,8 +381,10 @@ impl<'a> ProcessContext<'a> {
     /// After a rebind the next grant conservatively transfers all bound data,
     /// because neither side knows which part of it the acquirer already has
     /// (Section 7.1, "Rebinding").
-    pub fn rebind(&mut self, lock: LockId, ranges: Vec<MemRange>) {
-        self.global.engine.rebind(lock, ranges);
+    pub fn rebind(&mut self, lock: LockId, ranges: impl IntoIterator<Item = MemRange>) {
+        self.global
+            .engine
+            .rebind(lock, ranges.into_iter().collect());
     }
 
     /// Waits at a barrier until every processor has arrived.

@@ -61,7 +61,9 @@
 //! use dsm_core::{BarrierId, Dsm, DsmConfig, ImplKind, LockId, LockMode};
 //! use dsm_mem::BlockGranularity;
 //!
-//! // A tiny producer/consumer program run under TreadMarks-style LRC.
+//! // A tiny producer/consumer program run under TreadMarks-style LRC.  The
+//! // typed handle returned by `alloc_array` carries the element type, so
+//! // access sites never spell it out.
 //! let mut dsm = Dsm::new(DsmConfig::with_procs(ImplKind::lrc_diff(), 2))?;
 //! let data = dsm.alloc_array::<f64>("data", 16, BlockGranularity::DoubleWord);
 //!
@@ -72,29 +74,34 @@
 //!
 //! let result = dsm.run(|ctx| {
 //!     if ctx.node() == 0 {
-//!         for i in 0..16 {
-//!             ctx.write(data, i, i as f64);
-//!         }
+//!         let line: Vec<f64> = (0..16).map(|i| i as f64).collect();
+//!         ctx.write_from(data, 0, &line); // one span write, page-batched
 //!     }
 //!     ctx.barrier(produced);
 //!     if ctx.node() == 1 {
-//!         assert_eq!(ctx.read::<f64>(data, 7), 7.0);
+//!         assert_eq!(ctx.get(data, 7), 7.0);
 //!     }
 //!     ctx.barrier(consumed);
 //! });
-//! assert_eq!(result.read_final::<f64>(data, 15), 15.0);
+//! assert_eq!(result.final_at(data, 15), 15.0);
 //! # Ok::<(), dsm_core::DsmError>(())
 //! ```
 //!
 //! The same program runs unchanged under any [`ImplKind`]; EC programs
-//! additionally bind their shared data to locks with [`Dsm::bind`] /
-//! [`ProcessContext::rebind`] and use read-only locks ([`LockMode::ReadOnly`])
-//! where LRC programs rely on barriers alone.
+//! additionally bind their shared data to locks — in one step with
+//! [`Dsm::alloc_bound`], or piecewise with [`Dsm::bind`] /
+//! [`ProcessContext::rebind`] — and take RAII [`LockGuard`]s
+//! ([`ProcessContext::lock`]), using read-only locks
+//! ([`LockMode::ReadOnly`]) where LRC programs rely on barriers alone.  See
+//! the [`api`-layer types](SharedArray) for the full typed surface; the raw
+//! `Region`-based accessors on [`ProcessContext`] remain the documented
+//! low-level escape hatch.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod api;
 mod config;
 mod context;
 mod ec;
@@ -107,6 +114,7 @@ mod runtime;
 mod scalar;
 mod sync;
 
+pub use api::{ArrayView, ArrayViewMut, Binding, LockGuard, SharedArray, SharedScalar};
 pub use config::{Collection, DsmConfig, ImplKind, Model, Trapping};
 pub use context::ProcessContext;
 pub use error::DsmError;

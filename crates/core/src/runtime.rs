@@ -3,6 +3,7 @@
 use dsm_mem::{BlockGranularity, MemRange, RegionDesc, RegionId};
 use dsm_sim::{ClusterStats, SimTime, TrafficReport};
 
+use crate::api::SharedArray;
 use crate::config::DsmConfig;
 use crate::context::ProcessContext;
 use crate::engine::{build_engine, ProtocolEngine};
@@ -149,19 +150,19 @@ impl std::fmt::Debug for RunGlobal {
 /// use dsm_sim::Work;
 ///
 /// let mut dsm = Dsm::new(DsmConfig::with_procs(ImplKind::lrc_diff(), 4))?;
-/// let counter = dsm.alloc_array::<u32>("counter", 1, BlockGranularity::Word);
+/// let counter = dsm.alloc_scalar::<u32>("counter", BlockGranularity::Word);
 ///
 /// let result = dsm.run(|ctx| {
-///     // Every processor increments the shared counter under a lock.
-///     ctx.acquire(LockId::new(0), LockMode::Exclusive);
-///     let v: u32 = ctx.read(counter, 0);
-///     ctx.write(counter, 0, v + 1);
-///     ctx.compute(Work::ops(10));
-///     ctx.release(LockId::new(0));
+///     // Every processor increments the shared counter under a lock; the
+///     // guard releases it when dropped.
+///     let mut guard = ctx.lock(LockId::new(0), LockMode::Exclusive);
+///     guard.fetch_update(counter, |v| v + 1);
+///     guard.compute(Work::ops(10));
+///     drop(guard);
 ///     ctx.barrier(BarrierId::new(0));
 /// });
 ///
-/// assert_eq!(result.read_final::<u32>(counter, 0), 4);
+/// assert_eq!(result.final_scalar(counter), 4);
 /// assert!(result.seconds() > 0.0);
 /// assert_eq!(result.traffic.lock_transfers, 4);
 /// # Ok::<(), dsm_core::DsmError>(())
@@ -213,14 +214,16 @@ impl Dsm {
         }
     }
 
-    /// Allocates a shared region holding `count` elements of type `T`.
+    /// Allocates a shared region holding `count` elements of type `T` and
+    /// returns a typed [`SharedArray`] handle (use [`Dsm::alloc`] for an
+    /// untyped [`Region`]).
     pub fn alloc_array<T: Scalar>(
         &mut self,
         name: impl Into<String>,
         count: usize,
         granularity: BlockGranularity,
-    ) -> Region {
-        self.alloc(name, count * T::SIZE, granularity)
+    ) -> SharedArray<T> {
+        SharedArray::from_region(self.alloc(name, count * T::SIZE, granularity))
     }
 
     /// Initialises element `idx..` of `region` with values produced by `f`
@@ -255,9 +258,10 @@ impl Dsm {
 
     /// Binds shared data to a lock (EC only; ignored under LRC so that the
     /// same setup code can be reused).  The binding may list several
-    /// non-contiguous ranges.
-    pub fn bind(&mut self, lock: LockId, ranges: Vec<MemRange>) {
-        self.binds.push((lock, ranges));
+    /// non-contiguous ranges; binding the same lock again replaces its
+    /// previous ranges.
+    pub fn bind(&mut self, lock: LockId, ranges: impl IntoIterator<Item = MemRange>) {
+        self.binds.push((lock, ranges.into_iter().collect()));
     }
 
     /// Runs `worker` on every simulated processor and returns the result.
@@ -330,7 +334,9 @@ mod tests {
     #[test]
     fn region_handles_and_ranges() {
         let mut dsm = Dsm::new(DsmConfig::with_procs(ImplKind::ec_time(), 2)).unwrap();
-        let r = dsm.alloc_array::<f64>("m", 100, BlockGranularity::DoubleWord);
+        let r = dsm
+            .alloc_array::<f64>("m", 100, BlockGranularity::DoubleWord)
+            .region();
         assert_eq!(r.len(), 800);
         assert_eq!(r.elems::<f64>(), 100);
         assert!(!r.is_empty());
@@ -343,7 +349,9 @@ mod tests {
     #[test]
     fn init_region_fills_typed_values() {
         let mut dsm = Dsm::new(DsmConfig::with_procs(ImplKind::lrc_diff(), 1)).unwrap();
-        let r = dsm.alloc_array::<u32>("a", 8, BlockGranularity::Word);
+        let r = dsm
+            .alloc_array::<u32>("a", 8, BlockGranularity::Word)
+            .region();
         dsm.init_region::<u32>(r, |i| i as u32 * 10);
         let result = dsm.run(|ctx| {
             assert_eq!(ctx.read::<u32>(r, 3), 30);
@@ -371,7 +379,9 @@ mod tests {
     #[test]
     fn lock_transfers_are_aggregated_from_the_sharded_table() {
         let mut dsm = Dsm::new(DsmConfig::with_procs(ImplKind::lrc_diff(), 2)).unwrap();
-        let r = dsm.alloc_array::<u32>("c", 1, BlockGranularity::Word);
+        let r = dsm
+            .alloc_array::<u32>("c", 1, BlockGranularity::Word)
+            .region();
         let result = dsm.run(|ctx| {
             ctx.acquire(LockId::new(0), crate::LockMode::Exclusive);
             ctx.update::<u32>(r, 0, |v| v + 1);

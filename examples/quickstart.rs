@@ -1,5 +1,6 @@
 //! Quickstart: a shared counter and a producer/consumer exchange, run under
-//! every one of the six EC/LRC implementations.
+//! every implementation of the protocol family — written against the typed
+//! API (`SharedArray`/`SharedScalar` handles, `Binding`s, RAII lock guards).
 //!
 //! Run with `cargo run -p dsm-examples --bin quickstart`.
 
@@ -11,21 +12,20 @@ fn main() -> Result<(), dsm_core::DsmError> {
         let nprocs = 4;
         let mut dsm = Dsm::new(DsmConfig::with_procs(kind, nprocs))?;
 
-        // A counter protected by a lock and a vector filled by processor 0.
-        let counter = dsm.alloc_array::<u32>("counter", 1, BlockGranularity::Word);
+        // A counter bound to its lock in one step (under EC every shared
+        // object must be associated with a lock; under LRC the binding is a
+        // no-op, so the same setup code serves all nine implementations) and
+        // a vector filled by processor 0.
+        let counter = dsm.alloc_bound::<u32>("counter", 1, BlockGranularity::Word, LockId::new(0));
         let data = dsm.alloc_array::<f64>("data", 1024, BlockGranularity::DoubleWord);
-        let lock = LockId::new(0);
         let barrier = BarrierId::new(0);
-        // Under EC every shared object must be bound to a lock; under LRC the
-        // same call is a no-op, so the setup code can be shared.
-        dsm.bind(lock, vec![counter.whole()]);
 
         let result = dsm.run(|ctx| {
-            // Phase 1: processor 0 produces the data.
+            // Phase 1: processor 0 produces the data (one span write per
+            // batch keeps the write trap page-batched).
             if ctx.node() == 0 {
-                for i in 0..data.elems::<f64>() {
-                    ctx.write(data, i, (i as f64).sqrt());
-                }
+                let produced: Vec<f64> = (0..data.len()).map(|i| (i as f64).sqrt()).collect();
+                ctx.write_from(data, 0, &produced);
             }
             ctx.barrier(barrier);
 
@@ -35,19 +35,22 @@ fn main() -> Result<(), dsm_core::DsmError> {
             // but under EC only data bound to an acquired lock is made
             // consistent — `data` is unbound, so the EC runs read their local
             // (initial) copy and transfer far fewer bytes.  An EC program
-            // that needs these values would bind `data` to a lock and take a
-            // read-only lock here (see the SOR and Water applications).
-            let per = data.elems::<f64>() / ctx.nprocs();
+            // that needs these values would allocate `data` with
+            // `alloc_bound` and take a read-only lock here (see the SOR and
+            // Water applications).
+            let per = data.len() / ctx.nprocs();
             let lo = ctx.node() * per;
             let mut local_sum = 0.0;
             for i in lo..lo + per {
-                local_sum += ctx.read::<f64>(data, i);
+                local_sum += ctx.get(data, i);
             }
             ctx.compute(Work::flops(per as u64));
-            ctx.acquire(lock, LockMode::Exclusive);
-            let v: u32 = ctx.read(counter, 0);
-            ctx.write(counter, 0, v + 1);
-            ctx.release(lock);
+
+            // The guard releases the counter lock when it drops.
+            let mut guard = ctx.lock(counter.lock(), LockMode::Exclusive);
+            guard.modify(counter, 0, |v: u32| v + 1);
+            drop(guard);
+
             assert!(local_sum >= 0.0);
             ctx.barrier(barrier);
         });
@@ -55,12 +58,12 @@ fn main() -> Result<(), dsm_core::DsmError> {
         println!(
             "{:>9}: {} procs joined in {:>8.3} simulated seconds, {:>5} messages, {:>8} bytes",
             kind.name(),
-            result.read_final::<u32>(counter, 0),
+            result.final_at(counter, 0),
             result.seconds(),
             result.traffic.messages,
             result.traffic.bytes
         );
-        assert_eq!(result.read_final::<u32>(counter, 0), nprocs as u32);
+        assert_eq!(result.final_at(counter, 0), nprocs as u32);
     }
     Ok(())
 }

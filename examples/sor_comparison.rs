@@ -1,4 +1,4 @@
-//! Runs Red-Black SOR (one of the paper's applications) under all six
+//! Runs Red-Black SOR (one of the paper's applications) under all nine
 //! implementations and prints a small comparison table — a miniature of the
 //! paper's Tables 4 and 5 for one application.
 //!

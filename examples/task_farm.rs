@@ -19,20 +19,20 @@ fn main() -> Result<(), dsm_core::DsmError> {
         let mut dsm = Dsm::new(DsmConfig::with_procs(kind, nprocs))?;
         let image = dsm.alloc_array::<f32>("image", SIDE * SIDE, BlockGranularity::Word);
         let output = dsm.alloc_array::<f32>("output", SIDE * SIDE, BlockGranularity::Word);
-        dsm.init_region::<f32>(image, |i| ((i * 37) % 255) as f32);
+        dsm.init_array(image, |i| ((i * 37) % 255) as f32);
 
-        // One lock per output tile; under EC each is bound to its tile rows.
+        // One lock per output tile; under EC each is bound to its tile rows
+        // (a multi-range binding, so the tiles use `bind` rather than
+        // `alloc_bound`).
         let tiles_per_side = SIDE / BLOCK;
         if kind.model() == Model::Ec {
             for t in 0..tiles_per_side * tiles_per_side {
                 let ty = t / tiles_per_side;
-                let ranges = (0..BLOCK)
-                    .map(|r| {
-                        let row = ty * BLOCK + r;
-                        let tx = t % tiles_per_side;
-                        output.range_of::<f32>(row * SIDE + tx * BLOCK, BLOCK)
-                    })
-                    .collect();
+                let ranges = (0..BLOCK).map(|r| {
+                    let row = ty * BLOCK + r;
+                    let tx = t % tiles_per_side;
+                    output.range(row * SIDE + tx * BLOCK, BLOCK)
+                });
                 dsm.bind(LockId::new(t as u32), ranges);
             }
         }
@@ -44,7 +44,9 @@ fn main() -> Result<(), dsm_core::DsmError> {
             // Static task assignment: tile t goes to processor t % nprocs.
             for t in (0..tiles).filter(|t| t % nprocs == me) {
                 let (ty, tx) = (t / tiles_per_side, t % tiles_per_side);
-                ctx.acquire(LockId::new(t as u32), LockMode::Exclusive);
+                // The tile lock is released when the guard drops at the end
+                // of the task.
+                let mut tile = ctx.lock(LockId::new(t as u32), LockMode::Exclusive);
                 for dy in 0..BLOCK {
                     for dx in 0..BLOCK {
                         let (y, x) = (ty * BLOCK + dy, tx * BLOCK + dx);
@@ -52,14 +54,13 @@ fn main() -> Result<(), dsm_core::DsmError> {
                         let mut count = 0.0f32;
                         for (ny, nx) in [(y, x), (y.saturating_sub(1), x), (y, x.saturating_sub(1))]
                         {
-                            acc += ctx.read::<f32>(image, ny * SIDE + nx);
+                            acc += tile.get(image, ny * SIDE + nx);
                             count += 1.0;
                         }
-                        ctx.write::<f32>(output, y * SIDE + x, acc / count);
-                        ctx.compute(Work::flops(6));
+                        tile.set(output, y * SIDE + x, acc / count);
+                        tile.compute(Work::flops(6));
                     }
                 }
-                ctx.release(LockId::new(t as u32));
             }
             ctx.barrier(barrier);
         });
@@ -72,7 +73,7 @@ fn main() -> Result<(), dsm_core::DsmError> {
             result.traffic.megabytes()
         );
         // Spot-check one smoothed pixel.
-        let v = result.read_final::<f32>(output, 5 * SIDE + 5);
+        let v = result.final_at(output, 5 * SIDE + 5);
         assert!(v > 0.0);
     }
     Ok(())

@@ -18,28 +18,7 @@ use dsm_core::{
 };
 use dsm_mem::testutil::TestRng as Rng;
 use dsm_sim::MsgKind;
-use dsm_tests::{canon_node_stats, canon_run, check_golden, golden_trace};
-
-/// Canonical serialization of an application report (no region handles are
-/// exposed by `AppReport`, so contents are covered by the `verified` flag).
-fn canon_app(report: &dsm_apps::AppReport) -> String {
-    use std::fmt::Write;
-    let mut out = String::new();
-    writeln!(
-        out,
-        "app={} impl={} procs={} verified={}",
-        report.app,
-        report.kind.name(),
-        report.nprocs,
-        report.verified
-    )
-    .unwrap();
-    writeln!(out, "traffic: {}", report.traffic).unwrap();
-    for i in 0..report.stats.num_nodes() {
-        canon_node_stats(&mut out, i, report.stats.node(i));
-    }
-    out
-}
+use dsm_tests::{canon_app, canon_run, check_golden, golden_trace};
 
 /// The homeless LRC engine reproduces the pre-refactor engine byte for byte
 /// on the seeded trace: contents, traffic, and per-node stats, at 1 and 4
@@ -128,18 +107,18 @@ fn hlrc_contents_match_homeless_on_random_false_sharing_programs() {
                         }
                         let chunk = at / 16;
                         let idx = ((chunk * n + me) * 16 + at % 16) % elems;
-                        ctx.write::<u32>(region, idx, val);
+                        ctx.set(region, idx, val);
                     }
                     ctx.barrier(BarrierId::new(0));
                     let mut sum = 0u64;
                     for i in 0..elems {
-                        sum = sum.wrapping_add(ctx.read::<u32>(region, i) as u64);
+                        sum = sum.wrapping_add(ctx.get(region, i) as u64);
                     }
                     assert!(sum != u64::MAX);
                     ctx.barrier(BarrierId::new(1));
                 }
             });
-            let finals = result.final_vec::<u32>(region);
+            let finals = result.final_array(region);
             match &reference {
                 None => reference = Some(finals),
                 Some(expected) => {
@@ -169,13 +148,13 @@ fn false_sharing_run(kind: ImplKind) -> RunResult {
         for phase in 0..4u32 {
             ctx.acquire(LockId::new(me as u32), LockMode::Exclusive);
             for k in 0..quarter {
-                ctx.write::<u32>(region, me * quarter + k, phase * 100 + me as u32 + k as u32);
+                ctx.set(region, me * quarter + k, phase * 100 + me as u32 + k as u32);
             }
             ctx.release(LockId::new(me as u32));
             ctx.barrier(BarrierId::new(0));
             let mut sum = 0u64;
             for i in 0..1024 {
-                sum = sum.wrapping_add(ctx.read::<u32>(region, i) as u64);
+                sum = sum.wrapping_add(ctx.get(region, i) as u64);
             }
             assert!(sum != u64::MAX);
             ctx.barrier(BarrierId::new(1));
@@ -229,7 +208,7 @@ fn hlrc_flushes_are_data_reply_traffic_at_release() {
         // Page 0's round-robin home is node 0, so only node 1's publish
         // crosses the network; nobody ever reads remotely.
         if ctx.node() == 1 {
-            ctx.write::<u32>(region, 0, 7);
+            ctx.set(region, 0, 7);
         }
         ctx.barrier(BarrierId::new(0));
     });
@@ -237,7 +216,7 @@ fn hlrc_flushes_are_data_reply_traffic_at_release() {
     assert_eq!(flusher.messages_of(MsgKind::DataReply), 1);
     assert_eq!(flusher.messages_of(MsgKind::DataRequest), 0);
     assert_eq!(result.stats.node(0).messages_of(MsgKind::DataReply), 0);
-    assert_eq!(result.read_final::<u32>(region, 0), 7);
+    assert_eq!(result.final_at(region, 0), 7);
 }
 
 /// The nine-member matrix is what the family exposes.

@@ -119,7 +119,7 @@ fn random_bsp_program_is_model_independent() {
             for p in 0..nprocs {
                 dsm.bind(
                     LockId::new(p as u32),
-                    vec![region.range_of::<u32>(p * elems / nprocs, elems / nprocs)],
+                    [region.range(p * elems / nprocs, elems / nprocs)],
                 );
             }
             let writes = writes.clone();
@@ -137,14 +137,14 @@ fn random_bsp_program_is_model_independent() {
                         ctx.acquire(LockId::new(me as u32), LockMode::Exclusive);
                         for k in 0..len {
                             let idx = base + (start + k) % quarter;
-                            ctx.write::<u32>(region, idx, val.wrapping_add(k as u32));
+                            ctx.set(region, idx, val.wrapping_add(k as u32));
                         }
                         ctx.release(LockId::new(me as u32));
                     }
                     ctx.barrier(BarrierId::new(0));
                 }
             });
-            let finals = result.final_vec::<u32>(region);
+            let finals = result.final_array(region);
             match &reference {
                 None => reference = Some(finals),
                 Some(expected) => {

@@ -29,7 +29,7 @@ fn six_impls_agree_on_contended_multilock_workload() {
         for l in 0..NLOCKS {
             dsm.bind(
                 LockId::new(l as u32),
-                vec![region.range_of::<u32>(l * SLOTS_PER_LOCK, SLOTS_PER_LOCK)],
+                [region.range(l * SLOTS_PER_LOCK, SLOTS_PER_LOCK)],
             );
         }
 
@@ -44,7 +44,7 @@ fn six_impls_agree_on_contended_multilock_workload() {
                     for s in 0..SLOTS_PER_LOCK {
                         let idx = l * SLOTS_PER_LOCK + s;
                         let bump = (me * 31 + round * 7 + s) as u32 + 1;
-                        ctx.update::<u32>(region, idx, |v| v.wrapping_add(bump));
+                        ctx.modify(region, idx, |v: u32| v.wrapping_add(bump));
                     }
                     ctx.release(LockId::new(l as u32));
                 }
@@ -52,7 +52,7 @@ fn six_impls_agree_on_contended_multilock_workload() {
             }
         });
 
-        let finals = result.final_vec::<u32>(region);
+        let finals = result.final_array(region);
         // Independent cross-check: the commutative sum every slot must reach.
         let mut expected = vec![0u32; NLOCKS * SLOTS_PER_LOCK];
         for me in 0..NPROCS {
@@ -96,7 +96,7 @@ fn many_locks_many_processors_stress() {
         // sharing under LRC.
         let counters = dsm.alloc_array::<u32>("counters", NLOCKS, BlockGranularity::Word);
         for l in 0..NLOCKS {
-            dsm.bind(LockId::new(l as u32), vec![counters.range_of::<u32>(l, 1)]);
+            dsm.bind(LockId::new(l as u32), [counters.range(l, 1)]);
         }
 
         let result = dsm.run(|ctx| {
@@ -110,7 +110,7 @@ fn many_locks_many_processors_stress() {
                 x ^= x << 17;
                 let l = (x % NLOCKS as u64) as usize;
                 ctx.acquire(LockId::new(l as u32), LockMode::Exclusive);
-                ctx.update::<u32>(counters, l, |v| v + 1);
+                ctx.modify(counters, l, |v: u32| v + 1);
                 ctx.release(LockId::new(l as u32));
             }
             ctx.barrier(BarrierId::new(0));
@@ -118,7 +118,7 @@ fn many_locks_many_processors_stress() {
 
         // Every increment must have survived the contention: the counters sum
         // to the exact number of acquires performed.
-        let finals = result.final_vec::<u32>(counters);
+        let finals = result.final_array(counters);
         let total: u64 = finals.iter().map(|&v| v as u64).sum();
         assert_eq!(
             total,
@@ -142,13 +142,13 @@ fn read_only_locks_share_a_slot() {
     let kind = ImplKind::ec_time();
     let mut dsm = Dsm::new(DsmConfig::with_procs(kind, NPROCS)).unwrap();
     let data = dsm.alloc_array::<u32>("data", 64, BlockGranularity::Word);
-    dsm.bind(LockId::new(0), vec![data.whole()]);
+    dsm.bind(LockId::new(0), [data.whole()]);
 
     let result = dsm.run(|ctx| {
         if ctx.node() == 0 {
             ctx.acquire(LockId::new(0), LockMode::Exclusive);
             for i in 0..64 {
-                ctx.write::<u32>(data, i, 1000 + i as u32);
+                ctx.set(data, i, 1000 + i as u32);
             }
             ctx.release(LockId::new(0));
         }
@@ -156,9 +156,9 @@ fn read_only_locks_share_a_slot() {
         // Everyone (including the writer) reads under a read-only lock.
         ctx.acquire(LockId::new(0), LockMode::ReadOnly);
         let me = ctx.node();
-        assert_eq!(ctx.read::<u32>(data, me), 1000 + me as u32);
+        assert_eq!(ctx.get(data, me), 1000 + me as u32);
         ctx.release(LockId::new(0));
         ctx.barrier(BarrierId::new(1));
     });
-    assert_eq!(result.read_final::<u32>(data, 63), 1063);
+    assert_eq!(result.final_at(data, 63), 1063);
 }

@@ -99,17 +99,14 @@ fn run_trace(kind: ImplKind, nprocs: usize, phases: &[Phase], slices: bool) -> R
     // writers, whose publish-vs-trap races make miss counts scheduling
     // dependent (legitimately — for both access styles).
     let sums = dsm.alloc_array::<u32>("span-sums", nprocs * PAGE_ELEMS, BlockGranularity::Word);
-    dsm.init_region::<u32>(data, |i| i as u32);
+    dsm.init_array(data, |i| i as u32);
     if kind.model() == Model::Ec {
         for p in 0..nprocs {
             let (lo, hi) = slab(p, nprocs);
-            dsm.bind(
-                LockId::new(p as u32),
-                vec![data.range_of::<u32>(lo, hi - lo)],
-            );
+            dsm.bind(LockId::new(p as u32), [data.range(lo, hi - lo)]);
             dsm.bind(
                 LockId::new((nprocs + p) as u32),
-                vec![sums.range_of::<u32>(p * PAGE_ELEMS, 1)],
+                [sums.range(p * PAGE_ELEMS, 1)],
             );
         }
     }
@@ -126,10 +123,10 @@ fn run_trace(kind: ImplKind, nprocs: usize, phases: &[Phase], slices: bool) -> R
                     *slot = value(op.seed, k);
                 }
                 if slices {
-                    ctx.write_slice::<u32>(data, op.start, &buf[..op.len]);
+                    ctx.write_from(data, op.start, &buf[..op.len]);
                 } else {
                     for (k, &v) in buf[..op.len].iter().enumerate() {
-                        ctx.write::<u32>(data, op.start + k, v);
+                        ctx.set(data, op.start + k, v);
                     }
                 }
             }
@@ -137,14 +134,13 @@ fn run_trace(kind: ImplKind, nprocs: usize, phases: &[Phase], slices: bool) -> R
             ctx.barrier(barrier);
             for op in &phase.reads[me] {
                 if slices {
-                    ctx.read_slice::<u32>(data, op.start, &mut buf[..op.len]);
+                    ctx.read_into(data, op.start, &mut buf[..op.len]);
                     for &v in &buf[..op.len] {
                         checksum = checksum.wrapping_add(v as u64);
                     }
                 } else {
                     for k in 0..op.len {
-                        checksum =
-                            checksum.wrapping_add(ctx.read::<u32>(data, op.start + k) as u64);
+                        checksum = checksum.wrapping_add(ctx.get(data, op.start + k) as u64);
                     }
                 }
             }
@@ -154,7 +150,7 @@ fn run_trace(kind: ImplKind, nprocs: usize, phases: &[Phase], slices: bool) -> R
         // of the final-contents comparison.
         let sum_lock = LockId::new((ctx.nprocs() + me) as u32);
         ctx.acquire(sum_lock, LockMode::Exclusive);
-        ctx.write::<u32>(sums, me * PAGE_ELEMS, checksum as u32);
+        ctx.set(sums, me * PAGE_ELEMS, checksum as u32);
         ctx.release(sum_lock);
         ctx.barrier(barrier);
     })
@@ -200,7 +196,7 @@ fn span_apis_produce_identical_region_contents() {
                         nprocs * PAGE_ELEMS,
                         BlockGranularity::Word,
                     );
-                    (result.final_vec::<u32>(data), result.final_vec::<u32>(sums))
+                    (result.final_array(data), result.final_array(sums))
                 };
                 let (data_e, sums_e) = run(false);
                 let (data_s, sums_s) = run(true);

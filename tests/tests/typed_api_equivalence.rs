@@ -1,0 +1,50 @@
+//! Typed-API equivalence: the `SharedArray`/`LockGuard`/`ArrayView` layer is
+//! pure ergonomics — it must not change a single simulated byte or cost.
+//!
+//! The golden files under `tests/golden/typed_api_*` were blessed from the
+//! raw-API programs *before* the typed layer existed; the ported programs
+//! must keep reproducing them byte for byte (contents fnv, `TrafficReport`,
+//! per-node statistics), across all nine implementations at 1 and 4
+//! processors.
+
+use dsm_apps::{run_app, App, Scale};
+use dsm_core::ImplKind;
+use dsm_tests::{canon_app, canon_run, check_golden, golden_trace, golden_trace_typed};
+
+/// The seeded trace reproduces the pre-redesign goldens for every
+/// implementation at 1 and 4 processors — through the raw API *and* through
+/// the typed API, whose canonical reports must also agree with each other
+/// in-process (contents fnv, `TrafficReport`, per-node statistics).
+#[test]
+fn trace_matches_pre_redesign_goldens_raw_and_typed() {
+    for nprocs in [1usize, 4] {
+        let mut found_raw = String::new();
+        let mut found_typed = String::new();
+        for kind in ImplKind::all() {
+            let (result, regions) = golden_trace(kind, nprocs);
+            found_raw.push_str(&canon_run(kind, nprocs, &result, &regions));
+            let (result, regions) = golden_trace_typed(kind, nprocs);
+            found_typed.push_str(&canon_run(kind, nprocs, &result, &regions));
+        }
+        assert_eq!(
+            found_raw, found_typed,
+            "typed trace diverged from the raw-API trace at {nprocs} procs"
+        );
+        check_golden(&format!("typed_api_trace_p{nprocs}.txt"), &found_raw);
+    }
+}
+
+/// SOR reproduces the pre-redesign goldens for every implementation at 1 and
+/// 4 processors.
+#[test]
+fn sor_matches_pre_redesign_goldens() {
+    for nprocs in [1usize, 4] {
+        let mut found = String::new();
+        for kind in ImplKind::all() {
+            let report = run_app(App::Sor, kind, nprocs, Scale::Tiny);
+            assert!(report.verified, "{kind} SOR diverged from sequential");
+            found.push_str(&canon_app(&report));
+        }
+        check_golden(&format!("typed_api_sor_p{nprocs}.txt"), &found);
+    }
+}
