@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 
 use dsm_apps::{run_app, App, Scale};
 use dsm_core::ImplKind;
-use dsm_mem::{BlockGranularity, Diff, UpdateMerge, VectorClock};
+use dsm_mem::{BlockGranularity, Diff, FlatUpdate, UpdateMerge, VectorClock};
 use dsm_sim::NodeId;
 
 const SAMPLES: usize = 10;
@@ -95,6 +95,17 @@ fn mechanisms() {
         let mut m = UpdateMerge::new(BlockGranularity::Word);
         m.add(1, &diff);
         m.reply_cost(6)
+    });
+    // The flattened-diff snapshot behind the LRC miss fast path: folding a
+    // diff chain flat, and the stamp-array rebuild the engine performs.
+    let mut merged = UpdateMerge::new(BlockGranularity::Word);
+    merged.add(1, &diff);
+    let stamps: Vec<u64> = (0..1024).map(|w| if w % 4 == 0 { 7 } else { 0 }).collect();
+    let mut snap = FlatUpdate::new();
+    bench("mechanisms", "snapshot_flatten_page", || {
+        merged.flatten_into(&mut snap);
+        snap.rebuild_from_stamps(&stamps);
+        snap.runs().len()
     });
     let mut a = VectorClock::new(8);
     let mut v = VectorClock::new(8);

@@ -103,7 +103,7 @@ fn measure(kind: ImplKind, nprocs: usize, iters: usize, op: &'static str, slices
                     _ => unreachable!("op is read|write"),
                 }
             }
-            assert!(sink != 1, "keep the reads live");
+            std::hint::black_box(sink);
             ctx.barrier(BarrierId::new(0));
         });
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -117,6 +117,69 @@ fn measure(kind: ImplKind, nprocs: usize, iters: usize, op: &'static str, slices
         accesses,
         wall_ms: best,
     }
+}
+
+/// One timed *epoch* run, measuring the write/publish/apply data plane rather
+/// than per-access overhead: every processor, under one shared lock, first
+/// touches one element of every page (an LRC access miss applies the *whole*
+/// page, so this drives the full miss/apply path for every foreign publish
+/// while keeping read-path time negligible), then rewrites its own slice
+/// (write trapping + twin creation) and releases (write collection and
+/// publication).  The region is bound to the lock so the EC implementations
+/// publish and apply through the same cycle (the grant applies the bound
+/// data).  Returns the total number of publish events (releases) and the
+/// best wall time of 3 repetitions.
+fn measure_epoch(kind: ImplKind, nprocs: usize, iters: usize) -> (u64, u64, f64) {
+    const WORDS_PER_PAGE: usize = 1024;
+    let mut best = f64::INFINITY;
+    let mut accesses = 0u64;
+    for _ in 0..3 {
+        let mut dsm = Dsm::new(DsmConfig::with_procs(kind, nprocs)).expect("valid config");
+        let region = dsm.alloc_array::<u32>("hot", ELEMS, BlockGranularity::Word);
+        dsm.init_array(region, |i| i as u32);
+        dsm.bind(LockId::new(0), [region.region().whole()]);
+        let per = ELEMS / nprocs;
+        let start = Instant::now();
+        let result = dsm.run(|ctx| {
+            let me = ctx.node();
+            let mut mine = vec![0u32; per.max(1)];
+            let mut sink = 0u64;
+            for it in 0..iters {
+                let mut g = ctx.lock(LockId::new(0), LockMode::Exclusive);
+                for page in 0..ELEMS / WORDS_PER_PAGE {
+                    sink = sink.wrapping_add(g.get(region, page * WORDS_PER_PAGE) as u64);
+                }
+                for (e, slot) in mine[..per].iter_mut().enumerate() {
+                    *slot = (it + e) as u32;
+                }
+                g.write_from(region, me * per, &mine[..per]);
+                drop(g);
+            }
+            std::hint::black_box(sink);
+            ctx.barrier(BarrierId::new(0));
+        });
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        best = best.min(wall_ms);
+        accesses = result.stats.total().shared_accesses;
+    }
+    ((iters * nprocs) as u64, accesses, best)
+}
+
+fn print_epoch(kind: ImplKind, scale_name: &str, nprocs: usize, iters: usize) {
+    let (publishes, accesses, wall_ms) = measure_epoch(kind, nprocs, iters);
+    println!(
+        "{{\"bench\":\"hotpath\",\"impl\":\"{}\",\"op\":\"epoch\",\"api\":\"slice\",\
+         \"scale\":\"{}\",\"procs\":{},\"epochs\":{},\"publishes\":{},\"accesses\":{},\
+         \"wall_ms\":{:.3},\"publishes_per_sec\":{:.0}}}",
+        kind.name(),
+        scale_name,
+        nprocs,
+        iters,
+        publishes,
+        accesses,
+        wall_ms,
+        publishes as f64 / (wall_ms / 1e3),
+    );
 }
 
 fn main() {
@@ -138,5 +201,9 @@ fn main() {
                 measure(kind, opts.nprocs, iters, op, slices).print(scale_name, opts.nprocs);
             }
         }
+        // 4x the sweep count: one epoch does far less per-access work than a
+        // read/write sweep, so extra iterations amortise the run setup
+        // (thread spawn, region init) out of the publish-rate measurement.
+        print_epoch(kind, scale_name, opts.nprocs, iters * 4);
     }
 }

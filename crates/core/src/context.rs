@@ -159,10 +159,7 @@ impl<'a> ProcessContext<'a> {
                 .ensure_read_fresh(&mut self.local, ridx, page);
         });
         let data = &self.local.regions[ridx].data;
-        for (i, slot) in out.iter_mut().enumerate() {
-            let at = off + i * T::SIZE;
-            *slot = T::read_le(&data[at..at + T::SIZE]);
-        }
+        T::read_slice_le(&data[off..off + len], out);
     }
 
     /// Writes `values.len()` consecutive elements of type `T` starting at
@@ -193,10 +190,7 @@ impl<'a> ProcessContext<'a> {
             .engine
             .trap_write_span(&mut self.local, ridx, off, len, values.len());
         let data = &mut self.local.regions[ridx].data;
-        for (i, v) in values.iter().enumerate() {
-            let at = off + i * T::SIZE;
-            v.write_le(&mut data[at..at + T::SIZE]);
-        }
+        T::write_slice_le(values, &mut data[off..off + len]);
     }
 
     /// Read-modify-write convenience: applies `f` to the current value.
@@ -351,7 +345,7 @@ impl<'a> ProcessContext<'a> {
         );
         let cost = self.cost().clone();
         self.local.clock.advance(cost.lock_overhead());
-        let held = self
+        let mut held = self
             .local
             .held
             .remove(&lock.0)
@@ -360,7 +354,7 @@ impl<'a> ProcessContext<'a> {
         // grant sees everything this holding modified.
         self.global
             .engine
-            .before_release(&mut self.local, lock, &held);
+            .before_release(&mut self.local, lock, &mut held);
 
         let slot = self.global.sync.lock_slot(lock.index());
         {

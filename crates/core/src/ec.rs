@@ -91,6 +91,53 @@ impl std::fmt::Debug for EcEngine {
     }
 }
 
+/// Running write-collection state shared by the trapping arms of
+/// [`EcEngine::before_release`]: the logical counts the simulated costs are
+/// charged from, plus the cross-range run bookkeeping.
+struct Collect {
+    changed_words: usize,
+    runs: usize,
+    compare_words: usize,
+    /// Last published block as `(region, block)` — a following publish of
+    /// `block + 1` in the same region continues the current run.
+    prev: Option<(usize, usize)>,
+}
+
+impl Collect {
+    fn new() -> Self {
+        Collect {
+            changed_words: 0,
+            runs: 0,
+            compare_words: 0,
+            prev: None,
+        }
+    }
+
+    /// Publishes the changed blocks `first..last` of region `ridx`: copies
+    /// the new bytes from `data` (the whole region) into the master, stamps
+    /// the blocks with `seq`, and maintains the changed-word and run counts.
+    fn publish(
+        &mut self,
+        rsd: &mut EcRegionState,
+        data: &[u8],
+        seq: u64,
+        ridx: usize,
+        first: usize,
+        last: usize,
+    ) {
+        let start = first * 4;
+        let end = (last * 4).min(data.len());
+        rsd.master[start..end].copy_from_slice(&data[start..end]);
+        rsd.stamp[first..last].fill(seq);
+        self.changed_words += last - first;
+        let contiguous = matches!(self.prev, Some((r, b)) if r == ridx && b + 1 == first);
+        if !contiguous {
+            self.runs += 1;
+        }
+        self.prev = Some((ridx, last - 1));
+    }
+}
+
 impl EcEngine {
     /// Builds the engine for a run.
     pub fn new(cfg: &DsmConfig, regions: &[RegionDesc], init: &[Vec<u8>]) -> Self {
@@ -167,7 +214,11 @@ impl ProtocolEngine for EcEngine {
         let mut prev: Option<(usize, usize, u64)> = None;
 
         // The binding is borrowed, not cloned: the grant path runs once per
-        // remote acquire and must not allocate.
+        // remote acquire and must not allocate.  The stamp scan walks
+        // maximal same-stamp runs — the apply decision is constant within a
+        // run, so each run costs one decision and (when applied) one copy —
+        // with `prev` carrying the run bookkeeping across range and region
+        // boundaries exactly as the word-by-word walk did.
         for range in &meta.bound {
             let ridx = range.region.index();
             let rs = sync::read(&self.region_state[ridx]);
@@ -179,22 +230,32 @@ impl ProtocolEngine for EcEngine {
             };
             let blocks = range.blocks(BlockGranularity::Word);
             scan_blocks += (blocks.len() / gran_div.max(1)) as u64;
-            for block in blocks {
-                let stamp = rs.stamp[block];
+            let stamps = &rs.stamp[blocks.clone()];
+            let mut i = 0usize;
+            while i < stamps.len() {
+                let stamp = stamps[i];
                 if stamp == 0 {
                     prev = None;
+                    i += 1;
                     continue;
                 }
+                let run_start = i;
+                i += 1;
+                while i < stamps.len() && stamps[i] == stamp {
+                    i += 1;
+                }
+                let first = blocks.start + run_start;
+                let last = blocks.start + i;
                 if rebound || stamp > seen {
-                    let start = block * 4;
-                    let end = (start + 4).min(local_data.len());
+                    let start = first * 4;
+                    let end = (last * 4).min(local_data.len());
                     local_data[start..end].copy_from_slice(&rs.master[start..end]);
-                    applied_words += 1;
-                    let contiguous = matches!(prev, Some((r, b, s)) if r == ridx && b + 1 == block && s == stamp);
+                    applied_words += i - run_start;
+                    let contiguous = matches!(prev, Some((r, b, s)) if r == ridx && b + 1 == first && s == stamp);
                     if !contiguous {
                         ts_runs += 1;
                     }
-                    prev = Some((ridx, block, stamp));
+                    prev = Some((ridx, last - 1, stamp));
                 } else {
                     prev = None;
                 }
@@ -263,11 +324,15 @@ impl ProtocolEngine for EcEngine {
         }
         if total <= small_limit {
             // Small object: copy it eagerly at acquire, avoiding the
-            // protection fault the Midway VM implementation takes.
-            let mut twins = Vec::with_capacity(bound.len());
+            // protection fault the Midway VM implementation takes.  All the
+            // bound ranges go into one pooled buffer, concatenated in
+            // binding order (release recomputes the layout from the same
+            // binding), so the acquire path allocates nothing in steady
+            // state.
+            let mut twins = local.pool.take_empty(total);
             for range in bound {
                 let data = &local.regions[range.region.index()].data;
-                twins.push(data[range.start..range.end()].to_vec());
+                twins.extend_from_slice(&data[range.start..range.end()]);
             }
             let words = (total / 4) as u64;
             local.stats.twins_created += 1;
@@ -296,7 +361,7 @@ impl ProtocolEngine for EcEngine {
 
     /// Publishes the modifications made to the bound data while the exclusive
     /// lock was held (write collection on the releaser side).
-    fn before_release(&self, local: &mut NodeLocal, lock: LockId, held: &HeldLock) {
+    fn before_release(&self, local: &mut NodeLocal, lock: LockId, held: &mut HeldLock) {
         if held.mode != LockMode::Exclusive {
             return;
         }
@@ -309,6 +374,9 @@ impl ProtocolEngine for EcEngine {
         let slot = self.locks.get(lock.index());
         let mut meta = sync::lock(&slot);
         if meta.bound.is_empty() {
+            if let Some(buf) = held.small_twins.take() {
+                local.pool.put(buf);
+            }
             return;
         }
         // The global counter only allocates unique, monotone stamps; the
@@ -316,61 +384,75 @@ impl ProtocolEngine for EcEngine {
         let seq = self.publish_seq.fetch_add(1, Ordering::SeqCst) + 1;
         meta.last_seq = meta.last_seq.max(seq);
 
-        let mut changed_words = 0usize;
-        let mut runs = 0usize;
-        let mut compare_words = 0usize;
-        let mut prev_changed: Option<(usize, usize)> = None;
+        let mut col = Collect::new();
+        // Offset of the current range's twin in the concatenated small-twin
+        // buffer (ranges were copied in binding order at acquire).
+        let mut small_cum = 0usize;
 
         // Borrowed, not cloned: the release path must not allocate.
         let bound = &meta.bound;
-        for (range_i, range) in bound.iter().enumerate() {
+        for range in bound.iter() {
             let ridx = range.region.index();
-            let local_region = &mut local.regions[ridx];
+            let crate::local::LocalRegion { data, pages } = &mut local.regions[ridx];
+            let data = &data[..];
             let mut rs = sync::write(&self.region_state[ridx]);
-            let changed_before = changed_words;
-            for block in range.blocks(BlockGranularity::Word) {
-                let start = block * 4;
-                let end = (start + 4).min(local_region.data.len());
-                let changed = match trapping {
-                    Trapping::Instrumentation => {
-                        let page = start / dsm_mem::PAGE_SIZE;
+            let rsd = &mut *rs;
+            let changed_before = col.changed_words;
+            match trapping {
+                Trapping::Instrumentation => {
+                    for block in range.blocks(BlockGranularity::Word) {
+                        let page = block * 4 / dsm_mem::PAGE_SIZE;
                         let w_in_page = block - page * (dsm_mem::PAGE_SIZE / 4);
-                        local_region.pages[page].was_written(w_in_page)
-                    }
-                    Trapping::Twinning => {
-                        if let Some(twins) = &held.small_twins {
-                            let twin = &twins[range_i];
-                            let toff = start.saturating_sub(range.start);
-                            compare_words += 1;
-                            twin.get(toff..toff + (end - start))
-                                != Some(&local_region.data[start..end])
-                        } else {
-                            let page = start / dsm_mem::PAGE_SIZE;
-                            match &local_region.pages[page].twin {
-                                Some(twin) => {
-                                    let span_start = page * dsm_mem::PAGE_SIZE;
-                                    compare_words += 1;
-                                    twin[start - span_start..end - span_start]
-                                        != local_region.data[start..end]
-                                }
-                                None => false,
-                            }
+                        if pages[page].was_written(w_in_page) {
+                            col.publish(rsd, data, seq, ridx, block, block + 1);
                         }
                     }
-                };
-                if changed {
-                    rs.master[start..end].copy_from_slice(&local_region.data[start..end]);
-                    rs.stamp[block] = seq;
-                    changed_words += 1;
-                    let contiguous =
-                        matches!(prev_changed, Some((r, b)) if r == ridx && b + 1 == block);
-                    if !contiguous {
-                        runs += 1;
+                }
+                Trapping::Twinning if held.small_twins.is_some() => {
+                    let twins = held.small_twins.as_deref().expect("checked above");
+                    let twin = &twins[small_cum..small_cum + range.len];
+                    small_cum += range.len;
+                    for block in range.blocks(BlockGranularity::Word) {
+                        let start = block * 4;
+                        let end = (start + 4).min(data.len());
+                        let toff = start.saturating_sub(range.start);
+                        col.compare_words += 1;
+                        if twin.get(toff..toff + (end - start)) != Some(&data[start..end]) {
+                            col.publish(rsd, data, seq, ridx, block, block + 1);
+                        }
                     }
-                    prev_changed = Some((ridx, block));
+                }
+                Trapping::Twinning => {
+                    // Large object: pages without a twin were never written
+                    // under this holding and are skipped wholesale (as the
+                    // word walk's `None => unchanged` arm did, without
+                    // charging comparisons); pages with a twin are compared
+                    // through the chunked run scan, publishing each maximal
+                    // changed run with one copy and one stamp fill.  Run
+                    // bookkeeping (`Collect::prev`) still crosses page and
+                    // range boundaries by block adjacency.
+                    let blocks = range.blocks(BlockGranularity::Word);
+                    for page in range.pages() {
+                        let Some(twin) = &pages[page].twin else {
+                            continue;
+                        };
+                        let span = dsm_mem::page_range(page, data.len());
+                        let pb = span.start / 4;
+                        let page_words = span.len().div_ceil(4);
+                        let w0 = blocks.start.max(pb) - pb;
+                        let w1 = blocks.end.min(pb + page_words) - pb;
+                        if w0 >= w1 {
+                            continue;
+                        }
+                        col.compare_words += w1 - w0;
+                        let cur = &data[span.clone()];
+                        dsm_mem::changed_word_runs(twin, cur, w0..w1, |s, e| {
+                            col.publish(rsd, data, seq, ridx, pb + s, pb + e);
+                        });
+                    }
                 }
             }
-            if changed_words > changed_before {
+            if col.changed_words > changed_before {
                 // Commit the publish to the region's generation while its
                 // write lock is still held.
                 self.publish_gen[ridx].fetch_add(1, Ordering::Release);
@@ -399,7 +481,12 @@ impl ProtocolEngine for EcEngine {
                 for &(ridx, page) in &held.armed_pages {
                     let lp = &mut local.regions[ridx].pages[page];
                     lp.armed = false;
-                    lp.twin = None;
+                    if let Some(twin) = lp.twin.take() {
+                        local.pool.put(twin);
+                    }
+                }
+                if let Some(buf) = held.small_twins.take() {
+                    local.pool.put(buf);
                 }
             }
         }
@@ -408,19 +495,21 @@ impl ProtocolEngine for EcEngine {
         // at the release; with diffs it is deferred to the first request
         // (lazy diffing).
         if trapping == Trapping::Twinning && collection == Collection::Timestamps {
-            local.clock.advance(cost.diff_compare(compare_words as u64));
+            local
+                .clock
+                .advance(cost.diff_compare(col.compare_words as u64));
         }
 
-        if changed_words > 0 {
-            local.stats.diff_words += changed_words as u64;
+        if col.changed_words > 0 {
+            local.stats.diff_words += col.changed_words as u64;
             if collection == Collection::Diffs {
                 local.stats.diffs_created += 1;
             }
             meta.publishes.push_back(PublishRec {
                 stamp: seq,
                 node: me,
-                encoded_size: changed_words * 4 + runs * 8,
-                compare_words,
+                encoded_size: col.changed_words * 4 + col.runs * 8,
+                compare_words: col.compare_words,
                 creation_charged: collection == Collection::Timestamps
                     || trapping == Trapping::Instrumentation,
             });
@@ -483,7 +572,7 @@ impl ProtocolEngine for EcEngine {
                     if needs_twin {
                         let span = dsm_mem::page_range(page, region_len);
                         let words = span.len().div_ceil(4) as u64;
-                        let copy = region.data[span].to_vec();
+                        let copy = local.pool.take_copy(&region.data[span]);
                         region.pages[page].twin = Some(copy);
                         local.stats.write_faults += 1;
                         local.stats.twins_created += 1;
@@ -555,7 +644,7 @@ mod tests {
         e.after_acquire(&mut local, LockId::new(0), &mut held);
         local.regions[0].data[0..4].copy_from_slice(&7u32.to_le_bytes());
         e.trap_write(&mut local, 0, 0, 4);
-        e.before_release(&mut local, LockId::new(0), &held);
+        e.before_release(&mut local, LockId::new(0), &mut held);
         assert_eq!(e.publish_gen[0].load(Ordering::Relaxed), 1);
         let mut buf = [0u8; 4];
         e.read_master(0, 0, &mut buf);

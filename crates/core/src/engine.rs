@@ -76,8 +76,10 @@ pub(crate) trait ProtocolEngine: Send + Sync + std::fmt::Debug {
     fn after_acquire(&self, local: &mut NodeLocal, lock: LockId, held: &mut HeldLock);
 
     /// Called before a released lock is made available: publish the
-    /// modifications made while it was held.
-    fn before_release(&self, local: &mut NodeLocal, lock: LockId, held: &HeldLock);
+    /// modifications made while it was held.  The held-lock state is mutable
+    /// so the hook can retire per-holding buffers (EC small-object twins)
+    /// into the node's pool.
+    fn before_release(&self, local: &mut NodeLocal, lock: LockId, held: &mut HeldLock);
 
     /// End-of-interval work at a barrier arrival; returns the arrival-message
     /// payload size in bytes.

@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use dsm_mem::{pages_in, BitSet, RegionDesc, PAGE_SIZE};
+use dsm_mem::{pages_in, BitSet, BufferPool, RegionDesc, PAGE_SIZE};
 use dsm_sim::{NodeClock, NodeId, NodeStats};
 
 use crate::ids::LockMode;
@@ -109,9 +109,12 @@ impl LocalRegion {
 pub(crate) struct HeldLock {
     /// The mode it was acquired in.
     pub mode: LockMode,
-    /// EC small-object twinning: a copy of each bound range taken at acquire
-    /// time, compared against the current data at release.
-    pub small_twins: Option<Vec<Vec<u8>>>,
+    /// EC small-object twinning: a copy of every bound range taken at acquire
+    /// time, concatenated in binding order into one pooled buffer (the range
+    /// layout is recomputed from the binding at release, which must therefore
+    /// not change while the lock is held), compared against the current data
+    /// at release and then returned to the node's [`BufferPool`].
+    pub small_twins: Option<Vec<u8>>,
     /// EC large-object twinning: the pages that were armed (write-protected)
     /// at acquire, so release can disarm exactly those.
     pub armed_pages: Vec<(usize, usize)>,
@@ -157,6 +160,16 @@ pub(crate) struct NodeLocal {
     /// Scratch vector clock for grant-time merges, reused so `remote_grant`
     /// never clones a release vector.
     pub scratch_clock: dsm_mem::VectorClock,
+    /// Reusable buffer pool backing this node's twins (LRC pages, EC pages
+    /// and EC small objects).  Twins are taken at the first write (or EC
+    /// acquire) of an interval and returned when the interval's publish
+    /// retires them, so steady-state epochs allocate nothing.  The pool is
+    /// strictly node-private: buffers never cross threads.
+    pub pool: BufferPool,
+    /// Spare buffer swapped with `dirty_pages` at each publish, so draining
+    /// the dirty list does not surrender its capacity (the publish path would
+    /// otherwise reallocate the list every interval).
+    pub scratch_dirty: Vec<(usize, usize)>,
 }
 
 impl NodeLocal {
@@ -181,6 +194,8 @@ impl NodeLocal {
             scratch_stale: Vec::new(),
             scratch_upto: Vec::new(),
             scratch_clock: dsm_mem::VectorClock::new(nprocs),
+            pool: BufferPool::new(),
+            scratch_dirty: Vec::new(),
         }
     }
 }

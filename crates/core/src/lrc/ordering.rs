@@ -30,6 +30,26 @@ use crate::sync::{self, SlotTable};
 use super::policy::{DataPolicy, MissInfo};
 use super::state::{pack_stamp, unpack_stamp, LrcLockState, LrcPageState, LrcRegionState, PagePub};
 
+/// Publishes one maximal run of changed words: copies the new bytes into the
+/// master and stamps every word of the run.  `run` is in page-relative word
+/// indices; the byte end is clamped to the page span (the last word of the
+/// last page may be partial).
+#[inline]
+fn publish_run(
+    master: &mut [u8],
+    stamps: &mut [u64],
+    data: &[u8],
+    span: &std::ops::Range<usize>,
+    base_word: usize,
+    stamp: u64,
+    run: std::ops::Range<usize>,
+) {
+    let sb = span.start + run.start * 4;
+    let eb = (span.start + run.end * 4).min(span.end);
+    master[sb..eb].copy_from_slice(&data[sb..eb]);
+    stamps[base_word + run.start..base_word + run.end].fill(stamp);
+}
+
 /// The lazy-release-consistency [`ProtocolEngine`], parameterized by the
 /// [`DataPolicy`] that decides where published data lives.
 pub(crate) struct LrcEngine<P: DataPolicy> {
@@ -134,12 +154,18 @@ impl<P: DataPolicy> LrcEngine<P> {
         let next_interval = local.vector.entry(me) + 1;
         let total_region_pages: u64 = self.regions.iter().map(|d| d.num_pages() as u64).sum();
 
-        let dirty = std::mem::take(&mut local.dirty_pages);
+        // Swap in the spare list so the drained buffer keeps its capacity
+        // for the next interval (taking it outright would surrender the
+        // allocation every publish).
+        let dirty = std::mem::replace(
+            &mut local.dirty_pages,
+            std::mem::take(&mut local.scratch_dirty),
+        );
         let mut published_pages = 0u32;
         let mut total_compare_words = 0u64;
         let mut reprotects = 0u64;
 
-        for (ridx, page) in dirty {
+        for &(ridx, page) in &dirty {
             let local_region = &mut local.regions[ridx];
             let span = local_region.page_span(page);
             let mut rs = sync::write(&self.region_state[ridx]);
@@ -154,6 +180,7 @@ impl<P: DataPolicy> LrcEngine<P> {
             {
                 let crate::local::LocalRegion { data, pages } = local_region;
                 let lp = &mut pages[page];
+                let rsd = &mut *rs;
                 match trapping {
                     // The dirty bits already are the change set: walk their
                     // maximal runs directly (word-at-a-time trailing_zeros)
@@ -165,42 +192,52 @@ impl<P: DataPolicy> LrcEngine<P> {
                                 break;
                             }
                             let last = (first + len).min(nwords);
-                            let start = span.start + first * 4;
-                            let end = (span.start + last * 4).min(data.len());
-                            rs.master[start..end].copy_from_slice(&data[start..end]);
-                            rs.stamp[base_word + first..base_word + last].fill(stamp);
+                            publish_run(
+                                &mut rsd.master,
+                                &mut rsd.stamp,
+                                data,
+                                &span,
+                                base_word,
+                                stamp,
+                                first..last,
+                            );
                             changed_words += last - first;
                             runs += 1;
                         }
                     }
-                    // Twinning has no dirty bits to trust: every block is
+                    // Twinning has no dirty bits to trust: every word is
                     // compared against the twin (that comparison *is* the
-                    // charged collection cost).
+                    // charged collection cost — `compare_words` counts every
+                    // word of the page whatever the chunked scan skips).
+                    // `changed_word_runs` compares eight bytes at a time and
+                    // delivers each maximal changed run once, published with
+                    // one copy and one stamp fill.
                     Trapping::Twinning => {
                         if let Some(twin) = &lp.twin {
-                            let mut prev_changed = false;
-                            for w in 0..nwords {
-                                let start = span.start + w * 4;
-                                let end = (start + 4).min(data.len());
-                                compare_words += 1;
-                                let changed =
-                                    twin[start - span.start..end - span.start] != data[start..end];
-                                if changed {
-                                    rs.master[start..end].copy_from_slice(&data[start..end]);
-                                    rs.stamp[base_word + w] = stamp;
-                                    changed_words += 1;
-                                    if !prev_changed {
-                                        runs += 1;
-                                    }
-                                }
-                                prev_changed = changed;
-                            }
+                            compare_words = nwords;
+                            let cur = &data[span.clone()];
+                            dsm_mem::changed_word_runs(twin, cur, 0..nwords, |s, e| {
+                                changed_words += e - s;
+                                runs += 1;
+                                publish_run(
+                                    &mut rsd.master,
+                                    &mut rsd.stamp,
+                                    data,
+                                    &span,
+                                    base_word,
+                                    stamp,
+                                    s..e,
+                                );
+                            });
                         }
                     }
                 }
                 lp.applied[me_idx] = next_interval;
-                if trapping == Trapping::Twinning && lp.twin.is_some() {
-                    reprotects += 1;
+                if trapping == Trapping::Twinning {
+                    if let Some(twin) = lp.twin.take() {
+                        reprotects += 1;
+                        local.pool.put(twin);
+                    }
                 }
                 lp.clear_interval_state();
             }
@@ -219,6 +256,9 @@ impl<P: DataPolicy> LrcEngine<P> {
                 self.publish_gen[ridx].fetch_add(1, Ordering::Release);
                 let ps = &mut rs.pages[page];
                 ps.latest[me_idx] = next_interval;
+                // New stamps landed: any cached flattened snapshot of this
+                // page is now stale.
+                ps.stamp_ver += 1;
                 // Append to the page's publish history, recycling the evicted
                 // record's vector buffer so steady-state publishes allocate
                 // nothing.
@@ -278,7 +318,21 @@ impl<P: DataPolicy> LrcEngine<P> {
             }
         }
 
-        sync::write(&self.interval_pages[me_idx]).push(published_pages);
+        // Hand the drained list back as the spare for the next interval.
+        let mut drained = dirty;
+        drained.clear();
+        local.scratch_dirty = drained;
+
+        {
+            // The interval log grows for the whole run; reserving it in
+            // coarse chunks keeps steady-state publishes allocation-free
+            // between (rare) growth steps.
+            let mut log = sync::write(&self.interval_pages[me_idx]);
+            if log.len() == log.capacity() {
+                log.reserve(1024);
+            }
+            log.push(published_pages);
+        }
         local.vector.bump(me);
     }
 
@@ -389,7 +443,7 @@ impl<P: DataPolicy> ProtocolEngine for LrcEngine<P> {
 
     /// End the current interval (publishing the modifications of its dirty
     /// pages) and record the release vector for the next acquirer.
-    fn before_release(&self, local: &mut NodeLocal, lock: LockId, _held: &HeldLock) {
+    fn before_release(&self, local: &mut NodeLocal, lock: LockId, _held: &mut HeldLock) {
         self.publish_interval(local);
         let slot = self.lock_state.get(lock.index());
         sync::lock(&slot).release_vec.copy_from(&local.vector);
@@ -524,35 +578,78 @@ impl<P: DataPolicy> ProtocolEngine for LrcEngine<P> {
             let local_region = &mut local.regions[ridx];
             let crate::local::LocalRegion { data, pages } = local_region;
             let lp = &mut pages[page];
+            let LrcRegionState {
+                master,
+                stamp,
+                pages: rpages,
+            } = &mut *rs;
+            let ps = &mut rpages[page];
 
             // Apply every block whose latest publish happens-before us and is
             // newer than what we have, skipping blocks we have dirty local
             // writes to (they belong to our current, unpublished interval).
-            let mut prev: Option<u64> = None;
-            for w in 0..nwords {
-                let block = base_word + w;
-                let st = rs.stamp[block];
-                let Some((qn, i)) = unpack_stamp(st) else {
-                    prev = None;
-                    continue;
-                };
-                let q = qn.index();
-                if q == me_idx {
-                    prev = None;
-                    continue;
+            if lp.dirty {
+                // The page holds unpublished local writes: walk word by word
+                // so `was_written` can exclude them.
+                let mut prev: Option<u64> = None;
+                for w in 0..nwords {
+                    let st = stamp[base_word + w];
+                    let Some((qn, i)) = unpack_stamp(st) else {
+                        prev = None;
+                        continue;
+                    };
+                    let q = qn.index();
+                    if q == me_idx {
+                        prev = None;
+                        continue;
+                    }
+                    let entitled = i <= local.vector.entry(qn) && i > lp.applied[q];
+                    if entitled && !lp.was_written(w) {
+                        let start = span.start + w * 4;
+                        let end = (start + 4).min(data.len());
+                        data[start..end].copy_from_slice(&master[start..end]);
+                        applied_words += 1;
+                        if prev != Some(st) {
+                            ts_runs += 1;
+                        }
+                        prev = Some(st);
+                    } else {
+                        prev = None;
+                    }
                 }
-                let entitled = i <= local.vector.entry(qn) && i > lp.applied[q];
-                if entitled && !lp.was_written(w) {
-                    let start = span.start + w * 4;
-                    let end = (start + 4).min(data.len());
-                    data[start..end].copy_from_slice(&rs.master[start..end]);
-                    applied_words += 1;
-                    if prev != Some(st) {
+            } else {
+                // Clean page: apply through the flattened-diff snapshot —
+                // one decision and (at most) one copy per maximal same-stamp
+                // run instead of one per word.  The snapshot is built from
+                // the same stamps the word walk reads, so the entitled set,
+                // `applied_words` and `ts_runs` are identical: within a run
+                // the stamp (and hence the per-word decision) is constant,
+                // and adjacent runs never share a stamp, so the word walk's
+                // run counting collapses to one count per applied run.  The
+                // first faulting consumer after a publish pays the rebuild;
+                // every later consumer reuses it, whatever its vector, since
+                // entitlement is re-decided per consumer against the shared
+                // runs.
+                if ps.snap_ver != ps.stamp_ver {
+                    ps.snap
+                        .rebuild_from_stamps(&stamp[base_word..base_word + nwords]);
+                    ps.snap_ver = ps.stamp_ver;
+                }
+                for run in ps.snap.runs() {
+                    let Some((qn, i)) = unpack_stamp(run.stamp) else {
+                        continue;
+                    };
+                    let q = qn.index();
+                    if q == me_idx {
+                        continue;
+                    }
+                    if i <= local.vector.entry(qn) && i > lp.applied[q] {
+                        let sb = span.start + run.start * 4;
+                        let eb = (span.start + (run.start + run.len) * 4).min(span.end);
+                        data[sb..eb].copy_from_slice(&master[sb..eb]);
+                        applied_words += run.len;
                         ts_runs += 1;
                     }
-                    prev = Some(st);
-                } else {
-                    prev = None;
                 }
             }
 
@@ -560,7 +657,7 @@ impl<P: DataPolicy> ProtocolEngine for LrcEngine<P> {
                 lp.applied[q] = lp.applied[q].max(upto);
             }
             lp.checked_epoch = epoch;
-            lp.checked_gen = if Self::caught_up(&rs.pages[page], lp, me_idx) {
+            lp.checked_gen = if Self::caught_up(ps, lp, me_idx) {
                 rgen + 1
             } else {
                 0
@@ -618,7 +715,7 @@ impl<P: DataPolicy> ProtocolEngine for LrcEngine<P> {
             if trapping == Trapping::Twinning && region.pages[page].twin.is_none() {
                 let span = dsm_mem::page_range(page, region_len);
                 let words = span.len().div_ceil(4) as u64;
-                let copy = region.data[span].to_vec();
+                let copy = local.pool.take_copy(&region.data[span]);
                 region.pages[page].twin = Some(copy);
                 local.stats.write_faults += 1;
                 local.stats.twins_created += 1;

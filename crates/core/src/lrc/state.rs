@@ -8,7 +8,7 @@
 
 use std::collections::VecDeque;
 
-use dsm_mem::VectorClock;
+use dsm_mem::{FlatUpdate, VectorClock};
 use dsm_sim::NodeId;
 
 use crate::engine::PublishRec;
@@ -63,6 +63,19 @@ pub(crate) struct LrcPageState {
     pub evicted_latest: Vec<u32>,
     /// Ring of recent per-interval publish records for traffic accounting.
     pub diffs: VecDeque<PublishRec>,
+    /// Version of this page's block stamps: bumped every time a publish
+    /// writes new stamps for the page, so consumers can tell whether a
+    /// cached flattening of the stamp array is still current.
+    pub stamp_ver: u64,
+    /// Flattened-diff snapshot of the page: the per-block stamps run-length
+    /// encoded into maximal same-stamp runs, as of version `snap_ver`.
+    /// Built lazily at the first access miss after a publish and reused (no
+    /// rebuild, no per-consumer copy) by every later miss on the page until
+    /// the next publish — the apply loop walks these runs instead of every
+    /// block.  `snap_ver != stamp_ver` marks the snapshot stale.
+    pub snap: FlatUpdate,
+    /// The `stamp_ver` the snapshot was built at (`u64::MAX` = never built).
+    pub snap_ver: u64,
 }
 
 impl LrcPageState {
@@ -73,6 +86,9 @@ impl LrcPageState {
             history: VecDeque::new(),
             evicted_latest: vec![0; nprocs],
             diffs: VecDeque::new(),
+            stamp_ver: 0,
+            snap: FlatUpdate::new(),
+            snap_ver: u64::MAX,
         }
     }
 

@@ -107,12 +107,15 @@ impl RunResult {
         T::read_le(&bytes[off..off + T::SIZE])
     }
 
-    /// Copies the final contents of `region` out as a typed vector.
+    /// Copies the final contents of `region` out as a typed vector, decoding
+    /// whole chunks at a time ([`Scalar::read_slice_le`]) rather than
+    /// element by element.
     pub fn final_vec<T: Scalar>(&self, region: Region) -> Vec<T> {
         let bytes = self.region_bytes(region);
-        (0..region.elems::<T>())
-            .map(|i| T::read_le(&bytes[i * T::SIZE..(i + 1) * T::SIZE]))
-            .collect()
+        let elems = region.elems::<T>();
+        let mut out = vec![T::default(); elems];
+        T::read_slice_le(&bytes[..elems * T::SIZE], &mut out);
+        out
     }
 }
 

@@ -118,9 +118,29 @@ impl BitSet {
     }
 
     /// Sets every bit in `range` (clamped to the capacity).
+    ///
+    /// Whole 64-bit words are filled with one masked OR each — this sits on
+    /// the write-trap path (a span write marks its dirty bits with one call),
+    /// so it must not loop bit by bit.
     pub fn set_range(&mut self, range: std::ops::Range<usize>) {
-        for i in range.start..range.end.min(self.len) {
-            self.set(i);
+        let start = range.start.min(self.len);
+        let end = range.end.min(self.len);
+        if start >= end {
+            return;
+        }
+        let (sw, sb) = (start / 64, start % 64);
+        let (ew, eb) = (end / 64, end % 64);
+        if sw == ew {
+            // Within one word; `end > start` guarantees `eb > 0` here.
+            self.words[sw] |= (!0u64 << sb) & (!0u64 >> (64 - eb));
+        } else {
+            self.words[sw] |= !0u64 << sb;
+            for w in &mut self.words[sw + 1..ew] {
+                *w = !0;
+            }
+            if eb > 0 {
+                self.words[ew] |= !0u64 >> (64 - eb);
+            }
         }
     }
 
@@ -247,6 +267,25 @@ mod tests {
         let mut b = BitSet::new(16);
         b.set_range(10..100);
         assert_eq!(b.count(), 6);
+        b.set_range(40..50); // entirely out of range
+        assert_eq!(b.count(), 6);
+    }
+
+    #[test]
+    fn set_range_matches_bitwise_loop_on_random_ranges() {
+        let mut rng = crate::testutil::TestRng::new(9);
+        for _ in 0..256 {
+            let len = rng.in_range(1, 300);
+            let lo = rng.below(len + 64);
+            let hi = lo + rng.below(200);
+            let mut fast = BitSet::new(len);
+            fast.set_range(lo..hi);
+            let mut slow = BitSet::new(len);
+            for i in lo..hi.min(len) {
+                slow.set(i);
+            }
+            assert_eq!(fast, slow, "len {len} range {lo}..{hi}");
+        }
     }
 
     #[test]

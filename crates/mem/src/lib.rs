@@ -37,16 +37,18 @@ mod granularity;
 mod interval;
 mod merge;
 mod page;
+mod pool;
 mod region;
 #[doc(hidden)]
 pub mod testutil;
 mod vclock;
 
 pub use bitset::{BitRuns, BitSet};
-pub use diff::{Diff, DiffRun};
+pub use diff::{changed_word_runs, Diff, DiffRun, DiffRuns};
 pub use granularity::BlockGranularity;
 pub use interval::{IntervalId, WriteNotice};
-pub use merge::{ReplyCost, UpdateMerge};
+pub use merge::{FlatRun, FlatUpdate, ReplyCost, UpdateMerge};
 pub use page::{for_each_page, page_of, page_range, pages_in, Protection, PAGE_SIZE};
+pub use pool::BufferPool;
 pub use region::{MemRange, RegionDesc, RegionId};
 pub use vclock::{ClockOrd, VectorClock};

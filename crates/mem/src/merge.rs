@@ -146,6 +146,110 @@ impl UpdateMerge {
     pub fn stamps(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
         self.blocks.iter().map(|(&b, &(s, _))| (b, s))
     }
+
+    /// Flattens the merged update into `out`: one [`FlatRun`] per maximal
+    /// sequence of consecutive blocks sharing a stamp — exactly the runs
+    /// [`UpdateMerge::reply_cost`] counts as `ts_runs`.
+    pub fn flatten_into(&self, out: &mut FlatUpdate) {
+        out.runs.clear();
+        for (&block, &(stamp, _)) in &self.blocks {
+            match out.runs.last_mut() {
+                Some(run) if run.start + run.len == block && run.stamp == stamp => run.len += 1,
+                _ => out.runs.push(FlatRun {
+                    start: block,
+                    len: 1,
+                    stamp,
+                }),
+            }
+        }
+    }
+}
+
+/// One maximal run of consecutive blocks sharing a timestamp, inside a
+/// [`FlatUpdate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlatRun {
+    /// First block index of the run.
+    pub start: usize,
+    /// Number of consecutive blocks in the run.
+    pub len: usize,
+    /// The stamp every block of the run carries.
+    pub stamp: u64,
+}
+
+/// A flattened snapshot of a chain of merged diffs: the per-block timestamps
+/// of a page (or object) run-length encoded into maximal same-stamp runs.
+///
+/// Replaying a chain of pending diffs block by block costs one decision per
+/// block; the flattened form costs one decision per *run* and one `memcpy`
+/// per applied run.  The snapshot carries no payload bytes — consumers copy
+/// from the up-to-date master they already hold — so rebuilding it (see
+/// [`FlatUpdate::rebuild_from_stamps`]) reuses its run buffer and allocates
+/// nothing in steady state, and one snapshot can serve every consumer that
+/// faults on the same page between two publishes.
+///
+/// # Examples
+///
+/// ```
+/// use dsm_mem::FlatUpdate;
+///
+/// let stamps = [0, 7, 7, 7, 9, 0, 9];
+/// let mut snap = FlatUpdate::new();
+/// snap.rebuild_from_stamps(&stamps);
+/// let runs: Vec<(usize, usize, u64)> =
+///     snap.runs().iter().map(|r| (r.start, r.len, r.stamp)).collect();
+/// // Unpublished blocks (stamp 0) separate runs and are not covered.
+/// assert_eq!(runs, vec![(1, 3, 7), (4, 1, 9), (6, 1, 9)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlatUpdate {
+    runs: Vec<FlatRun>,
+}
+
+impl FlatUpdate {
+    /// Creates an empty snapshot.
+    pub fn new() -> Self {
+        FlatUpdate::default()
+    }
+
+    /// Rebuilds the snapshot from a per-block stamp array, reusing the run
+    /// buffer.  Blocks stamped 0 (never published) are excluded.
+    pub fn rebuild_from_stamps(&mut self, stamps: &[u64]) {
+        self.runs.clear();
+        let mut i = 0usize;
+        while i < stamps.len() {
+            let stamp = stamps[i];
+            if stamp == 0 {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            i += 1;
+            while i < stamps.len() && stamps[i] == stamp {
+                i += 1;
+            }
+            self.runs.push(FlatRun {
+                start,
+                len: i - start,
+                stamp,
+            });
+        }
+    }
+
+    /// The runs of the snapshot, in increasing block order.
+    pub fn runs(&self) -> &[FlatRun] {
+        &self.runs
+    }
+
+    /// True if the snapshot covers no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Drops all runs (the buffer is kept).
+    pub fn clear(&mut self) {
+        self.runs.clear();
+    }
 }
 
 #[cfg(test)]
@@ -225,6 +329,57 @@ mod tests {
         assert_eq!(cost.blocks, 8);
         assert_eq!(cost.ts_runs, 8); // no two adjacent blocks share a stamp
         assert!(cost.ts_bytes > 0);
+    }
+
+    #[test]
+    fn flatten_matches_reply_cost_runs() {
+        let base = vec![0u8; 32];
+        let mut even = base.clone();
+        let mut odd = base.clone();
+        for blk in 0..8 {
+            let range = blk * 4..blk * 4 + 4;
+            if blk % 2 == 0 {
+                even[range].fill(1);
+            } else {
+                odd[range].fill(2);
+            }
+        }
+        let mut m = UpdateMerge::new(BlockGranularity::Word);
+        m.add(1, &diff_of(&base, &even));
+        m.add(2, &diff_of(&base, &odd));
+        let mut flat = FlatUpdate::new();
+        m.flatten_into(&mut flat);
+        assert_eq!(flat.runs().len(), m.reply_cost(4).ts_runs);
+        assert_eq!(
+            flat.runs().iter().map(|r| r.len).sum::<usize>(),
+            m.num_blocks()
+        );
+    }
+
+    #[test]
+    fn snapshot_from_stamps_skips_unpublished_blocks() {
+        let mut snap = FlatUpdate::new();
+        snap.rebuild_from_stamps(&[0, 0, 3, 3, 0, 5]);
+        assert_eq!(
+            snap.runs(),
+            &[
+                FlatRun {
+                    start: 2,
+                    len: 2,
+                    stamp: 3
+                },
+                FlatRun {
+                    start: 5,
+                    len: 1,
+                    stamp: 5
+                }
+            ]
+        );
+        // Rebuilding reuses the buffer and replaces the runs.
+        snap.rebuild_from_stamps(&[9, 9, 9]);
+        assert_eq!(snap.runs().len(), 1);
+        snap.clear();
+        assert!(snap.is_empty());
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! A reusable pool of byte buffers for the epoch-scoped data plane.
+//!
+//! Twins, diff build buffers and EC small-object copies all have the same
+//! lifetime shape: taken at the start of an interval (first write, or
+//! acquire), dropped when the interval publishes.  Allocating them fresh
+//! every epoch puts the allocator on the write hot path; a [`BufferPool`]
+//! keeps the freed buffers and hands them back, so a steady-state epoch —
+//! one that dirties no more pages than some earlier epoch did — allocates
+//! nothing.
+//!
+//! Ownership rule: the pool is *per node* (it lives in the node's private
+//! state and is never shared), buffers taken from it are plain `Vec<u8>`s
+//! owned by the taker, and every taker returns its buffer with
+//! [`BufferPool::put`] when the interval's publish retires it.  A buffer
+//! that is never returned is merely an allocation, not a leak of pooled
+//! state.
+
+/// A last-in-first-out pool of `Vec<u8>` buffers.
+///
+/// # Examples
+///
+/// ```
+/// use dsm_mem::BufferPool;
+///
+/// let mut pool = BufferPool::new();
+/// let twin = pool.take_copy(&[1, 2, 3, 4]);
+/// assert_eq!(twin, [1, 2, 3, 4]);
+/// pool.put(twin);
+/// // The next take reuses the returned buffer: no allocation.
+/// let again = pool.take_copy(&[5, 6]);
+/// assert_eq!(again, [5, 6]);
+/// assert_eq!(pool.recycled(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Vec<Vec<u8>>,
+    recycled: u64,
+    allocated: u64,
+}
+
+impl BufferPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        BufferPool::default()
+    }
+
+    /// Takes a buffer holding a copy of `src` (a twin copy).  Reuses a freed
+    /// buffer when one is available; the copy itself is one `memcpy`.
+    pub fn take_copy(&mut self, src: &[u8]) -> Vec<u8> {
+        let mut buf = self.take_empty(src.len());
+        buf.extend_from_slice(src);
+        buf
+    }
+
+    /// Takes a zero-length buffer with capacity for at least `len` bytes.
+    pub fn take_empty(&mut self, len: usize) -> Vec<u8> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                self.recycled += 1;
+                buf.clear();
+                buf.reserve(len);
+                buf
+            }
+            None => {
+                self.allocated += 1;
+                Vec::with_capacity(len)
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn put(&mut self, mut buf: Vec<u8>) {
+        if buf.capacity() == 0 {
+            return; // nothing worth keeping
+        }
+        buf.clear();
+        self.free.push(buf);
+    }
+
+    /// Number of takes served from a previously returned buffer.
+    pub fn recycled(&self) -> u64 {
+        self.recycled
+    }
+
+    /// Number of takes that had to allocate a fresh buffer.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Number of buffers currently waiting for reuse.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_take_put_cycle_stops_allocating() {
+        let mut pool = BufferPool::new();
+        let page = vec![7u8; 4096];
+        // Warm up: two buffers in flight at once.
+        let a = pool.take_copy(&page);
+        let b = pool.take_copy(&page);
+        pool.put(a);
+        pool.put(b);
+        assert_eq!(pool.allocated(), 2);
+        assert_eq!(pool.idle(), 2);
+        // Steady state: every take is served from the pool.
+        for _ in 0..10 {
+            let t = pool.take_copy(&page);
+            assert_eq!(t.len(), 4096);
+            pool.put(t);
+        }
+        assert_eq!(pool.allocated(), 2);
+        assert_eq!(pool.recycled(), 10);
+    }
+
+    #[test]
+    fn take_empty_reserves_capacity() {
+        let mut pool = BufferPool::new();
+        let buf = pool.take_empty(100);
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= 100);
+        pool.put(buf);
+        let buf = pool.take_empty(10);
+        assert!(buf.capacity() >= 100, "returned capacity is retained");
+    }
+
+    #[test]
+    fn zero_capacity_buffers_are_not_kept() {
+        let mut pool = BufferPool::new();
+        pool.put(Vec::new());
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn take_copy_of_empty_slice() {
+        let mut pool = BufferPool::new();
+        let buf = pool.take_copy(&[]);
+        assert!(buf.is_empty());
+    }
+}
