@@ -21,7 +21,7 @@
 
 use dsm_core::{
     BarrierId, BlockGranularity, Dsm, DsmConfig, ImplKind, LockId, LockMode, Model, ProcessContext,
-    RunResult, SharedArray,
+    RunResult, SharedArray, TransportKind,
 };
 use dsm_sim::Work;
 
@@ -368,9 +368,21 @@ impl SharedTree {
 /// Runs Barnes-Hut under the given implementation.  Returns the run result
 /// and whether the final positions match the sequential version.
 pub fn run(kind: ImplKind, nprocs: usize, p: &BarnesParams) -> (RunResult, bool) {
+    run_on(kind, nprocs, p, TransportKind::Simulated)
+}
+
+/// Like [`run`], but with an explicit transport backend carrying the publish
+/// stream (the simulated default leaves the run byte-identical to [`run`]).
+pub fn run_on(
+    kind: ImplKind,
+    nprocs: usize,
+    p: &BarnesParams,
+    transport: TransportKind,
+) -> (RunResult, bool) {
     let p = p.clone();
     let n = p.bodies;
-    let cfg = DsmConfig::with_procs(kind, nprocs);
+    let mut cfg = DsmConfig::with_procs(kind, nprocs);
+    cfg.transport = transport;
     let mut dsm = Dsm::new(cfg).expect("valid config");
 
     let bodies = dsm.alloc_array::<f64>("bh-bodies", n * BODY_SLOTS, BlockGranularity::DoubleWord);

@@ -16,6 +16,7 @@
 
 use dsm_core::{
     BarrierId, BlockGranularity, Dsm, DsmConfig, ImplKind, LockId, LockMode, Model, RunResult,
+    TransportKind,
 };
 use dsm_sim::Work;
 
@@ -213,6 +214,17 @@ fn dst_lock(nprocs: usize, p: usize) -> LockId {
 /// Runs 3D-FFT under the given implementation.  Returns the run result and
 /// whether the final transposed array matches the sequential version.
 pub fn run(kind: ImplKind, nprocs: usize, p: &FftParams) -> (RunResult, bool) {
+    run_on(kind, nprocs, p, TransportKind::Simulated)
+}
+
+/// Like [`run`], but with an explicit transport backend carrying the publish
+/// stream (the simulated default leaves the run byte-identical to [`run`]).
+pub fn run_on(
+    kind: ImplKind,
+    nprocs: usize,
+    p: &FftParams,
+    transport: TransportKind,
+) -> (RunResult, bool) {
     let p = p.clone();
     assert!(
         p.n1 % nprocs == 0 && p.n2 % nprocs == 0,
@@ -221,7 +233,8 @@ pub fn run(kind: ImplKind, nprocs: usize, p: &FftParams) -> (RunResult, bool) {
         p.n2
     );
     let n = p.points();
-    let cfg = DsmConfig::with_procs(kind, nprocs);
+    let mut cfg = DsmConfig::with_procs(kind, nprocs);
+    cfg.transport = transport;
     let mut dsm = Dsm::new(cfg).expect("valid config");
     // Interleaved complex layout: element e occupies slots 2e (re) and 2e+1 (im).
     let src = dsm.alloc_array::<f64>("fft-src", 2 * n, BlockGranularity::DoubleWord);

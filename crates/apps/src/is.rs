@@ -12,6 +12,7 @@
 
 use dsm_core::{
     BarrierId, BlockGranularity, Dsm, DsmConfig, ImplKind, LockId, LockMode, Model, RunResult,
+    TransportKind,
 };
 use dsm_sim::Work;
 
@@ -86,8 +87,20 @@ const BUCKET_LOCK: LockId = LockId(0);
 /// Runs IS under the given implementation.  Returns the run result and
 /// whether the final shared bucket counts match the sequential version.
 pub fn run(kind: ImplKind, nprocs: usize, p: &IsParams) -> (RunResult, bool) {
+    run_on(kind, nprocs, p, TransportKind::Simulated)
+}
+
+/// Like [`run`], but with an explicit transport backend carrying the publish
+/// stream (the simulated default leaves the run byte-identical to [`run`]).
+pub fn run_on(
+    kind: ImplKind,
+    nprocs: usize,
+    p: &IsParams,
+    transport: TransportKind,
+) -> (RunResult, bool) {
     let p = p.clone();
-    let cfg = DsmConfig::with_procs(kind, nprocs);
+    let mut cfg = DsmConfig::with_procs(kind, nprocs);
+    cfg.transport = transport;
     let mut dsm = Dsm::new(cfg).expect("valid config");
     // The lock→data association is constructed in one place: under EC every
     // acquire of BUCKET_LOCK makes the bucket array consistent, under LRC

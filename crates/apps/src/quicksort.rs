@@ -14,6 +14,7 @@
 
 use dsm_core::{
     BarrierId, BlockGranularity, Dsm, DsmConfig, ImplKind, LockId, LockMode, Model, RunResult,
+    TransportKind,
 };
 use dsm_sim::Work;
 
@@ -129,8 +130,20 @@ fn entry_lock(slot: usize) -> LockId {
 /// Runs Quicksort under the given implementation.  Returns the run result and
 /// whether the final array is correctly sorted.
 pub fn run(kind: ImplKind, nprocs: usize, p: &QsParams) -> (RunResult, bool) {
+    run_on(kind, nprocs, p, TransportKind::Simulated)
+}
+
+/// Like [`run`], but with an explicit transport backend carrying the publish
+/// stream (the simulated default leaves the run byte-identical to [`run`]).
+pub fn run_on(
+    kind: ImplKind,
+    nprocs: usize,
+    p: &QsParams,
+    transport: TransportKind,
+) -> (RunResult, bool) {
     let p = p.clone();
-    let cfg = DsmConfig::with_procs(kind, nprocs);
+    let mut cfg = DsmConfig::with_procs(kind, nprocs);
+    cfg.transport = transport;
     let mut dsm = Dsm::new(cfg).expect("valid config");
     let array = dsm.alloc_array::<i32>("qs-array", p.n, BlockGranularity::Word);
     dsm.init_array(array, |i| p.value(i));

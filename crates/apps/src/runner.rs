@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use dsm_core::{CostModel, ImplKind, SimTime};
+use dsm_core::{CostModel, ImplKind, SimTime, TransportKind, TransportReport};
 use dsm_sim::{ClusterStats, TrafficReport};
 
 use crate::params::{AppParams, Scale};
@@ -79,6 +79,10 @@ pub struct AppReport {
     pub stats: ClusterStats,
     /// Whether the parallel output matched the sequential version.
     pub verified: bool,
+    /// Transport-backend report: the FNV-1a fingerprint of the final shared
+    /// memory contents and, for the channel/socket backends, how many replicas
+    /// independently reconstructed those contents from the publish stream.
+    pub wire: TransportReport,
 }
 
 impl AppReport {
@@ -106,19 +110,35 @@ pub fn sequential_time(app: App, scale: Scale, cost: &CostModel) -> SimTime {
 }
 
 /// Runs one application under one implementation at the given scale and
-/// processor count.
+/// processor count, over the default simulated transport.
 pub fn run_app(app: App, kind: ImplKind, nprocs: usize, scale: Scale) -> AppReport {
+    run_app_on(app, kind, nprocs, scale, TransportKind::Simulated)
+}
+
+/// Like [`run_app`], but with an explicit transport backend carrying the
+/// publish stream.  The simulated default leaves the run byte-identical to
+/// [`run_app`]; the channel and socket backends additionally replicate the
+/// final memory contents on real threads or sockets and verify them against
+/// the engines' master copies (see `AppReport::wire`).
+pub fn run_app_on(
+    app: App,
+    kind: ImplKind,
+    nprocs: usize,
+    scale: Scale,
+    transport: TransportKind,
+) -> AppReport {
     let p = AppParams::at(scale);
     let cost = dsm_core::DsmConfig::paper(kind).cost;
     let seq_time = sequential_time(app, scale, &cost);
+    let t = transport;
     let (result, verified) = match app {
-        App::Sor => sor::run(kind, nprocs, &p.sor, false),
-        App::SorPlus => sor::run(kind, nprocs, &p.sor, true),
-        App::Quicksort => quicksort::run(kind, nprocs, &p.quicksort),
-        App::Water => water::run(kind, nprocs, &p.water),
-        App::BarnesHut => barnes_hut::run(kind, nprocs, &p.barnes),
-        App::IntegerSort => is::run(kind, nprocs, &p.is),
-        App::Fft3d => fft::run(kind, nprocs, &p.fft),
+        App::Sor => sor::run_on(kind, nprocs, &p.sor, false, t),
+        App::SorPlus => sor::run_on(kind, nprocs, &p.sor, true, t),
+        App::Quicksort => quicksort::run_on(kind, nprocs, &p.quicksort, t),
+        App::Water => water::run_on(kind, nprocs, &p.water, t),
+        App::BarnesHut => barnes_hut::run_on(kind, nprocs, &p.barnes, t),
+        App::IntegerSort => is::run_on(kind, nprocs, &p.is, t),
+        App::Fft3d => fft::run_on(kind, nprocs, &p.fft, t),
     };
     AppReport {
         app,
@@ -129,6 +149,7 @@ pub fn run_app(app: App, kind: ImplKind, nprocs: usize, scale: Scale) -> AppRepo
         traffic: result.traffic,
         stats: result.stats,
         verified,
+        wire: result.wire,
     }
 }
 

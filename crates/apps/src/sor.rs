@@ -16,6 +16,7 @@
 
 use dsm_core::{
     BarrierId, BlockGranularity, Dsm, DsmConfig, ImplKind, LockId, LockMode, Model, RunResult,
+    TransportKind,
 };
 use dsm_sim::Work;
 
@@ -151,9 +152,22 @@ fn row_lock(i: usize, colour: usize) -> LockId {
 /// processor count.  Returns the run result and whether the parallel output
 /// matches the sequential version exactly.
 pub fn run(kind: ImplKind, nprocs: usize, p: &SorParams, plus: bool) -> (RunResult, bool) {
+    run_on(kind, nprocs, p, plus, TransportKind::Simulated)
+}
+
+/// Like [`run`], but with an explicit transport backend carrying the publish
+/// stream (the simulated default leaves the run byte-identical to [`run`]).
+pub fn run_on(
+    kind: ImplKind,
+    nprocs: usize,
+    p: &SorParams,
+    plus: bool,
+    transport: TransportKind,
+) -> (RunResult, bool) {
     let p = p.clone();
     let (tr, tc) = (p.total_rows(), p.total_cols());
-    let cfg = DsmConfig::with_procs(kind, nprocs);
+    let mut cfg = DsmConfig::with_procs(kind, nprocs);
+    cfg.transport = transport;
     let mut dsm = Dsm::new(cfg).expect("valid config");
     let matrix = dsm.alloc_array::<f32>("sor-matrix", tr * tc, BlockGranularity::Word);
     {

@@ -22,7 +22,7 @@
 
 use dsm_core::{
     BarrierId, BlockGranularity, Dsm, DsmConfig, ImplKind, LockId, LockMode, Model, ProcessContext,
-    RunResult, SharedArray,
+    RunResult, SharedArray, TransportKind,
 };
 use dsm_sim::Work;
 
@@ -228,9 +228,21 @@ impl Layout {
 /// relative tolerance (force contributions are summed in a different order in
 /// parallel).
 pub fn run(kind: ImplKind, nprocs: usize, p: &WaterParams) -> (RunResult, bool) {
+    run_on(kind, nprocs, p, TransportKind::Simulated)
+}
+
+/// Like [`run`], but with an explicit transport backend carrying the publish
+/// stream (the simulated default leaves the run byte-identical to [`run`]).
+pub fn run_on(
+    kind: ImplKind,
+    nprocs: usize,
+    p: &WaterParams,
+    transport: TransportKind,
+) -> (RunResult, bool) {
     let p = p.clone();
     let n = p.molecules;
-    let cfg = DsmConfig::with_procs(kind, nprocs);
+    let mut cfg = DsmConfig::with_procs(kind, nprocs);
+    cfg.transport = transport;
     let mut dsm = Dsm::new(cfg).expect("valid config");
 
     let (mol, pos_region, force_region) = if p.restructured {

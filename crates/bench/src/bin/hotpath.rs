@@ -34,6 +34,8 @@ struct Row {
     op: &'static str,
     api: &'static str,
     accesses: u64,
+    pool_recycled: u64,
+    pool_allocated: u64,
     wall_ms: f64,
 }
 
@@ -42,7 +44,7 @@ impl Row {
         println!(
             "{{\"bench\":\"hotpath\",\"impl\":\"{}\",\"op\":\"{}\",\"api\":\"{}\",\
              \"scale\":\"{}\",\"procs\":{},\"accesses\":{},\"wall_ms\":{:.3},\
-             \"accesses_per_sec\":{:.0}}}",
+             \"accesses_per_sec\":{:.0},\"pool_recycled\":{},\"pool_allocated\":{}}}",
             self.kind.name(),
             self.op,
             self.api,
@@ -51,6 +53,8 @@ impl Row {
             self.accesses,
             self.wall_ms,
             self.accesses as f64 / (self.wall_ms / 1e3),
+            self.pool_recycled,
+            self.pool_allocated,
         );
     }
 }
@@ -61,6 +65,7 @@ impl Row {
 fn measure(kind: ImplKind, nprocs: usize, iters: usize, op: &'static str, slices: bool) -> Row {
     let mut best = f64::INFINITY;
     let mut accesses = 0u64;
+    let mut totals = dsm_sim::NodeStats::new();
     for _ in 0..3 {
         let mut dsm = Dsm::new(DsmConfig::with_procs(kind, nprocs)).expect("valid config");
         let region = dsm.alloc_array::<u32>("hot", ELEMS, BlockGranularity::Word);
@@ -108,13 +113,16 @@ fn measure(kind: ImplKind, nprocs: usize, iters: usize, op: &'static str, slices
         });
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         best = best.min(wall_ms);
-        accesses = result.stats.total().shared_accesses;
+        totals = result.stats.total();
+        accesses = totals.shared_accesses;
     }
     Row {
         kind,
         op,
         api: if slices { "slice" } else { "scalar" },
         accesses,
+        pool_recycled: totals.pool_recycled,
+        pool_allocated: totals.pool_allocated,
         wall_ms: best,
     }
 }
@@ -129,10 +137,10 @@ fn measure(kind: ImplKind, nprocs: usize, iters: usize, op: &'static str, slices
 /// publish and apply through the same cycle (the grant applies the bound
 /// data).  Returns the total number of publish events (releases) and the
 /// best wall time of 3 repetitions.
-fn measure_epoch(kind: ImplKind, nprocs: usize, iters: usize) -> (u64, u64, f64) {
+fn measure_epoch(kind: ImplKind, nprocs: usize, iters: usize) -> (u64, dsm_sim::NodeStats, f64) {
     const WORDS_PER_PAGE: usize = 1024;
     let mut best = f64::INFINITY;
-    let mut accesses = 0u64;
+    let mut totals = dsm_sim::NodeStats::new();
     for _ in 0..3 {
         let mut dsm = Dsm::new(DsmConfig::with_procs(kind, nprocs)).expect("valid config");
         let region = dsm.alloc_array::<u32>("hot", ELEMS, BlockGranularity::Word);
@@ -160,25 +168,28 @@ fn measure_epoch(kind: ImplKind, nprocs: usize, iters: usize) -> (u64, u64, f64)
         });
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         best = best.min(wall_ms);
-        accesses = result.stats.total().shared_accesses;
+        totals = result.stats.total();
     }
-    ((iters * nprocs) as u64, accesses, best)
+    ((iters * nprocs) as u64, totals, best)
 }
 
 fn print_epoch(kind: ImplKind, scale_name: &str, nprocs: usize, iters: usize) {
-    let (publishes, accesses, wall_ms) = measure_epoch(kind, nprocs, iters);
+    let (publishes, totals, wall_ms) = measure_epoch(kind, nprocs, iters);
     println!(
         "{{\"bench\":\"hotpath\",\"impl\":\"{}\",\"op\":\"epoch\",\"api\":\"slice\",\
          \"scale\":\"{}\",\"procs\":{},\"epochs\":{},\"publishes\":{},\"accesses\":{},\
-         \"wall_ms\":{:.3},\"publishes_per_sec\":{:.0}}}",
+         \"wall_ms\":{:.3},\"publishes_per_sec\":{:.0},\
+         \"pool_recycled\":{},\"pool_allocated\":{}}}",
         kind.name(),
         scale_name,
         nprocs,
         iters,
         publishes,
-        accesses,
+        totals.shared_accesses,
         wall_ms,
         publishes as f64 / (wall_ms / 1e3),
+        totals.pool_recycled,
+        totals.pool_allocated,
     );
 }
 

@@ -51,10 +51,12 @@ fn main() {
                 }
                 let r = report.expect("at least one repetition");
                 assert!(r.verified, "{app} under {kind} failed verification");
+                let totals = r.stats.total();
                 println!(
                     "{{\"bench\":\"scaling\",\"app\":\"{}\",\"impl\":\"{}\",\"scale\":\"{}\",\
                      \"procs\":{},\"wall_ms\":{:.3},\"sim_s\":{:.6},\"messages\":{},\
-                     \"bytes\":{},\"lock_transfers\":{}}}",
+                     \"bytes\":{},\"lock_transfers\":{},\
+                     \"pool_recycled\":{},\"pool_allocated\":{}}}",
                     app.name(),
                     kind.name(),
                     scale_name,
@@ -64,6 +66,8 @@ fn main() {
                     r.traffic.messages,
                     r.traffic.bytes,
                     r.traffic.lock_transfers,
+                    totals.pool_recycled,
+                    totals.pool_allocated,
                 );
             }
         }

@@ -1,0 +1,63 @@
+//! CI smoke test for the transport backends: SOR runs over the simulated,
+//! channel (real threads) and socket (real loopback connections) transports,
+//! and every backend must land on the same final shared-memory contents.
+//!
+//! SOR's contents are bitwise deterministic (every shared word is written by
+//! exactly one processor per barrier-separated phase), so the FNV-1a
+//! fingerprint of the simulated run is a golden the other backends must hit
+//! exactly.  The replicas' own contents are verified against the engines'
+//! master copies inside the transport itself, which panics on divergence.
+//!
+//! Usage: `cargo run --release -p dsm-bench --bin transport_smoke [-- --scale tiny|small|paper --procs N]`
+
+use dsm_apps::{run_app, run_app_on, App, Scale};
+use dsm_core::{ImplKind, TransportKind};
+
+fn main() {
+    let opts = dsm_bench::HarnessOpts::from_args();
+    let scale_name = match opts.scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Paper => "paper",
+    };
+    let kinds = opts.filter_nonempty(&[
+        ImplKind::ec_time(),
+        ImplKind::lrc_diff(),
+        ImplKind::hlrc_diff(),
+    ]);
+    for kind in kinds {
+        let base = run_app(App::Sor, kind, opts.nprocs, opts.scale);
+        assert!(
+            base.verified,
+            "SOR under {kind}: simulated run not verified"
+        );
+        for transport in [TransportKind::Channel, TransportKind::SocketLocal(2)] {
+            let label = transport.label();
+            let r = run_app_on(App::Sor, kind, opts.nprocs, opts.scale, transport);
+            assert!(r.verified, "SOR under {kind} over {label}: not verified");
+            assert_eq!(
+                r.wire.master_fnv, base.wire.master_fnv,
+                "SOR under {kind} over {label}: contents diverged from the \
+                 simulated golden"
+            );
+            assert!(
+                r.wire.replicas_verified > 0,
+                "SOR under {kind} over {label}: no replica verified"
+            );
+            println!(
+                "{{\"bench\":\"transport_smoke\",\"impl\":\"{}\",\"backend\":\"{}\",\
+                 \"scale\":\"{}\",\"procs\":{},\"contents_fnv\":\"{:016x}\",\
+                 \"frames_sent\":{},\"wire_bytes\":{},\"replicas_verified\":{}}}",
+                kind.name(),
+                label,
+                scale_name,
+                opts.nprocs,
+                r.wire.master_fnv,
+                r.wire.frames_sent,
+                r.wire.wire_bytes,
+                r.wire.replicas_verified,
+            );
+        }
+    }
+    eprintln!("transport smoke: all backends agree");
+}

@@ -4,6 +4,7 @@ use std::fmt;
 
 use dsm_sim::CostModel;
 
+use crate::transport::TransportKind;
 use crate::DsmError;
 
 /// The consistency model (Section 3 of the paper, plus home-based LRC).
@@ -340,6 +341,12 @@ pub struct DsmConfig {
     /// How many publish records (diffs) to retain per lock/page for traffic
     /// accounting.  Older records fall back to a merged-size estimate.
     pub diff_ring: usize,
+    /// Which transport backend carries publish frames during the run.  The
+    /// default [`TransportKind::Simulated`] replicates nothing and keeps
+    /// every result byte-identical to the pre-transport runtime; the real
+    /// backends additionally rebuild replicas over channels or sockets and
+    /// verify them against the engines' master copies.
+    pub transport: TransportKind,
 }
 
 impl DsmConfig {
@@ -363,6 +370,7 @@ impl DsmConfig {
             hierarchical_dirty_bits: true,
             ci_loop_optimization: !naive_ci,
             diff_ring: 64,
+            transport: TransportKind::Simulated,
         }
     }
 

@@ -101,15 +101,25 @@ struct Collect {
     /// Last published block as `(region, block)` — a following publish of
     /// `block + 1` in the same region continues the current run.
     prev: Option<(usize, usize)>,
+    /// Whether to record byte runs for a transport frame.
+    track: bool,
+    /// Changed-byte runs of the range being collected, region-absolute and
+    /// coalesced (adjacent block publishes extend the last run).  Drained
+    /// into a frame after each range, so it never spans two regions.
+    wire_runs: Vec<(u32, u32)>,
 }
 
 impl Collect {
-    fn new() -> Self {
+    /// `wire_runs` is the endpoint's reusable run table when a transport is
+    /// attached (the caller hands it back afterwards), `None` otherwise.
+    fn new(wire_runs: Option<Vec<(u32, u32)>>) -> Self {
         Collect {
             changed_words: 0,
             runs: 0,
             compare_words: 0,
             prev: None,
+            track: wire_runs.is_some(),
+            wire_runs: wire_runs.unwrap_or_default(),
         }
     }
 
@@ -135,6 +145,13 @@ impl Collect {
             self.runs += 1;
         }
         self.prev = Some((ridx, last - 1));
+        if self.track {
+            let (s, l) = (start as u32, (end - start) as u32);
+            match self.wire_runs.last_mut() {
+                Some(prev_run) if prev_run.0 + prev_run.1 == s => prev_run.1 += l,
+                _ => self.wire_runs.push((s, l)),
+            }
+        }
     }
 }
 
@@ -384,7 +401,14 @@ impl ProtocolEngine for EcEngine {
         let seq = self.publish_seq.fetch_add(1, Ordering::SeqCst) + 1;
         meta.last_seq = meta.last_seq.max(seq);
 
-        let mut col = Collect::new();
+        // Transport endpoint, taken out so `local` stays borrowable; put
+        // back at the end (there are no returns between here and there).
+        // None under the simulated backend, keeping the path branch-only.
+        let mut wire = local.wire.take();
+        let mut col = Collect::new(
+            wire.as_deref_mut()
+                .map(|w| std::mem::take(&mut w.scratch_runs)),
+        );
         // Offset of the current range's twin in the concatenated small-twin
         // buffer (ranges were copied in binding order at acquire).
         let mut small_cum = 0usize;
@@ -454,8 +478,16 @@ impl ProtocolEngine for EcEngine {
             }
             if col.changed_words > changed_before {
                 // Commit the publish to the region's generation while its
-                // write lock is still held.
-                self.publish_gen[ridx].fetch_add(1, Ordering::Release);
+                // write lock is still held.  As in the LRC engine, the
+                // generation doubles as the frame's per-region sequence
+                // number: bumped once per range-with-changes, under the
+                // region's write lock.
+                let gen = self.publish_gen[ridx].fetch_add(1, Ordering::Release) + 1;
+                if let Some(w) = wire.as_deref_mut() {
+                    // EC has no vector time: frames carry an empty clock.
+                    w.publish(ridx as u32, gen, &[], &col.wire_runs, data);
+                    col.wire_runs.clear();
+                }
             }
         }
 
@@ -517,6 +549,15 @@ impl ProtocolEngine for EcEngine {
                 meta.publishes.pop_front();
             }
         }
+
+        // Hand the run table back to the endpoint and the endpoint back to
+        // the node.
+        if let Some(w) = wire.as_deref_mut() {
+            let mut runs = std::mem::take(&mut col.wire_runs);
+            runs.clear();
+            w.scratch_runs = runs;
+        }
+        local.wire = wire;
     }
 
     fn barrier_arrive(&self, _local: &mut NodeLocal) -> usize {

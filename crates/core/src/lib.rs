@@ -113,6 +113,7 @@ mod lrc;
 mod runtime;
 mod scalar;
 mod sync;
+mod transport;
 
 pub use api::{ArrayView, ArrayViewMut, Binding, LockGuard, SharedArray, SharedScalar};
 pub use config::{Collection, DsmConfig, ImplKind, Model, Trapping};
@@ -121,6 +122,7 @@ pub use error::DsmError;
 pub use ids::{BarrierId, LockId, LockMode};
 pub use runtime::{Dsm, Region, RunResult};
 pub use scalar::Scalar;
+pub use transport::{serve_transport_peer, TransportKind, TransportReport};
 
 // Re-export the vocabulary types callers need to use the API.
 pub use dsm_mem::{BlockGranularity, MemRange};

@@ -170,6 +170,12 @@ pub(crate) struct NodeLocal {
     /// the dirty list does not surrender its capacity (the publish path would
     /// otherwise reallocate the list every interval).
     pub scratch_dirty: Vec<(usize, usize)>,
+    /// This node's transport endpoint: where publish frames go under the
+    /// channel and socket backends.  `None` under the default simulated
+    /// backend, which keeps the publish path branch-only.  Ownership rule:
+    /// a publish hook takes it with `Option::take` (so `self` stays
+    /// borrowable) and must put it back before returning on every path.
+    pub wire: Option<Box<crate::transport::WireEndpoint>>,
 }
 
 impl NodeLocal {
@@ -196,6 +202,7 @@ impl NodeLocal {
             scratch_clock: dsm_mem::VectorClock::new(nprocs),
             pool: BufferPool::new(),
             scratch_dirty: Vec::new(),
+            wire: None,
         }
     }
 }

@@ -164,8 +164,17 @@ impl<P: DataPolicy> LrcEngine<P> {
         let mut published_pages = 0u32;
         let mut total_compare_words = 0u64;
         let mut reprotects = 0u64;
+        // Transport endpoint, taken out so `local` stays borrowable; every
+        // path below puts it back.  Under the simulated backend this is None
+        // and the loop stays branch-only.
+        let mut wire = local.wire.take();
 
         for &(ridx, page) in &dirty {
+            let track = wire.is_some();
+            let mut frame_runs = match wire.as_deref_mut() {
+                Some(w) => std::mem::take(&mut w.scratch_runs),
+                None => Vec::new(),
+            };
             let local_region = &mut local.regions[ridx];
             let span = local_region.page_span(page);
             let mut rs = sync::write(&self.region_state[ridx]);
@@ -201,6 +210,11 @@ impl<P: DataPolicy> LrcEngine<P> {
                                 stamp,
                                 first..last,
                             );
+                            if track {
+                                let sb = span.start + first * 4;
+                                let eb = (span.start + last * 4).min(span.end);
+                                frame_runs.push((sb as u32, (eb - sb) as u32));
+                            }
                             changed_words += last - first;
                             runs += 1;
                         }
@@ -228,6 +242,11 @@ impl<P: DataPolicy> LrcEngine<P> {
                                     stamp,
                                     s..e,
                                 );
+                                if track {
+                                    let sb = span.start + s * 4;
+                                    let eb = (span.start + e * 4).min(span.end);
+                                    frame_runs.push((sb as u32, (eb - sb) as u32));
+                                }
                             });
                         }
                     }
@@ -252,8 +271,21 @@ impl<P: DataPolicy> LrcEngine<P> {
                 }
                 // Commit the publish to the region's generation while the
                 // write lock is still held, so a concurrent freshness check
-                // under the read lock sees a stable value.
-                self.publish_gen[ridx].fetch_add(1, Ordering::Release);
+                // under the read lock sees a stable value.  The generation
+                // doubles as the frame's per-region sequence number: it is
+                // bumped exactly once per published page, always under this
+                // write lock, so replaying frames in sequence order
+                // reconstructs the master copies byte for byte.
+                let gen = self.publish_gen[ridx].fetch_add(1, Ordering::Release) + 1;
+                if let Some(w) = wire.as_deref_mut() {
+                    w.publish(
+                        ridx as u32,
+                        gen,
+                        local.vector.entries(),
+                        &frame_runs,
+                        &local.regions[ridx].data,
+                    );
+                }
                 let ps = &mut rs.pages[page];
                 ps.latest[me_idx] = next_interval;
                 // New stamps landed: any cached flattened snapshot of this
@@ -295,6 +327,13 @@ impl<P: DataPolicy> LrcEngine<P> {
                     ps.diffs.pop_front();
                 }
             }
+
+            // Hand the run table back to the endpoint so the next page's
+            // publish reuses its capacity.
+            if let Some(w) = wire.as_deref_mut() {
+                frame_runs.clear();
+                w.scratch_runs = frame_runs;
+            }
         }
 
         match trapping {
@@ -334,6 +373,7 @@ impl<P: DataPolicy> LrcEngine<P> {
             log.push(published_pages);
         }
         local.vector.bump(me);
+        local.wire = wire;
     }
 
     /// Which processors have published modifications to this page that the

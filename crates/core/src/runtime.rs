@@ -12,6 +12,7 @@ use crate::ids::LockId;
 use crate::local::NodeLocal;
 use crate::scalar::Scalar;
 use crate::sync::SyncTables;
+use crate::transport::{build_transport, TransportReport, WireEndpoint};
 
 /// Handle to a shared-memory region.
 ///
@@ -79,6 +80,10 @@ pub struct RunResult {
     /// Aggregate traffic report (messages, bytes, misses, ...), including the
     /// lock-transfer totals aggregated from the sharded lock table.
     pub traffic: TrafficReport,
+    /// Transport summary: which backend carried the run's publish frames,
+    /// how many replicas were verified byte-identical to the master copies,
+    /// and the frame/byte traffic on the real backends.
+    pub wire: TransportReport,
     region_data: Vec<Vec<u8>>,
 }
 
@@ -290,17 +295,26 @@ impl Dsm {
         };
 
         let nprocs = self.cfg.nprocs;
+        // The transport hands one endpoint to each worker (None under the
+        // default simulated backend) and collects them back after the join
+        // to drain and verify the replicas.
+        let mut transport = build_transport(&self.cfg, &self.init);
+        let mut endpoints: Vec<Option<Box<WireEndpoint>>> = (0..nprocs)
+            .map(|p| transport.take_endpoint(dsm_sim::NodeId::new(p as u32)))
+            .collect();
         let mut locals: Vec<Option<NodeLocal>> = Vec::with_capacity(nprocs);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(nprocs);
-            for p in 0..nprocs {
+            for (p, endpoint) in endpoints.iter_mut().enumerate() {
                 let global = &global;
                 let worker = &worker;
                 let regions = &self.regions;
                 let init = &self.init;
+                let endpoint = endpoint.take();
                 handles.push(scope.spawn(move || {
-                    let local =
+                    let mut local =
                         NodeLocal::new(dsm_sim::NodeId::new(p as u32), nprocs, regions, init);
+                    local.wire = endpoint;
                     let mut ctx = ProcessContext::new(global, local);
                     worker(&mut ctx);
                     ctx.into_local()
@@ -311,19 +325,30 @@ impl Dsm {
             }
         });
 
-        let locals: Vec<NodeLocal> = locals.into_iter().map(|l| l.expect("joined")).collect();
+        let mut locals: Vec<NodeLocal> = locals.into_iter().map(|l| l.expect("joined")).collect();
         let node_times: Vec<SimTime> = locals.iter().map(|l| l.clock.now()).collect();
         let time = node_times.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        let wires: Vec<WireEndpoint> = locals
+            .iter_mut()
+            .filter_map(|l| l.wire.take())
+            .map(|b| *b)
+            .collect();
+        for l in &mut locals {
+            l.stats.pool_recycled = l.pool.recycled();
+            l.stats.pool_allocated = l.pool.allocated();
+        }
         let stats = ClusterStats::from_nodes(locals.iter().map(|l| l.stats.clone()).collect());
         let mut traffic = stats.traffic();
         traffic.lock_transfers = global.sync.total_lock_transfers();
         let region_data = global.engine.final_regions();
+        let wire = transport.finish(wires, &region_data);
 
         RunResult {
             time,
             node_times,
             stats,
             traffic,
+            wire,
             region_data,
         }
     }

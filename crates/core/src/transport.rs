@@ -1,0 +1,768 @@
+//! Pluggable transport under the protocol engines.
+//!
+//! The engines publish modifications into shared master copies; a
+//! [`Transport`] decides what *else* happens at each publish.  The default
+//! [`TransportKind::Simulated`] backend does nothing — messages remain pure
+//! cost accounting, exactly as before, and the hot path stays branch-only.
+//! The real backends replicate every publish as a [`WireFrame`] to a set of
+//! replica holders and verify, at the end of the run, that every replica's
+//! contents are byte-identical (FNV-fingerprint equal) to the engines'
+//! master copies:
+//!
+//! * [`TransportKind::Channel`] — every simulated processor is a
+//!   message-passing OS thread; frames travel as `Arc`'d flat payloads over
+//!   `std::sync::mpsc` channels with zero copies, one full replica per node.
+//! * [`TransportKind::SocketLocal`] / [`TransportKind::SocketRemote`] —
+//!   frames are serialized with the dependency-free codec of
+//!   [`dsm_mem::wire`] and streamed over length-prefixed TCP connections to
+//!   replica peers: in-process listener threads (`SocketLocal`) or separate
+//!   processes started by a driver (`SocketRemote`, see
+//!   [`serve_transport_peer`]).
+//!
+//! Cost accounting is transport-independent: the simulated clocks and
+//! statistics are charged identically under every backend, so simulated
+//! times and all goldens stay byte-identical; the backends differ only in
+//! what moves on the host.  See `DESIGN.md` §6 for the backend contract and
+//! the wire format.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{mpsc, Arc};
+
+use dsm_mem::wire::{
+    fnv64_regions, read_msg, write_msg, WireFrame, WireInit, WireMsgKind, WireReport,
+};
+use dsm_sim::NodeId;
+
+use crate::config::DsmConfig;
+
+/// Which transport carries publish frames during a run.
+///
+/// The simulated backend is the default and the only one that keeps the
+/// publish hot path allocation-free; the real backends trade that for actual
+/// bytes moving between threads or processes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// No replication: messages are cost accounting only (the default).
+    #[default]
+    Simulated,
+    /// One replica per simulated processor; frames are `Arc`-shared over
+    /// in-process `std::sync::mpsc` channels between the worker threads.
+    Channel,
+    /// This many replica peers served by in-process listener threads;
+    /// frames are serialized and streamed over loopback TCP.
+    SocketLocal(usize),
+    /// Replica peers already running (separate processes, see
+    /// [`serve_transport_peer`]) at these `host:port` addresses.
+    SocketRemote(Vec<String>),
+}
+
+impl TransportKind {
+    /// Short backend label used in reports and bench output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransportKind::Simulated => "sim",
+            TransportKind::Channel => "channel",
+            TransportKind::SocketLocal(_) | TransportKind::SocketRemote(_) => "socket",
+        }
+    }
+}
+
+/// End-of-run transport summary attached to every
+/// [`RunResult`](crate::RunResult).
+///
+/// Under the simulated backend everything except `master_fnv` is zero.  The
+/// real backends verify each replica's final contents against the engines'
+/// master copies before returning, so a returned report certifies
+/// `replicas_verified` byte-identical replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportReport {
+    /// Backend label (`"sim"`, `"channel"`, `"socket"`).
+    pub backend: &'static str,
+    /// [`fnv64_regions`] fingerprint of the engines' final master copies —
+    /// comparable across backends and across processes.
+    pub master_fnv: u64,
+    /// Replicas whose final contents were verified fingerprint-equal to the
+    /// master copies.
+    pub replicas_verified: usize,
+    /// Publish frames sent (each counted once, however many receivers).
+    pub frames_sent: u64,
+    /// Encoded frame bytes delivered, summed over receivers (for the channel
+    /// backend: the bytes that *would* be on a wire; the `Arc` handoff
+    /// itself copies nothing).
+    pub wire_bytes: u64,
+    /// Frames applied across all replicas.
+    pub frames_applied: u64,
+}
+
+/// One replica of the shared regions, rebuilt purely from publish frames.
+///
+/// Frames of a region are applied strictly in `seq` order; out-of-order
+/// arrivals wait in a per-region reorder buffer.  The per-region sequence
+/// numbers are dense (the engines draw them from the same counter the
+/// publish bumps), so a replica that has seen every frame always drains.
+#[derive(Debug)]
+struct Replica {
+    regions: Vec<Vec<u8>>,
+    /// Per region: the last applied sequence number (0 = none yet).
+    applied_seq: Vec<u64>,
+    /// Per region: frames that arrived ahead of their turn, keyed by seq.
+    pending: Vec<BTreeMap<u64, Arc<WireFrame>>>,
+    frames_applied: u64,
+    bytes_received: u64,
+}
+
+impl Replica {
+    fn new(init: &[Vec<u8>]) -> Self {
+        Replica {
+            regions: init.to_vec(),
+            applied_seq: vec![0; init.len()],
+            pending: init.iter().map(|_| BTreeMap::new()).collect(),
+            frames_applied: 0,
+            bytes_received: 0,
+        }
+    }
+
+    /// Accepts a frame, applying it — and any unblocked successors — as soon
+    /// as its region's sequence reaches it.
+    fn offer(&mut self, frame: Arc<WireFrame>) {
+        let r = frame.region as usize;
+        assert!(r < self.regions.len(), "frame for unknown region {r}");
+        self.bytes_received += frame.encoded_len() as u64;
+        self.pending[r].insert(frame.seq, frame);
+        while let Some(f) = self.pending[r].remove(&(self.applied_seq[r] + 1)) {
+            assert!(
+                f.apply(&mut self.regions[r]),
+                "frame run outside region {r}"
+            );
+            self.applied_seq[r] += 1;
+            self.frames_applied += 1;
+        }
+    }
+
+    /// True once no frame is waiting on a missing predecessor.
+    fn drained(&self) -> bool {
+        self.pending.iter().all(BTreeMap::is_empty)
+    }
+
+    fn fnv(&self) -> u64 {
+        fnv64_regions(self.regions.iter().map(|r| r.as_slice()))
+    }
+
+    fn report(&self) -> WireReport {
+        WireReport {
+            contents_fnv: self.fnv(),
+            frames_applied: self.frames_applied,
+            bytes_received: self.bytes_received,
+        }
+    }
+}
+
+/// A worker thread's handle onto the transport: where its publish frames go.
+///
+/// Owned by the worker's `NodeLocal` for the duration of the run (`None`
+/// under the simulated backend), handed back to the transport's
+/// [`Transport::finish`] afterwards.
+#[derive(Debug)]
+pub(crate) struct WireEndpoint {
+    /// Frames this endpoint published.
+    pub frames_sent: u64,
+    /// Encoded frame bytes this endpoint delivered, summed over receivers.
+    pub wire_bytes: u64,
+    /// Scratch run table the engines fill while collecting a publish
+    /// (borrowed out with `std::mem::take`, handed back after the frame is
+    /// built, so steady-state publishes reuse its capacity).
+    pub scratch_runs: Vec<(u32, u32)>,
+    inner: EndpointInner,
+}
+
+#[derive(Debug)]
+enum EndpointInner {
+    /// Channel backend: senders to every other node's inbox, this node's own
+    /// inbox, and this node's own replica.
+    Channel {
+        peers: Vec<mpsc::Sender<Arc<WireFrame>>>,
+        inbox: mpsc::Receiver<Arc<WireFrame>>,
+        replica: Replica,
+    },
+    /// Socket backend: one buffered stream per replica peer.
+    Socket {
+        conns: Vec<BufWriter<TcpStream>>,
+        scratch: Vec<u8>,
+    },
+}
+
+impl WireEndpoint {
+    /// Replicates one publish: region-absolute changed-byte `runs` of
+    /// `data`, totally ordered within the region by `seq` (dense, 1-based).
+    /// `clock` is the publisher's vector-clock entries (empty under EC).
+    pub fn publish(
+        &mut self,
+        region: u32,
+        seq: u64,
+        clock: &[u32],
+        runs: &[(u32, u32)],
+        data: &[u8],
+    ) {
+        let payload_len: usize = runs.iter().map(|&(_, len)| len as usize).sum();
+        let mut payload = Vec::with_capacity(payload_len);
+        for &(off, len) in runs {
+            payload.extend_from_slice(&data[off as usize..off as usize + len as usize]);
+        }
+        let frame = WireFrame {
+            region,
+            seq,
+            clock: clock.to_vec(),
+            runs: runs.to_vec(),
+            payload,
+        };
+        self.frames_sent += 1;
+        match &mut self.inner {
+            EndpointInner::Channel {
+                peers,
+                inbox,
+                replica,
+            } => {
+                self.wire_bytes += frame.encoded_len() as u64 * (peers.len() as u64 + 1);
+                let frame = Arc::new(frame);
+                for peer in peers.iter() {
+                    peer.send(frame.clone()).expect("peer inbox closed mid-run");
+                }
+                replica.offer(frame);
+                // Opportunistically absorb whatever peers have sent so far;
+                // the rest is drained after the run, when every send is
+                // join-ordered before the drain.
+                while let Ok(f) = inbox.try_recv() {
+                    replica.offer(f);
+                }
+            }
+            EndpointInner::Socket { conns, scratch } => {
+                scratch.clear();
+                frame.encode_into(scratch);
+                for conn in conns.iter_mut() {
+                    write_msg(conn, WireMsgKind::Frame, scratch)
+                        .expect("replica peer connection lost mid-run");
+                }
+                // Body plus the 5-byte message header, per receiving peer.
+                self.wire_bytes += (scratch.len() as u64 + 5) * conns.len() as u64;
+            }
+        }
+    }
+}
+
+/// The backend contract: hand one endpoint to each worker before the run,
+/// collect them and verify every replica afterwards.
+pub(crate) trait Transport: Send {
+    /// Backend label for the report.
+    fn label(&self) -> &'static str;
+
+    /// The endpoint worker `node` publishes through, or `None` if this
+    /// backend replicates nothing (simulated).
+    fn take_endpoint(&mut self, node: NodeId) -> Option<Box<WireEndpoint>>;
+
+    /// Completes the run: drains and verifies every replica against the
+    /// engines' final `master` copies and summarizes the traffic.
+    ///
+    /// Panics if any replica's contents diverge from the master — that is a
+    /// transport bug, never a legal outcome.
+    fn finish(&mut self, endpoints: Vec<WireEndpoint>, master: &[Vec<u8>]) -> TransportReport;
+}
+
+/// Builds the transport for a run.  The single place [`TransportKind`] is
+/// dispatched on.
+pub(crate) fn build_transport(cfg: &DsmConfig, init: &[Vec<u8>]) -> Box<dyn Transport> {
+    match &cfg.transport {
+        TransportKind::Simulated => Box::new(SimulatedTransport),
+        TransportKind::Channel => Box::new(ChannelTransport::new(cfg.nprocs, init)),
+        TransportKind::SocketLocal(npeers) => {
+            Box::new(SocketTransport::new_local(cfg.nprocs, *npeers, init))
+        }
+        TransportKind::SocketRemote(addrs) => {
+            Box::new(SocketTransport::new_remote(cfg.nprocs, addrs, init))
+        }
+    }
+}
+
+/// The default backend: no endpoints, no replication, no bytes.  Publishes
+/// stay exactly the branch-free accounting they were before the transport
+/// layer existed.
+#[derive(Debug)]
+struct SimulatedTransport;
+
+impl Transport for SimulatedTransport {
+    fn label(&self) -> &'static str {
+        "sim"
+    }
+
+    fn take_endpoint(&mut self, _node: NodeId) -> Option<Box<WireEndpoint>> {
+        None
+    }
+
+    fn finish(&mut self, _endpoints: Vec<WireEndpoint>, master: &[Vec<u8>]) -> TransportReport {
+        TransportReport {
+            backend: self.label(),
+            master_fnv: fnv64_regions(master.iter().map(|r| r.as_slice())),
+            replicas_verified: 0,
+            frames_sent: 0,
+            wire_bytes: 0,
+            frames_applied: 0,
+        }
+    }
+}
+
+/// In-process channel backend: every node owns a full replica and an inbox;
+/// a publish `Arc`-clones one frame into every other node's inbox.
+#[derive(Debug)]
+struct ChannelTransport {
+    endpoints: Vec<Option<Box<WireEndpoint>>>,
+}
+
+/// One node's frame channel: the sender peers clone, the node's own inbox.
+type FrameChannel = (mpsc::Sender<Arc<WireFrame>>, mpsc::Receiver<Arc<WireFrame>>);
+
+impl ChannelTransport {
+    fn new(nprocs: usize, init: &[Vec<u8>]) -> Self {
+        let channels: Vec<FrameChannel> = (0..nprocs).map(|_| mpsc::channel()).collect();
+        let senders: Vec<mpsc::Sender<Arc<WireFrame>>> =
+            channels.iter().map(|(tx, _)| tx.clone()).collect();
+        let endpoints = channels
+            .into_iter()
+            .enumerate()
+            .map(|(p, (_, inbox))| {
+                let peers = senders
+                    .iter()
+                    .enumerate()
+                    .filter(|&(q, _)| q != p)
+                    .map(|(_, tx)| tx.clone())
+                    .collect();
+                Some(Box::new(WireEndpoint {
+                    frames_sent: 0,
+                    wire_bytes: 0,
+                    scratch_runs: Vec::new(),
+                    inner: EndpointInner::Channel {
+                        peers,
+                        inbox,
+                        replica: Replica::new(init),
+                    },
+                }))
+            })
+            .collect();
+        ChannelTransport { endpoints }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn label(&self) -> &'static str {
+        "channel"
+    }
+
+    fn take_endpoint(&mut self, node: NodeId) -> Option<Box<WireEndpoint>> {
+        self.endpoints[node.index()].take()
+    }
+
+    fn finish(&mut self, endpoints: Vec<WireEndpoint>, master: &[Vec<u8>]) -> TransportReport {
+        let master_fnv = fnv64_regions(master.iter().map(|r| r.as_slice()));
+        let mut report = TransportReport {
+            backend: self.label(),
+            master_fnv,
+            replicas_verified: 0,
+            frames_sent: 0,
+            wire_bytes: 0,
+            frames_applied: 0,
+        };
+        for ep in endpoints {
+            report.frames_sent += ep.frames_sent;
+            report.wire_bytes += ep.wire_bytes;
+            let EndpointInner::Channel {
+                inbox, mut replica, ..
+            } = ep.inner
+            else {
+                unreachable!("channel transport only hands out channel endpoints");
+            };
+            // Every worker thread has been joined, so every send
+            // happens-before this drain: the inbox holds the complete
+            // remainder of the run's frames.
+            while let Ok(f) = inbox.try_recv() {
+                replica.offer(f);
+            }
+            assert!(replica.drained(), "replica is missing publish frames");
+            assert_eq!(
+                replica.fnv(),
+                master_fnv,
+                "channel replica diverged from the engines' master copies"
+            );
+            report.frames_applied += replica.frames_applied;
+            report.replicas_verified += 1;
+        }
+        report
+    }
+}
+
+/// Socket backend: replica peers behind loopback TCP, either served by
+/// in-process listener threads or by already-running remote processes.
+#[derive(Debug)]
+struct SocketTransport {
+    endpoints: Vec<Option<Box<WireEndpoint>>>,
+    /// Control connection to each peer; the end-of-run [`WireReport`] comes
+    /// back on it.
+    controls: Vec<TcpStream>,
+    /// In-process peer threads (`SocketLocal` only), joined at finish.
+    servers: Vec<std::thread::JoinHandle<io::Result<()>>>,
+}
+
+impl SocketTransport {
+    /// Spawns `npeers` in-process replica peers and connects to them.
+    fn new_local(nprocs: usize, npeers: usize, init: &[Vec<u8>]) -> Self {
+        assert!(npeers >= 1, "socket transport needs at least one peer");
+        let mut addrs = Vec::with_capacity(npeers);
+        let mut servers = Vec::with_capacity(npeers);
+        for _ in 0..npeers {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
+            addrs.push(listener.local_addr().expect("listener address").to_string());
+            servers.push(std::thread::spawn(move || serve_transport_peer(listener)));
+        }
+        let mut transport = Self::connect(nprocs, &addrs, init);
+        transport.servers = servers;
+        transport
+    }
+
+    /// Connects to replica peers already running at `addrs`.
+    fn new_remote(nprocs: usize, addrs: &[String], init: &[Vec<u8>]) -> Self {
+        assert!(
+            !addrs.is_empty(),
+            "socket transport needs at least one peer"
+        );
+        Self::connect(nprocs, addrs, init)
+    }
+
+    fn connect(nprocs: usize, addrs: &[String], init: &[Vec<u8>]) -> Self {
+        // Control connection first: it carries the bootstrap Init (cluster
+        // shape, initial region images) the peer needs before it can accept
+        // node streams.
+        let mut init_body = Vec::new();
+        WireInit {
+            nprocs: nprocs as u32,
+            regions: init.to_vec(),
+        }
+        .encode_into(&mut init_body);
+        let mut controls = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let mut conn = TcpStream::connect(addr).expect("connect to replica peer");
+            conn.write_all(b"C").expect("send control role");
+            write_msg(&mut conn, WireMsgKind::Init, &init_body).expect("send init");
+            controls.push(conn);
+        }
+        let endpoints = (0..nprocs)
+            .map(|_| {
+                let conns = addrs
+                    .iter()
+                    .map(|addr| {
+                        let mut conn = TcpStream::connect(addr).expect("connect to replica peer");
+                        conn.write_all(b"N").expect("send node role");
+                        BufWriter::new(conn)
+                    })
+                    .collect();
+                Some(Box::new(WireEndpoint {
+                    frames_sent: 0,
+                    wire_bytes: 0,
+                    scratch_runs: Vec::new(),
+                    inner: EndpointInner::Socket {
+                        conns,
+                        scratch: Vec::new(),
+                    },
+                }))
+            })
+            .collect();
+        SocketTransport {
+            endpoints,
+            controls,
+            servers: Vec::new(),
+        }
+    }
+}
+
+impl Transport for SocketTransport {
+    fn label(&self) -> &'static str {
+        "socket"
+    }
+
+    fn take_endpoint(&mut self, node: NodeId) -> Option<Box<WireEndpoint>> {
+        self.endpoints[node.index()].take()
+    }
+
+    fn finish(&mut self, endpoints: Vec<WireEndpoint>, master: &[Vec<u8>]) -> TransportReport {
+        let master_fnv = fnv64_regions(master.iter().map(|r| r.as_slice()));
+        let mut report = TransportReport {
+            backend: self.label(),
+            master_fnv,
+            replicas_verified: 0,
+            frames_sent: 0,
+            wire_bytes: 0,
+            frames_applied: 0,
+        };
+        // Close every node stream cleanly: Fin, flush, drop.
+        for ep in endpoints {
+            report.frames_sent += ep.frames_sent;
+            report.wire_bytes += ep.wire_bytes;
+            let EndpointInner::Socket { mut conns, .. } = ep.inner else {
+                unreachable!("socket transport only hands out socket endpoints");
+            };
+            for conn in conns.iter_mut() {
+                write_msg(conn, WireMsgKind::Fin, &[]).expect("send fin");
+                conn.flush().expect("flush node stream");
+            }
+        }
+        // Every peer now sees nprocs Fins and reports back.
+        let mut body = Vec::new();
+        for control in self.controls.drain(..) {
+            let mut control = control;
+            let kind = read_msg(&mut control, &mut body).expect("read peer report");
+            assert_eq!(kind, Some(WireMsgKind::Report), "peer sent a non-report");
+            let peer = WireReport::decode(&body).expect("malformed peer report");
+            assert_eq!(
+                peer.contents_fnv, master_fnv,
+                "socket replica diverged from the engines' master copies"
+            );
+            report.frames_applied += peer.frames_applied;
+            report.replicas_verified += 1;
+        }
+        for server in self.servers.drain(..) {
+            server
+                .join()
+                .expect("replica peer thread panicked")
+                .expect("replica peer failed");
+        }
+        report
+    }
+}
+
+/// Serves one replica peer on `listener` until the run completes, then
+/// returns.  This is the *entire* peer: the in-process `SocketLocal` threads
+/// and the separate `SocketRemote` processes both run exactly this function.
+///
+/// Protocol: every inbound connection announces its role with one byte —
+/// `C` for the single control connection, which immediately carries an
+/// `Init` message (number of node streams to expect, initial region
+/// images), or `N` for a node stream carrying `Frame` messages and a final
+/// `Fin`.  Once every node stream has finished, the peer writes its
+/// [`WireReport`] (contents fingerprint, frames applied, bytes received)
+/// back on the control connection.
+///
+/// # Errors
+///
+/// Returns an error if a connection misbehaves (unknown role byte, corrupt
+/// message, unexpected disconnect) or a frame arrives for an unknown
+/// region's sequence that never completes.
+pub fn serve_transport_peer(listener: TcpListener) -> io::Result<()> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+
+    // Accept the control connection (with its Init) and the node streams, in
+    // whatever order they arrive.
+    let mut control: Option<TcpStream> = None;
+    let mut init: Option<WireInit> = None;
+    let mut nodes: Vec<TcpStream> = Vec::new();
+    let mut body = Vec::new();
+    loop {
+        if let Some(i) = &init {
+            if nodes.len() as u32 >= i.nprocs {
+                break;
+            }
+        }
+        let (mut conn, _) = listener.accept()?;
+        let mut role = [0u8; 1];
+        conn.read_exact(&mut role)?;
+        match role[0] {
+            b'C' => {
+                if read_msg(&mut conn, &mut body)? != Some(WireMsgKind::Init) {
+                    return Err(bad("expected an init message on the control connection"));
+                }
+                init = Some(WireInit::decode(&body).ok_or_else(|| bad("malformed init"))?);
+                control = Some(conn);
+            }
+            b'N' => nodes.push(conn),
+            _ => return Err(bad("unknown connection role byte")),
+        }
+    }
+    let init = init.expect("loop exits only with init");
+    let mut control = control.expect("init arrived on the control connection");
+
+    // One reader thread per node stream, funneling decoded frames into the
+    // replica; the reorder buffer restores per-region publish order.
+    let mut replica = Replica::new(&init.regions);
+    std::thread::scope(|scope| -> io::Result<()> {
+        let (tx, rx) = mpsc::channel::<io::Result<Option<WireFrame>>>();
+        for mut conn in nodes {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let mut body = Vec::new();
+                loop {
+                    let event = match read_msg(&mut conn, &mut body) {
+                        Ok(Some(WireMsgKind::Frame)) => match WireFrame::decode(&body) {
+                            Some(frame) => Ok(Some(frame)),
+                            None => Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                "malformed frame",
+                            )),
+                        },
+                        Ok(Some(WireMsgKind::Fin)) | Ok(None) => Ok(None),
+                        Ok(Some(_)) => Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "unexpected message on a node stream",
+                        )),
+                        Err(e) => Err(e),
+                    };
+                    let done = !matches!(event, Ok(Some(_)));
+                    if tx.send(event).is_err() || done {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        let mut fins = 0u32;
+        while fins < init.nprocs {
+            match rx.recv() {
+                Ok(Ok(Some(frame))) => replica.offer(Arc::new(frame)),
+                Ok(Ok(None)) => fins += 1,
+                Ok(Err(e)) => return Err(e),
+                Err(_) => return Err(bad("node stream reader died")),
+            }
+        }
+        Ok(())
+    })?;
+
+    if !replica.drained() {
+        return Err(bad("stream ended with frames waiting on missing sequences"));
+    }
+    body.clear();
+    replica.report().encode_into(&mut body);
+    write_msg(&mut control, WireMsgKind::Report, &body)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(region: u32, seq: u64, off: u32, byte: u8) -> Arc<WireFrame> {
+        Arc::new(WireFrame {
+            region,
+            seq,
+            clock: vec![],
+            runs: vec![(off, 1)],
+            payload: vec![byte],
+        })
+    }
+
+    #[test]
+    fn replica_reorders_frames_per_region() {
+        let init = vec![vec![0u8; 8], vec![0u8; 4]];
+        let mut r = Replica::new(&init);
+        // Region 0's seq 2 must wait for seq 1; region 1 is independent.
+        r.offer(frame(0, 2, 1, 22));
+        assert_eq!(r.frames_applied, 0);
+        assert!(!r.drained());
+        r.offer(frame(1, 1, 0, 9));
+        assert_eq!(r.frames_applied, 1);
+        r.offer(frame(0, 1, 0, 11));
+        assert_eq!(r.frames_applied, 3);
+        assert!(r.drained());
+        assert_eq!(r.regions[0][..2], [11, 22]);
+        assert_eq!(r.regions[1][0], 9);
+        let expect = {
+            let mut m = init.clone();
+            m[0][0] = 11;
+            m[0][1] = 22;
+            m[1][0] = 9;
+            fnv64_regions(m.iter().map(|x| x.as_slice()))
+        };
+        assert_eq!(r.fnv(), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside region")]
+    fn replica_rejects_out_of_range_runs() {
+        let mut r = Replica::new(&[vec![0u8; 4]]);
+        r.offer(frame(0, 1, 100, 5));
+    }
+
+    #[test]
+    fn channel_endpoints_replicate_and_verify() {
+        let init = vec![vec![0u8; 16]];
+        let mut t = ChannelTransport::new(2, &init);
+        let mut a = t.take_endpoint(NodeId::new(0)).expect("endpoint");
+        let mut b = t.take_endpoint(NodeId::new(1)).expect("endpoint");
+        let mut master = init.clone();
+        master[0][0..4].copy_from_slice(&[1, 2, 3, 4]);
+        a.publish(0, 1, &[1, 0], &[(0, 4)], &master[0]);
+        master[0][8] = 9;
+        b.publish(0, 2, &[1, 1], &[(8, 1)], &master[0]);
+        assert_eq!(a.frames_sent, 1);
+        assert!(a.wire_bytes > 0);
+        let report = t.finish(vec![*a, *b], &master);
+        assert_eq!(report.backend, "channel");
+        assert_eq!(report.replicas_verified, 2);
+        assert_eq!(report.frames_sent, 2);
+        // Both replicas applied both frames.
+        assert_eq!(report.frames_applied, 4);
+        assert_eq!(
+            report.master_fnv,
+            fnv64_regions(master.iter().map(|r| r.as_slice()))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged")]
+    fn channel_divergence_is_caught() {
+        let init = vec![vec![0u8; 8]];
+        let mut t = ChannelTransport::new(1, &init);
+        let a = t.take_endpoint(NodeId::new(0)).expect("endpoint");
+        // The master claims a write the endpoint never published.
+        let mut master = init.clone();
+        master[0][0] = 7;
+        t.finish(vec![*a], &master);
+    }
+
+    #[test]
+    fn socket_local_round_trip_over_loopback() {
+        let init = vec![vec![0u8; 32], vec![5u8; 8]];
+        let mut t = SocketTransport::new_local(2, 2, &init);
+        let mut a = t.take_endpoint(NodeId::new(0)).expect("endpoint");
+        let mut b = t.take_endpoint(NodeId::new(1)).expect("endpoint");
+        let mut master = init.clone();
+        master[0][4..8].copy_from_slice(&[9, 9, 9, 9]);
+        a.publish(0, 1, &[], &[(4, 4)], &master[0]);
+        master[1][0] = 0;
+        b.publish(1, 1, &[], &[(0, 1)], &master[1]);
+        let report = t.finish(vec![*a, *b], &master);
+        assert_eq!(report.backend, "socket");
+        assert_eq!(report.replicas_verified, 2);
+        assert_eq!(report.frames_sent, 2);
+        assert_eq!(report.frames_applied, 4);
+        assert!(report.wire_bytes > 0);
+    }
+
+    #[test]
+    fn simulated_transport_hands_out_nothing() {
+        let mut t = SimulatedTransport;
+        assert!(t.take_endpoint(NodeId::new(0)).is_none());
+        let master = vec![vec![3u8; 4]];
+        let report = t.finish(Vec::new(), &master);
+        assert_eq!(report.backend, "sim");
+        assert_eq!(report.replicas_verified, 0);
+        assert_eq!(
+            report.master_fnv,
+            fnv64_regions(master.iter().map(|r| r.as_slice()))
+        );
+    }
+
+    #[test]
+    fn transport_kind_labels() {
+        assert_eq!(TransportKind::default(), TransportKind::Simulated);
+        assert_eq!(TransportKind::Simulated.label(), "sim");
+        assert_eq!(TransportKind::Channel.label(), "channel");
+        assert_eq!(TransportKind::SocketLocal(2).label(), "socket");
+        assert_eq!(TransportKind::SocketRemote(vec![]).label(), "socket");
+    }
+}

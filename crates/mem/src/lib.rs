@@ -42,6 +42,7 @@ mod region;
 #[doc(hidden)]
 pub mod testutil;
 mod vclock;
+pub mod wire;
 
 pub use bitset::{BitRuns, BitSet};
 pub use diff::{changed_word_runs, Diff, DiffRun, DiffRuns};

@@ -236,6 +236,11 @@ impl FlatUpdate {
         }
     }
 
+    /// Reassembles a snapshot from decoded wire runs (see [`crate::wire`]).
+    pub(crate) fn from_wire_runs(runs: Vec<FlatRun>) -> Self {
+        FlatUpdate { runs }
+    }
+
     /// The runs of the snapshot, in increasing block order.
     pub fn runs(&self) -> &[FlatRun] {
         &self.runs

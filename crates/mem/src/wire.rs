@@ -1,0 +1,617 @@
+//! Length-prefixed wire codec for the transport layer.
+//!
+//! The simulated backend never serializes anything — messages are cost
+//! accounting.  The real backends (in-process channels, sockets) move actual
+//! bytes, and this module is the dependency-free codec they move them with.
+//! Everything is little-endian and encoded straight from the flat payload +
+//! run-offset representation the data plane already keeps ([`Diff`],
+//! [`FlatUpdate`], [`VectorClock`]): encoding is a header write plus one
+//! payload `memcpy` per record, never a tree walk.
+//!
+//! # Record layouts (all integers little-endian)
+//!
+//! | Record         | Layout                                                             |
+//! |----------------|--------------------------------------------------------------------|
+//! | message        | `u32 len` · `u8 kind` · `body[len-1]`                              |
+//! | `VectorClock`  | `u32 n` · `n × u32 entry`                                          |
+//! | `Diff`         | `u8 gran` · `u32 nruns` · `nruns × (u32 off, u32 len)` · payload   |
+//! | `FlatUpdate`   | `u32 nruns` · `nruns × (u32 start, u32 len, u64 stamp)`            |
+//! | [`WireFrame`]  | `u32 region` · `u64 seq` · clock · `u32 nruns` · runs · payload    |
+//! | [`WireInit`]   | `u32 nprocs` · `u32 nregions` · `nregions × (u32 len, bytes)`      |
+//! | [`WireReport`] | `u64 fnv` · `u64 frames` · `u64 bytes`                             |
+//!
+//! Malformed input decodes to `None` (in-memory records) or
+//! `io::ErrorKind::InvalidData` (streamed messages); a corrupt peer must not
+//! be able to panic the decoder.
+
+use std::io::{self, Read, Write};
+
+use crate::{BlockGranularity, Diff, FlatRun, FlatUpdate, VectorClock};
+use dsm_sim::NodeId;
+
+/// Upper bound on one framed message, as a sanity check against corrupt
+/// length prefixes (1 GiB; real frames are a few KiB).
+pub const MAX_WIRE_MSG: usize = 1 << 30;
+
+/// FNV-1a 64-bit hash of a byte slice — the contents fingerprint the
+/// transport backends compare replicas with.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    fnv64_extend(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Folds more bytes into a running [`fnv64`] state.
+pub fn fnv64_extend(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// FNV-1a fingerprint of a sequence of regions.  Each region's length is
+/// folded in before its contents, so `["ab", "c"]` and `["a", "bc"]` hash
+/// differently.
+pub fn fnv64_regions<'a>(regions: impl IntoIterator<Item = &'a [u8]>) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for r in regions {
+        hash = fnv64_extend(hash, &(r.len() as u64).to_le_bytes());
+        hash = fnv64_extend(hash, r);
+    }
+    hash
+}
+
+/// Bounds-checked little-endian cursor over a decode buffer.
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        let s = self.buf.get(self.at..end)?;
+        self.at = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    fn done(&self) -> bool {
+        self.at == self.buf.len()
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends the wire encoding of a vector clock to `out`.
+pub fn encode_vclock(clock: &VectorClock, out: &mut Vec<u8>) {
+    put_u32(out, clock.len() as u32);
+    for &e in clock.entries() {
+        put_u32(out, e);
+    }
+}
+
+/// Decodes a vector clock; returns the clock and the bytes consumed.
+pub fn decode_vclock(buf: &[u8]) -> Option<(VectorClock, usize)> {
+    let mut r = Reader::new(buf);
+    let clock = decode_vclock_from(&mut r)?;
+    Some((clock, r.at))
+}
+
+fn decode_vclock_from(r: &mut Reader<'_>) -> Option<VectorClock> {
+    let n = r.u32()? as usize;
+    if n > MAX_WIRE_MSG / 4 {
+        return None;
+    }
+    let mut clock = VectorClock::new(n);
+    for i in 0..n {
+        clock.set_entry(NodeId::new(i as u32), r.u32()?);
+    }
+    Some(clock)
+}
+
+/// Appends the wire encoding of a diff to `out`: granularity code, run
+/// table, then the flat payload in one `extend_from_slice` per run.
+pub fn encode_diff(diff: &Diff, out: &mut Vec<u8>) {
+    out.push(diff.granularity().wire_code());
+    put_u32(out, diff.runs().len() as u32);
+    for run in diff.runs() {
+        put_u32(out, run.offset as u32);
+        put_u32(out, run.len() as u32);
+    }
+    for run in diff.runs() {
+        out.extend_from_slice(run.data);
+    }
+}
+
+/// Decodes a diff; returns the diff and the bytes consumed.
+pub fn decode_diff(buf: &[u8]) -> Option<(Diff, usize)> {
+    let mut r = Reader::new(buf);
+    let granularity = BlockGranularity::from_wire_code(r.u8()?)?;
+    let nruns = r.u32()? as usize;
+    if nruns > MAX_WIRE_MSG / 8 {
+        return None;
+    }
+    let mut runs = Vec::with_capacity(nruns);
+    let mut payload_len = 0usize;
+    for _ in 0..nruns {
+        let offset = r.u32()?;
+        let len = r.u32()?;
+        payload_len = payload_len.checked_add(len as usize)?;
+        runs.push((offset, len));
+    }
+    let payload = r.take(payload_len)?.to_vec();
+    let diff = Diff::from_wire_parts(&runs, payload, granularity)?;
+    Some((diff, r.at))
+}
+
+/// Appends the wire encoding of a flattened update snapshot to `out`.
+pub fn encode_flat_update(update: &FlatUpdate, out: &mut Vec<u8>) {
+    put_u32(out, update.runs().len() as u32);
+    for run in update.runs() {
+        put_u32(out, run.start as u32);
+        put_u32(out, run.len as u32);
+        put_u64(out, run.stamp);
+    }
+}
+
+/// Decodes a flattened update snapshot; returns it and the bytes consumed.
+pub fn decode_flat_update(buf: &[u8]) -> Option<(FlatUpdate, usize)> {
+    let mut r = Reader::new(buf);
+    let nruns = r.u32()? as usize;
+    if nruns > MAX_WIRE_MSG / 16 {
+        return None;
+    }
+    let mut runs = Vec::with_capacity(nruns);
+    for _ in 0..nruns {
+        let start = r.u32()? as usize;
+        let len = r.u32()? as usize;
+        let stamp = r.u64()?;
+        runs.push(FlatRun { start, len, stamp });
+    }
+    Some((FlatUpdate::from_wire_runs(runs), r.at))
+}
+
+/// One replicated publish: the bytes one publish event wrote into a region's
+/// master copy, plus the per-region sequence number that totally orders it.
+///
+/// Frames carry the publisher's vector clock (empty under EC, which has no
+/// vector time) — deliberately, because the O(nprocs) clock record is exactly
+/// the per-message overhead the 256-node transport sweep measures.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WireFrame {
+    /// Dense index of the region the frame belongs to.
+    pub region: u32,
+    /// Per-region publish sequence number (1-based, dense): a replica applies
+    /// frames of a region strictly in `seq` order.
+    pub seq: u64,
+    /// The publisher's vector-clock entries at publish time (may be empty).
+    pub clock: Vec<u32>,
+    /// Changed-byte runs as region-absolute `(offset, len)` pairs, in
+    /// increasing offset order.
+    pub runs: Vec<(u32, u32)>,
+    /// Every run's bytes, back to back in run order.
+    pub payload: Vec<u8>,
+}
+
+impl WireFrame {
+    /// Length of the encoded frame body in bytes.
+    pub fn encoded_len(&self) -> usize {
+        4 + 8 + (4 + self.clock.len() * 4) + 4 + self.runs.len() * 8 + self.payload.len()
+    }
+
+    /// Appends the encoded frame body to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.encoded_len());
+        put_u32(out, self.region);
+        put_u64(out, self.seq);
+        put_u32(out, self.clock.len() as u32);
+        for &e in &self.clock {
+            put_u32(out, e);
+        }
+        put_u32(out, self.runs.len() as u32);
+        for &(offset, len) in &self.runs {
+            put_u32(out, offset);
+            put_u32(out, len);
+        }
+        out.extend_from_slice(&self.payload);
+    }
+
+    /// Decodes a frame body; the buffer must contain exactly one frame.
+    pub fn decode(buf: &[u8]) -> Option<WireFrame> {
+        let mut r = Reader::new(buf);
+        let region = r.u32()?;
+        let seq = r.u64()?;
+        let nclock = r.u32()? as usize;
+        if nclock > MAX_WIRE_MSG / 4 {
+            return None;
+        }
+        let mut clock = Vec::with_capacity(nclock);
+        for _ in 0..nclock {
+            clock.push(r.u32()?);
+        }
+        let nruns = r.u32()? as usize;
+        if nruns > MAX_WIRE_MSG / 8 {
+            return None;
+        }
+        let mut runs = Vec::with_capacity(nruns);
+        let mut payload_len = 0usize;
+        let mut prev_end = 0u64;
+        for _ in 0..nruns {
+            let offset = r.u32()?;
+            let len = r.u32()?;
+            if len == 0 || (offset as u64) < prev_end {
+                return None;
+            }
+            prev_end = offset as u64 + len as u64;
+            payload_len = payload_len.checked_add(len as usize)?;
+            runs.push((offset, len));
+        }
+        let payload = r.take(payload_len)?.to_vec();
+        if !r.done() {
+            return None;
+        }
+        Some(WireFrame {
+            region,
+            seq,
+            clock,
+            runs,
+            payload,
+        })
+    }
+
+    /// Copies the frame's runs into a region-sized buffer.  Returns `false`
+    /// (leaving a suffix unapplied) if a run falls outside the region.
+    pub fn apply(&self, region: &mut [u8]) -> bool {
+        let mut pos = 0usize;
+        for &(offset, len) in &self.runs {
+            let (offset, len) = (offset as usize, len as usize);
+            let Some(dst) = region.get_mut(offset..offset + len) else {
+                return false;
+            };
+            dst.copy_from_slice(&self.payload[pos..pos + len]);
+            pos += len;
+        }
+        true
+    }
+}
+
+/// Kind byte of a framed transport message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum WireMsgKind {
+    /// Replica bootstrap: cluster shape and initial region contents.
+    Init = 0,
+    /// One [`WireFrame`].
+    Frame = 1,
+    /// End of stream from one sender; no body.
+    Fin = 2,
+    /// Replica's end-of-run [`WireReport`].
+    Report = 3,
+}
+
+impl WireMsgKind {
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(WireMsgKind::Init),
+            1 => Some(WireMsgKind::Frame),
+            2 => Some(WireMsgKind::Fin),
+            3 => Some(WireMsgKind::Report),
+            _ => None,
+        }
+    }
+}
+
+/// Replica bootstrap message: how many senders will connect and the initial
+/// contents of every region (a replica must start from the same initial
+/// image the engine's master copies start from).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WireInit {
+    /// Number of node connections (senders) the replica should expect.
+    pub nprocs: u32,
+    /// Initial contents of each region, in region-index order.
+    pub regions: Vec<Vec<u8>>,
+}
+
+impl WireInit {
+    /// Appends the encoded body to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.nprocs);
+        put_u32(out, self.regions.len() as u32);
+        for r in &self.regions {
+            put_u32(out, r.len() as u32);
+            out.extend_from_slice(r);
+        }
+    }
+
+    /// Decodes a body; the buffer must contain exactly one record.
+    pub fn decode(buf: &[u8]) -> Option<WireInit> {
+        let mut r = Reader::new(buf);
+        let nprocs = r.u32()?;
+        let nregions = r.u32()? as usize;
+        if nregions > MAX_WIRE_MSG / 4 {
+            return None;
+        }
+        let mut regions = Vec::with_capacity(nregions);
+        for _ in 0..nregions {
+            let len = r.u32()? as usize;
+            regions.push(r.take(len)?.to_vec());
+        }
+        if !r.done() {
+            return None;
+        }
+        Some(WireInit { nprocs, regions })
+    }
+}
+
+/// A replica holder's end-of-run report, sent back on the control connection
+/// once every sender has finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireReport {
+    /// [`fnv64_regions`] fingerprint of the replica's final contents.
+    pub contents_fnv: u64,
+    /// Frames the replica applied.
+    pub frames_applied: u64,
+    /// Payload bytes the replica received (encoded frame bodies).
+    pub bytes_received: u64,
+}
+
+impl WireReport {
+    /// Appends the encoded body to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.contents_fnv);
+        put_u64(out, self.frames_applied);
+        put_u64(out, self.bytes_received);
+    }
+
+    /// Decodes a body; the buffer must contain exactly one record.
+    pub fn decode(buf: &[u8]) -> Option<WireReport> {
+        let mut r = Reader::new(buf);
+        let report = WireReport {
+            contents_fnv: r.u64()?,
+            frames_applied: r.u64()?,
+            bytes_received: r.u64()?,
+        };
+        if !r.done() {
+            return None;
+        }
+        Some(report)
+    }
+}
+
+/// Writes one framed message: `u32` length prefix (kind byte + body), the
+/// kind byte, then the body.
+pub fn write_msg(w: &mut impl Write, kind: WireMsgKind, body: &[u8]) -> io::Result<()> {
+    let len = body.len() + 1;
+    if len > MAX_WIRE_MSG {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "wire message too large",
+        ));
+    }
+    w.write_all(&(len as u32).to_le_bytes())?;
+    w.write_all(&[kind as u8])?;
+    w.write_all(body)
+}
+
+/// Reads one framed message into `body` (reused across calls).  Returns the
+/// message kind, or `None` on a clean end of stream (EOF exactly at a
+/// message boundary).  A truncated message or an unknown kind byte is an
+/// [`io::ErrorKind::InvalidData`] error.
+pub fn read_msg(r: &mut impl Read, body: &mut Vec<u8>) -> io::Result<Option<WireMsgKind>> {
+    let mut prefix = [0u8; 4];
+    match r.read_exact(&mut prefix) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len == 0 || len > MAX_WIRE_MSG {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad wire message length",
+        ));
+    }
+    let mut kind_byte = [0u8; 1];
+    r.read_exact(&mut kind_byte)?;
+    let kind = WireMsgKind::from_code(kind_byte[0])
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unknown wire message kind"))?;
+    body.clear();
+    body.resize(len - 1, 0);
+    r.read_exact(body)?;
+    Ok(Some(kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_length_sensitive() {
+        // Reference value of FNV-1a 64 for "hello".
+        assert_eq!(fnv64(b"hello"), 0xa430_d846_80aa_bd0b);
+        assert_ne!(
+            fnv64_regions([b"ab".as_slice(), b"c".as_slice()]),
+            fnv64_regions([b"a".as_slice(), b"bc".as_slice()])
+        );
+        assert_eq!(fnv64_regions([]), fnv64_regions([]));
+    }
+
+    #[test]
+    fn vclock_round_trip() {
+        let mut c = VectorClock::new(5);
+        c.set_entry(NodeId::new(0), 3);
+        c.set_entry(NodeId::new(4), 9);
+        let mut buf = Vec::new();
+        encode_vclock(&c, &mut buf);
+        assert_eq!(buf.len(), 4 + 5 * 4);
+        let (back, used) = decode_vclock(&buf).expect("decodes");
+        assert_eq!(back, c);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn diff_round_trip_preserves_apply() {
+        let twin = vec![0u8; 64];
+        let mut cur = twin.clone();
+        cur[4..16].fill(7);
+        cur[40..44].fill(9);
+        let d = Diff::from_compare(&twin, &cur, 0, BlockGranularity::Word);
+        let mut buf = Vec::new();
+        encode_diff(&d, &mut buf);
+        let (back, used) = decode_diff(&buf).expect("decodes");
+        assert_eq!(used, buf.len());
+        assert_eq!(back, d);
+        let mut target = vec![0u8; 64];
+        back.apply(&mut target);
+        assert_eq!(target, cur);
+    }
+
+    #[test]
+    fn flat_update_round_trip() {
+        let mut u = FlatUpdate::new();
+        u.rebuild_from_stamps(&[0, 7, 7, 9, 0, 9]);
+        let mut buf = Vec::new();
+        encode_flat_update(&u, &mut buf);
+        let (back, used) = decode_flat_update(&buf).expect("decodes");
+        assert_eq!(used, buf.len());
+        assert_eq!(back.runs(), u.runs());
+    }
+
+    #[test]
+    fn frame_round_trip_and_apply() {
+        let f = WireFrame {
+            region: 2,
+            seq: 17,
+            clock: vec![1, 0, 4],
+            runs: vec![(0, 4), (8, 8)],
+            payload: vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12],
+        };
+        let mut buf = Vec::new();
+        f.encode_into(&mut buf);
+        assert_eq!(buf.len(), f.encoded_len());
+        let back = WireFrame::decode(&buf).expect("decodes");
+        assert_eq!(back, f);
+        let mut region = vec![0u8; 16];
+        assert!(back.apply(&mut region));
+        assert_eq!(&region[0..4], &[1, 2, 3, 4]);
+        assert_eq!(&region[8..16], &[5, 6, 7, 8, 9, 10, 11, 12]);
+        // A run past the end of the region is rejected, not a panic.
+        let mut short = vec![0u8; 8];
+        assert!(!back.apply(&mut short));
+    }
+
+    #[test]
+    fn frame_decode_rejects_malformed_input() {
+        let f = WireFrame {
+            region: 0,
+            seq: 1,
+            clock: vec![],
+            runs: vec![(0, 4)],
+            payload: vec![1, 2, 3, 4],
+        };
+        let mut buf = Vec::new();
+        f.encode_into(&mut buf);
+        assert!(
+            WireFrame::decode(&buf[..buf.len() - 1]).is_none(),
+            "truncated"
+        );
+        let mut extra = buf.clone();
+        extra.push(0);
+        assert!(WireFrame::decode(&extra).is_none(), "trailing garbage");
+        // Overlapping runs are rejected.
+        let bad = WireFrame {
+            runs: vec![(8, 8), (0, 4)],
+            payload: vec![0; 12],
+            ..WireFrame::default()
+        };
+        let mut bbuf = Vec::new();
+        bad.encode_into(&mut bbuf);
+        assert!(WireFrame::decode(&bbuf).is_none(), "unsorted runs");
+    }
+
+    #[test]
+    fn init_and_report_round_trip() {
+        let init = WireInit {
+            nprocs: 8,
+            regions: vec![vec![1, 2, 3], vec![], vec![9; 10]],
+        };
+        let mut buf = Vec::new();
+        init.encode_into(&mut buf);
+        assert_eq!(WireInit::decode(&buf), Some(init));
+
+        let rep = WireReport {
+            contents_fnv: 0xdead_beef,
+            frames_applied: 42,
+            bytes_received: 4096,
+        };
+        let mut rbuf = Vec::new();
+        rep.encode_into(&mut rbuf);
+        assert_eq!(WireReport::decode(&rbuf), Some(rep));
+    }
+
+    #[test]
+    fn framed_messages_round_trip_over_a_stream() {
+        let mut stream = Vec::new();
+        write_msg(&mut stream, WireMsgKind::Init, &[1, 2, 3]).expect("write");
+        write_msg(&mut stream, WireMsgKind::Fin, &[]).expect("write");
+        let mut r = &stream[..];
+        let mut body = Vec::new();
+        assert_eq!(
+            read_msg(&mut r, &mut body).expect("read"),
+            Some(WireMsgKind::Init)
+        );
+        assert_eq!(body, &[1, 2, 3]);
+        assert_eq!(
+            read_msg(&mut r, &mut body).expect("read"),
+            Some(WireMsgKind::Fin)
+        );
+        assert!(body.is_empty());
+        assert_eq!(
+            read_msg(&mut r, &mut body).expect("read"),
+            None,
+            "clean EOF"
+        );
+    }
+
+    #[test]
+    fn read_msg_rejects_corrupt_streams() {
+        // Zero length prefix.
+        let zero = 0u32.to_le_bytes().to_vec();
+        let mut body = Vec::new();
+        assert!(read_msg(&mut &zero[..], &mut body).is_err());
+        // Unknown kind byte.
+        let mut unk = Vec::new();
+        unk.extend_from_slice(&1u32.to_le_bytes());
+        unk.push(99);
+        assert!(read_msg(&mut &unk[..], &mut body).is_err());
+        // Truncated body.
+        let mut trunc = Vec::new();
+        trunc.extend_from_slice(&10u32.to_le_bytes());
+        trunc.push(WireMsgKind::Frame as u8);
+        trunc.extend_from_slice(&[0, 0]);
+        assert!(read_msg(&mut &trunc[..], &mut body).is_err());
+    }
+}

@@ -7,8 +7,10 @@
 
 use dsm_mem::testutil::TestRng as Rng;
 use dsm_mem::{
-    page_of, pages_in, BitSet, BlockGranularity, BufferPool, Diff, MemRange, RegionId, PAGE_SIZE,
+    page_of, pages_in, wire, BitSet, BlockGranularity, BufferPool, Diff, FlatUpdate, MemRange,
+    RegionId, VectorClock, PAGE_SIZE,
 };
+use dsm_sim::NodeId;
 
 const CASES: u64 = 64;
 
@@ -163,6 +165,162 @@ fn bitset_matches_reference() {
             .map(|(i, _)| i)
             .collect();
         assert_eq!(from_iter, expected, "seed {seed}");
+    }
+}
+
+/// The wire codec round-trips diffs exactly — across both granularities,
+/// lengths with non-multiple-of-8 tails, empty diffs (no change) and full
+/// pages (every byte changed) — and the decoded diff applies identically.
+#[test]
+fn wire_diff_round_trips() {
+    for seed in 0..CASES * 2 {
+        let mut rng = Rng::new(seed + 6000);
+        // Shapes: empty page, full page, and random partial modifications
+        // over lengths that straddle the 8-byte chunk boundary.
+        let len = match seed % 4 {
+            0 => PAGE_SIZE,
+            _ => rng.in_range(1, 300),
+        };
+        let twin = rng.bytes(len);
+        let mut current = twin.clone();
+        match seed % 3 {
+            0 => {} // empty: nothing modified
+            1 => {
+                // full: every byte rewritten
+                for b in &mut current {
+                    *b = b.wrapping_add(1);
+                }
+            }
+            _ => {
+                for _ in 0..rng.below(24) {
+                    let p = rng.below(len);
+                    let run_end = (p + rng.in_range(1, 16)).min(len);
+                    for b in &mut current[p..run_end] {
+                        *b = rng.byte();
+                    }
+                }
+            }
+        }
+        let base = rng.below(4096);
+        for gran in [BlockGranularity::Word, BlockGranularity::DoubleWord] {
+            let d = Diff::from_compare(&twin, &current, base, gran);
+            let mut buf = Vec::new();
+            wire::encode_diff(&d, &mut buf);
+            let (back, used) = wire::decode_diff(&buf).expect("well-formed encoding");
+            assert_eq!(used, buf.len(), "seed {seed}");
+            assert_eq!(back, d, "seed {seed} gran {gran}");
+            assert_eq!(back.encoded_size(), d.encoded_size(), "seed {seed}");
+            let mut a = vec![0u8; base + len];
+            let mut b = a.clone();
+            a[base..].copy_from_slice(&twin);
+            b[base..].copy_from_slice(&twin);
+            d.apply(&mut a);
+            back.apply(&mut b);
+            assert_eq!(a, b, "seed {seed} gran {gran}");
+        }
+    }
+}
+
+/// The wire codec round-trips flattened update snapshots, including empty
+/// ones and ones whose stamp pattern covers every block.
+#[test]
+fn wire_flat_update_round_trips() {
+    for seed in 0..CASES * 2 {
+        let mut rng = Rng::new(seed + 7000);
+        let nblocks = rng.in_range(0, 200);
+        let stamps: Vec<u64> = (0..nblocks)
+            .map(|_| match seed % 3 {
+                0 => 0,                   // never published
+                1 => 7,                   // one full-coverage run
+                _ => rng.below(4) as u64, // mixed runs and gaps
+            })
+            .collect();
+        let mut u = FlatUpdate::new();
+        u.rebuild_from_stamps(&stamps);
+        let mut buf = Vec::new();
+        wire::encode_flat_update(&u, &mut buf);
+        let (back, used) = wire::decode_flat_update(&buf).expect("well-formed encoding");
+        assert_eq!(used, buf.len(), "seed {seed}");
+        assert_eq!(back.runs(), u.runs(), "seed {seed}");
+    }
+}
+
+/// The wire codec round-trips vector clocks of any width, including empty
+/// clocks (EC frames) and wide 256-entry clocks (the scaling sweep shape).
+#[test]
+fn wire_vclock_round_trips() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed + 8000);
+        let n = match seed % 4 {
+            0 => 0,
+            1 => 256,
+            _ => rng.in_range(1, 64),
+        };
+        let mut c = VectorClock::new(n);
+        for i in 0..n {
+            c.set_entry(NodeId::new(i as u32), rng.next_u64() as u32);
+        }
+        let mut buf = Vec::new();
+        wire::encode_vclock(&c, &mut buf);
+        assert_eq!(buf.len(), 4 + c.wire_size(), "seed {seed}");
+        let (back, used) = wire::decode_vclock(&buf).expect("well-formed encoding");
+        assert_eq!(used, buf.len(), "seed {seed}");
+        assert_eq!(back, c, "seed {seed}");
+    }
+}
+
+/// Random publish frames survive encode → length-prefixed stream → decode →
+/// apply: the reassembled frame rebuilds the same region bytes the original
+/// runs carried.
+#[test]
+fn wire_frame_round_trips_through_stream() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed + 9000);
+        let region_len = rng.in_range(64, 1024);
+        let mut region = rng.bytes(region_len);
+        let mut frame = wire::WireFrame {
+            region: rng.below(8) as u32,
+            seq: rng.next_u64() % 1000,
+            clock: (0..rng.below(16)).map(|_| rng.next_u64() as u32).collect(),
+            runs: Vec::new(),
+            payload: Vec::new(),
+        };
+        // Disjoint increasing runs with fresh bytes.
+        let mut at = 0usize;
+        while at + 4 <= region_len && frame.runs.len() < 8 {
+            at += rng.below(96);
+            let len = rng.in_range(1, 32).min(region_len.saturating_sub(at));
+            if len == 0 {
+                break;
+            }
+            let bytes = rng.bytes(len);
+            frame.runs.push((at as u32, len as u32));
+            frame.payload.extend_from_slice(&bytes);
+            at += len + 1;
+        }
+        let mut stream = Vec::new();
+        let mut body = Vec::new();
+        frame.encode_into(&mut body);
+        wire::write_msg(&mut stream, wire::WireMsgKind::Frame, &body).expect("write");
+        wire::write_msg(&mut stream, wire::WireMsgKind::Fin, &[]).expect("write");
+        let mut r = &stream[..];
+        let mut msg = Vec::new();
+        assert_eq!(
+            wire::read_msg(&mut r, &mut msg).expect("read"),
+            Some(wire::WireMsgKind::Frame),
+            "seed {seed}"
+        );
+        let back = wire::WireFrame::decode(&msg).expect("well-formed frame");
+        assert_eq!(back, frame, "seed {seed}");
+        let mut expect = region.clone();
+        assert!(frame.apply(&mut expect), "seed {seed}");
+        assert!(back.apply(&mut region), "seed {seed}");
+        assert_eq!(region, expect, "seed {seed}");
+        assert_eq!(
+            wire::read_msg(&mut r, &mut msg).expect("read"),
+            Some(wire::WireMsgKind::Fin)
+        );
+        assert_eq!(wire::read_msg(&mut r, &mut msg).expect("read"), None);
     }
 }
 

@@ -6,28 +6,29 @@ use std::fmt;
 /// way the paper's analysis does (lock traffic vs. barrier traffic vs. data
 /// fetches at access misses).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
 pub enum MsgKind {
     /// Lock request from the acquirer to the lock's manager.
-    LockRequest,
+    LockRequest = 0,
     /// Lock request forwarded from the manager to the last owner.
-    LockForward,
+    LockForward = 1,
     /// Lock grant from the last owner to the acquirer; under EC's update
     /// protocol this carries the consistency payload (diffs or timestamped
     /// blocks) for the data bound to the lock.
-    LockGrant,
+    LockGrant = 2,
     /// Release notification for read-only locks (EC) back to the owner.
-    LockRelease,
+    LockRelease = 3,
     /// Barrier arrival message from a node to the barrier manager; under LRC
     /// this carries the node's write notices and vector.
-    BarrierArrival,
+    BarrierArrival = 4,
     /// Barrier departure message from the manager to a node; under LRC this
     /// carries the write notices the node has not yet seen.
-    BarrierRelease,
+    BarrierRelease = 5,
     /// Page/data fetch request issued on an access miss (LRC invalidate
     /// protocol), carrying the faulting node's vector.
-    DataRequest,
+    DataRequest = 6,
     /// Reply to a [`MsgKind::DataRequest`]: diffs or timestamped blocks.
-    DataReply,
+    DataReply = 7,
 }
 
 impl MsgKind {
@@ -43,18 +44,10 @@ impl MsgKind {
         MsgKind::DataReply,
     ];
 
-    /// Dense index of this kind within [`MsgKind::ALL`].
+    /// Dense index of this kind within [`MsgKind::ALL`] — the `#[repr(u8)]`
+    /// discriminant, pinned to the `ALL` order by `indices_match_all_order`.
     pub fn index(self) -> usize {
-        match self {
-            MsgKind::LockRequest => 0,
-            MsgKind::LockForward => 1,
-            MsgKind::LockGrant => 2,
-            MsgKind::LockRelease => 3,
-            MsgKind::BarrierArrival => 4,
-            MsgKind::BarrierRelease => 5,
-            MsgKind::DataRequest => 6,
-            MsgKind::DataReply => 7,
-        }
+        self as usize
     }
 
     /// Short human-readable label.

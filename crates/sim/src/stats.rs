@@ -51,6 +51,11 @@ pub struct NodeStats {
     pub write_notices_received: u64,
     /// Pages invalidated on receipt of write notices (LRC).
     pub pages_invalidated: u64,
+    /// Buffer-pool takes served by recycling a pooled buffer (pool hits).
+    /// Filled in by the runtime from the node's `BufferPool` after the run.
+    pub pool_recycled: u64,
+    /// Buffer-pool takes that had to allocate fresh (pool misses).
+    pub pool_allocated: u64,
 }
 
 impl NodeStats {
@@ -109,6 +114,8 @@ impl NodeStats {
         self.work_units += other.work_units;
         self.write_notices_received += other.write_notices_received;
         self.pages_invalidated += other.pages_invalidated;
+        self.pool_recycled += other.pool_recycled;
+        self.pool_allocated += other.pool_allocated;
     }
 }
 
@@ -252,15 +259,20 @@ mod tests {
         a.record_msg(MsgKind::DataRequest, 8);
         a.write_faults = 3;
         a.work_units = 100;
+        a.pool_recycled = 2;
         let mut b = NodeStats::new();
         b.record_msg(MsgKind::DataRequest, 8);
         b.record_msg(MsgKind::DataReply, 2048);
         b.write_faults = 2;
         b.work_units = 50;
+        b.pool_recycled = 3;
+        b.pool_allocated = 1;
         a.merge(&b);
         assert_eq!(a.messages(), 3);
         assert_eq!(a.write_faults, 5);
         assert_eq!(a.work_units, 150);
+        assert_eq!(a.pool_recycled, 5);
+        assert_eq!(a.pool_allocated, 1);
     }
 
     #[test]

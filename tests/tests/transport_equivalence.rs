@@ -1,0 +1,119 @@
+//! The transport backends must be invisible to the application: a run over
+//! real threads (channel backend) or real loopback sockets (socket backend)
+//! must still verify against the sequential program, and its replicas must
+//! reconstruct the final shared memory contents independently from the
+//! publish stream.
+//!
+//! Replica-vs-master verification happens inside the transport's `finish`
+//! (it panics on divergence), so a completed run with `replicas_verified > 0`
+//! *is* the proof that every frame arrived, reordered into sequence order,
+//! and applied to exactly the engines' master bytes — per run, for every app,
+//! deterministic or not.
+//!
+//! Cross-run comparison (channel/socket contents vs. a separate simulated
+//! run) is additionally asserted for the apps whose contents are bitwise
+//! deterministic.  Lock-grant order between real worker threads is a genuine
+//! race, so apps that sum floats under contended locks (Water) or leave
+//! scheduling-dependent task-queue words in shared memory (Quicksort)
+//! legitimately differ bitwise from one run to the next; SOR, SOR+,
+//! Barnes-Hut, IS and 3D-FFT write every shared word from a deterministic
+//! owner and reproduce identical bytes every run.
+
+use dsm_apps::{run_app, run_app_on, App, Scale};
+use dsm_core::{ImplKind, TransportKind};
+
+/// True if `app` produces bitwise-identical shared contents on every run
+/// (established empirically; see the module docs).
+fn contents_deterministic(app: App) -> bool {
+    !matches!(app, App::Water | App::Quicksort)
+}
+
+/// Runs `app` under `kind` on the simulated, channel and socket backends.
+fn assert_backends_agree(app: App, kind: ImplKind, nprocs: usize) {
+    let base = run_app(app, kind, nprocs, Scale::Tiny);
+    assert!(base.verified, "{app}/{kind}: simulated run not verified");
+    assert_eq!(base.wire.backend, "sim");
+    assert_eq!(base.wire.replicas_verified, 0);
+
+    for transport in [TransportKind::Channel, TransportKind::SocketLocal(2)] {
+        let label = transport.label();
+        let r = run_app_on(app, kind, nprocs, Scale::Tiny, transport);
+        assert!(r.verified, "{app}/{kind} over {label}: run not verified");
+        assert_eq!(r.wire.backend, label);
+        assert!(
+            r.wire.replicas_verified > 0,
+            "{app}/{kind} over {label}: no replica verified the contents"
+        );
+        assert!(
+            r.wire.frames_sent > 0,
+            "{app}/{kind} over {label}: publish stream was empty"
+        );
+        assert_eq!(
+            r.wire.frames_applied,
+            r.wire.frames_sent * r.wire.replicas_verified as u64,
+            "{app}/{kind} over {label}: replicas dropped frames"
+        );
+        assert!(r.wire.wire_bytes > 0, "{app}/{kind} over {label}: no bytes");
+        if contents_deterministic(app) {
+            assert_eq!(
+                r.wire.master_fnv, base.wire.master_fnv,
+                "{app}/{kind} over {label}: final contents differ from simulated"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_app_agrees_across_backends_on_four_nodes() {
+    for app in App::ALL {
+        for kind in [ImplKind::ec_time(), ImplKind::lrc_diff()] {
+            assert_backends_agree(app, kind, 4);
+        }
+    }
+}
+
+#[test]
+fn every_app_agrees_across_backends_on_two_nodes() {
+    for app in App::ALL {
+        assert_backends_agree(app, ImplKind::hlrc_diff(), 2);
+    }
+}
+
+#[test]
+fn the_full_nine_member_matrix_replicates_over_the_channel_backend() {
+    for kind in ImplKind::all() {
+        let r = run_app_on(
+            App::IntegerSort,
+            kind,
+            4,
+            Scale::Tiny,
+            TransportKind::Channel,
+        );
+        assert!(r.verified, "IS/{kind} over channel: run not verified");
+        assert_eq!(
+            r.wire.replicas_verified, 4,
+            "IS/{kind} over channel: every node carries a replica"
+        );
+        assert_eq!(
+            r.wire.frames_applied,
+            r.wire.frames_sent * 4,
+            "IS/{kind} over channel: replicas dropped frames"
+        );
+    }
+}
+
+#[test]
+fn socket_peer_count_scales_independently_of_node_count() {
+    for npeers in [1usize, 3] {
+        let r = run_app_on(
+            App::Sor,
+            ImplKind::lrc_diff(),
+            4,
+            Scale::Tiny,
+            TransportKind::SocketLocal(npeers),
+        );
+        assert!(r.verified);
+        assert_eq!(r.wire.replicas_verified, npeers);
+        assert_eq!(r.wire.frames_applied, r.wire.frames_sent * npeers as u64);
+    }
+}
