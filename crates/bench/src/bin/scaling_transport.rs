@@ -7,10 +7,16 @@
 //!
 //! Host wall-clock, publish rate and bytes-on-wire are emitted as one JSON
 //! object per line; `BENCH_transport.json` at the repo root records the
-//! trajectory across commits.  The interesting curves: the per-frame vector
-//! clock is O(nodes) under LRC, so bytes-per-frame grows linearly along the
-//! threaded sweep, and the socket backend pays a real syscall per frame per
-//! connection where the channel backend hands one `Arc` to every peer.
+//! trajectory across commits.  Each row carries the workload knobs that
+//! produced it (`elems`, `words_per_page`, `epochs`) so points from
+//! different sweeps are self-describing.  `wire_bytes` is split into its
+//! payload (changed bytes) and metadata (frame headers, delta vector-clock
+//! records, run tables, batch framing) parts: the v1 wire sent each frame —
+//! with a full O(nodes) vector clock — as its own message, while the v2 wire
+//! delta-encodes the clocks against a per-stream baseline and coalesces each
+//! epoch's frames into one batch per peer (`frames_coalesced` counts the
+//! sends saved), so metadata grows with what changed rather than with the
+//! node count.
 //!
 //! This binary parses its own arguments (`--scale tiny|small|paper`, default
 //! small).  With `--peer` it instead becomes a replica peer process: it binds
@@ -31,6 +37,9 @@ use dsm_core::{
 /// Elements (u32) in the shared region: 16 pages, as in `hotpath`.
 const ELEMS: usize = 16 * 1024;
 
+/// Words per page of the region (u32 elements, 4 KiB pages).
+const WORDS_PER_PAGE: usize = 1024;
+
 /// One synthetic epoch run over the given transport.  Returns the run result
 /// and the host wall-clock in milliseconds.
 fn epoch_run(
@@ -39,7 +48,6 @@ fn epoch_run(
     iters: usize,
     transport: TransportKind,
 ) -> (RunResult, f64) {
-    const WORDS_PER_PAGE: usize = 1024;
     let mut cfg = DsmConfig::with_procs(kind, nprocs);
     cfg.transport = transport;
     let mut dsm = Dsm::new(cfg).expect("valid config");
@@ -84,7 +92,9 @@ fn print_row(p: &Point<'_>, scale_name: &str, iters: usize, result: &RunResult, 
     println!(
         "{{\"bench\":\"scaling_transport\",\"impl\":\"{}\",\"backend\":\"{}\",\
          \"scale\":\"{}\",\"nodes\":{},\"peers\":{},\"epochs\":{},\
-         \"frames_sent\":{},\"wire_bytes\":{},\"replicas_verified\":{},\
+         \"elems\":{},\"words_per_page\":{},\
+         \"frames_sent\":{},\"frames_coalesced\":{},\"wire_bytes\":{},\
+         \"wire_bytes_payload\":{},\"wire_bytes_meta\":{},\"replicas_verified\":{},\
          \"wall_ms\":{:.3},\"frames_per_sec\":{:.0},\"contents_fnv\":\"{:016x}\"}}",
         p.kind.name(),
         p.backend,
@@ -92,8 +102,13 @@ fn print_row(p: &Point<'_>, scale_name: &str, iters: usize, result: &RunResult, 
         p.nodes,
         p.peers,
         iters,
+        ELEMS,
+        WORDS_PER_PAGE,
         publishes,
+        result.wire.frames_coalesced,
         result.wire.wire_bytes,
+        result.wire.wire_bytes_payload,
+        result.wire.wire_bytes_meta,
         result.wire.replicas_verified,
         wall_ms,
         publishes as f64 / (wall_ms / 1e3).max(1e-9),

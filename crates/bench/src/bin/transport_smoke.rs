@@ -44,17 +44,40 @@ fn main() {
                 r.wire.replicas_verified > 0,
                 "SOR under {kind} over {label}: no replica verified"
             );
+            // The v2 wire accounts every byte as either payload or ordering
+            // metadata, and coalesces each epoch's frames into one batch per
+            // peer.  The socket run exercises the full serialize → TCP →
+            // batch-decode → apply round-trip (the replica verification
+            // above proves the decode).  LRC publishes a whole interval's
+            // dirty pages at once, so under it some frames must have ridden
+            // an already-open batch; EC publishes per bound scope and may
+            // legitimately send single-frame batches at tiny scale.
+            assert_eq!(
+                r.wire.wire_bytes,
+                r.wire.wire_bytes_payload + r.wire.wire_bytes_meta,
+                "SOR under {kind} over {label}: byte split does not add up"
+            );
+            if kind != ImplKind::ec_time() {
+                assert!(
+                    r.wire.frames_coalesced > 0,
+                    "SOR under {kind} over {label}: no epoch coalescing happened"
+                );
+            }
             println!(
                 "{{\"bench\":\"transport_smoke\",\"impl\":\"{}\",\"backend\":\"{}\",\
                  \"scale\":\"{}\",\"procs\":{},\"contents_fnv\":\"{:016x}\",\
-                 \"frames_sent\":{},\"wire_bytes\":{},\"replicas_verified\":{}}}",
+                 \"frames_sent\":{},\"frames_coalesced\":{},\"wire_bytes\":{},\
+                 \"wire_bytes_payload\":{},\"wire_bytes_meta\":{},\"replicas_verified\":{}}}",
                 kind.name(),
                 label,
                 scale_name,
                 opts.nprocs,
                 r.wire.master_fnv,
                 r.wire.frames_sent,
+                r.wire.frames_coalesced,
                 r.wire.wire_bytes,
+                r.wire.wire_bytes_payload,
+                r.wire.wire_bytes_meta,
                 r.wire.replicas_verified,
             );
         }

@@ -550,12 +550,14 @@ impl ProtocolEngine for EcEngine {
             }
         }
 
-        // Hand the run table back to the endpoint and the endpoint back to
-        // the node.
+        // Hand the run table back to the endpoint, flush the release's
+        // frames as one batch per peer (the epoch boundary), and hand the
+        // endpoint back to the node.
         if let Some(w) = wire.as_deref_mut() {
             let mut runs = std::mem::take(&mut col.wire_runs);
             runs.clear();
             w.scratch_runs = runs;
+            w.flush();
         }
         local.wire = wire;
     }

@@ -28,7 +28,7 @@ use crate::local::{HeldLock, NodeLocal};
 use crate::sync::{self, SlotTable};
 
 use super::policy::{DataPolicy, MissInfo};
-use super::state::{pack_stamp, unpack_stamp, LrcLockState, LrcPageState, LrcRegionState, PagePub};
+use super::state::{pack_stamp, unpack_stamp, LrcLockState, LrcPageState, LrcRegionState};
 
 /// Publishes one maximal run of changed words: copies the new bytes into the
 /// master and stamps every word of the run.  `run` is in page-relative word
@@ -169,6 +169,14 @@ impl<P: DataPolicy> LrcEngine<P> {
         // and the loop stays branch-only.
         let mut wire = local.wire.take();
 
+        // The publish-time vector every history record of this interval
+        // stores: the current vector with our own entry already bumped.
+        // Built once per interval in the node's scratch clock (returned
+        // below) so the per-page loop stays allocation-free.
+        let mut pub_clock = std::mem::take(&mut local.scratch_clock);
+        pub_clock.copy_from(&local.vector);
+        pub_clock.set_entry(me, next_interval);
+
         for &(ridx, page) in &dirty {
             let track = wire.is_some();
             let mut frame_runs = match wire.as_deref_mut() {
@@ -291,26 +299,10 @@ impl<P: DataPolicy> LrcEngine<P> {
                 // New stamps landed: any cached flattened snapshot of this
                 // page is now stale.
                 ps.stamp_ver += 1;
-                // Append to the page's publish history, recycling the evicted
-                // record's vector buffer so steady-state publishes allocate
-                // nothing.
-                let mut hist_rec = if ps.history.len() >= diff_ring {
-                    let old = ps.history.pop_front().expect("non-empty ring");
-                    let slot = &mut ps.evicted_latest[old.node.index()];
-                    *slot = (*slot).max(old.interval);
-                    old
-                } else {
-                    PagePub {
-                        node: me,
-                        interval: 0,
-                        vector: VectorClock::new(local.nprocs),
-                    }
-                };
-                hist_rec.node = me;
-                hist_rec.interval = next_interval;
-                hist_rec.vector.copy_from(&local.vector);
-                hist_rec.vector.set_entry(me, next_interval);
-                ps.history.push_back(hist_rec);
+                // Append to the page's publish history as a delta-chain
+                // record (recycled buffers: steady-state publishes allocate
+                // nothing).
+                ps.push_pub(me, next_interval, &pub_clock, diff_ring);
                 let mut rec = PublishRec {
                     stamp: next_interval as u64,
                     node: me,
@@ -372,7 +364,13 @@ impl<P: DataPolicy> LrcEngine<P> {
             }
             log.push(published_pages);
         }
+        local.scratch_clock = pub_clock;
         local.vector.bump(me);
+        // Epoch boundary: everything this interval published moves in one
+        // batch per peer.
+        if let Some(w) = wire.as_deref_mut() {
+            w.flush();
+        }
         local.wire = wire;
     }
 

@@ -127,15 +127,25 @@ impl DataPolicy for Homeless {
         // is independent of concurrent unentitled publishes.
         let responders = {
             let ps = &rs.pages[m.page];
-            let primary = ps.last_entitled_pub(&local.vector);
             let mut extra = 0usize;
             let mut primary_used = false;
-            for &(q, _, upto) in m.stale {
-                let qn = NodeId::new(q as u32);
-                match primary {
-                    Some(p) if p.node == qn || upto <= p.vector.entry(qn) => primary_used = true,
-                    _ => extra += 1,
+            match ps.last_entitled_pub(&local.vector) {
+                Some(idx) => {
+                    // The history stores delta-chain records; materialize
+                    // the primary's publish-time vector once, into the
+                    // node's scratch clock (no allocation in steady state).
+                    ps.reconstruct_pub_clock(idx, &mut local.scratch_clock);
+                    let pnode = ps.history[idx].node;
+                    for &(q, _, upto) in m.stale {
+                        let qn = NodeId::new(q as u32);
+                        if pnode == qn || upto <= local.scratch_clock.entry(qn) {
+                            primary_used = true;
+                        } else {
+                            extra += 1;
+                        }
+                    }
                 }
+                None => extra = m.stale.len(),
             }
             (usize::from(primary_used) + extra).max(1)
         };

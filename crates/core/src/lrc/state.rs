@@ -8,7 +8,7 @@
 
 use std::collections::VecDeque;
 
-use dsm_mem::{FlatUpdate, VectorClock};
+use dsm_mem::{ClockDelta, FlatUpdate, VectorClock};
 use dsm_sim::NodeId;
 
 use crate::engine::PublishRec;
@@ -31,22 +31,33 @@ pub(crate) fn unpack_stamp(stamp: u64) -> Option<(NodeId, u32)> {
     }
 }
 
-/// One publish to a page: the writer, its interval, and its vector at publish
-/// time.  The bounded per-page history of these records is the simulation's
-/// stand-in for the write notices a real node would have received: freshness
-/// and responder decisions read only the records the faulting node's vector
-/// *entitles* it to, so a concurrent publish the node has not yet synchronized
-/// with can never change the outcome of its check.  (The raw `latest` high
-/// water marks are updated racily by design and must only feed monotone,
+/// One publish to a page: the writer, its interval, and the *delta* of its
+/// publish-time vector against the previous record's.  The bounded per-page
+/// history of these records is the simulation's stand-in for the write
+/// notices a real node would have received: freshness and responder
+/// decisions read only the records the faulting node's vector *entitles* it
+/// to, so a concurrent publish the node has not yet synchronized with can
+/// never change the outcome of its check.  (The raw `latest` high water
+/// marks are updated racily by design and must only feed monotone,
 /// stats-neutral fast paths such as the caught-up check.)
+///
+/// Storing the delta instead of the full vector shrinks each record from
+/// `O(nprocs)` words to `O(runs of change)` — under coarse synchronization a
+/// publish typically advances every entry by the same amount, which is a
+/// single run.  The full vector of record `i` is reconstructed on demand by
+/// replaying deltas `0..=i` over the page's
+/// [`base_clock`](LrcPageState::base_clock)
+/// (see [`LrcPageState::reconstruct_pub_clock`]).
 #[derive(Debug, Clone)]
 pub(crate) struct PagePub {
     /// The publishing node.
     pub node: NodeId,
     /// The interval the publish ended.
     pub interval: u32,
-    /// The publisher's vector at publish time (own entry already bumped).
-    pub vector: VectorClock,
+    /// The publisher's vector at publish time (own entry already bumped),
+    /// as a delta from the previous retained record's vector — or from
+    /// `base_clock` for the oldest retained record.
+    pub delta: ClockDelta,
 }
 
 /// Per-page lazy-release-consistency state.
@@ -57,6 +68,14 @@ pub(crate) struct LrcPageState {
     pub latest: Vec<u32>,
     /// Ring of recent publishes to this page, oldest first (see [`PagePub`]).
     pub history: VecDeque<PagePub>,
+    /// Anchor of the history's delta chain: the publish-time vector of the
+    /// most recently evicted record (all-zero while nothing has been
+    /// evicted).  The oldest retained record's delta applies on top of this.
+    pub base_clock: VectorClock,
+    /// The newest retained record's publish-time vector — the running end of
+    /// the delta chain, kept materialized so appending a record is one
+    /// `O(nprocs)` diff (no replay).
+    pub head_clock: VectorClock,
     /// Per node: the largest publish interval that has been evicted from
     /// `history` (0 = none).  Below this mark the engine conservatively
     /// assumes the page was touched.
@@ -84,6 +103,8 @@ impl LrcPageState {
         LrcPageState {
             latest: vec![0; nprocs],
             history: VecDeque::new(),
+            base_clock: VectorClock::new(nprocs),
+            head_clock: VectorClock::new(nprocs),
             evicted_latest: vec![0; nprocs],
             diffs: VecDeque::new(),
             stamp_ver: 0,
@@ -92,13 +113,60 @@ impl LrcPageState {
         }
     }
 
+    /// Appends a publish record for `node` ending `interval` with
+    /// publish-time vector `clock`, keeping at most `ring` records.
+    ///
+    /// The record stores only the delta against the current chain head; an
+    /// evicted record's delta is folded into [`base_clock`] so the chain
+    /// stays replayable, and its buffers are recycled into the new record so
+    /// steady-state publishes allocate nothing.
+    ///
+    /// [`base_clock`]: LrcPageState::base_clock
+    pub fn push_pub(&mut self, node: NodeId, interval: u32, clock: &VectorClock, ring: usize) {
+        let mut rec = if self.history.len() >= ring {
+            let old = self.history.pop_front().expect("non-empty ring");
+            let slot = &mut self.evicted_latest[old.node.index()];
+            *slot = (*slot).max(old.interval);
+            // The evicted record's vector becomes the new chain anchor.
+            old.delta.apply_to_clock(&mut self.base_clock);
+            old
+        } else {
+            PagePub {
+                node,
+                interval: 0,
+                delta: ClockDelta::new(),
+            }
+        };
+        rec.node = node;
+        rec.interval = interval;
+        rec.delta
+            .compute(self.head_clock.entries(), clock.entries());
+        self.head_clock.copy_from(clock);
+        self.history.push_back(rec);
+    }
+
     /// The most recent publish to this page that `vector` entitles its owner
-    /// to see, if any record of it is still retained.
-    pub fn last_entitled_pub(&self, vector: &VectorClock) -> Option<&PagePub> {
+    /// to see, as an index into `history`, if any record of it is still
+    /// retained.
+    pub fn last_entitled_pub(&self, vector: &VectorClock) -> Option<usize> {
         self.history
             .iter()
+            .enumerate()
             .rev()
-            .find(|rec| rec.interval <= vector.entry(rec.node))
+            .find(|(_, rec)| rec.interval <= vector.entry(rec.node))
+            .map(|(i, _)| i)
+    }
+
+    /// Materializes the publish-time vector of history record `idx` into
+    /// `out` by replaying the delta chain from [`base_clock`] — `O(idx)`
+    /// small deltas, no allocation when `out` has capacity.
+    ///
+    /// [`base_clock`]: LrcPageState::base_clock
+    pub fn reconstruct_pub_clock(&self, idx: usize, out: &mut VectorClock) {
+        out.copy_from(&self.base_clock);
+        for rec in self.history.iter().take(idx + 1) {
+            rec.delta.apply_to_clock(out);
+        }
     }
 }
 
@@ -139,18 +207,10 @@ mod tests {
         let mut ps = LrcPageState::new(4);
         let mut v1 = VectorClock::new(4);
         v1.set_entry(NodeId::new(1), 3);
-        ps.history.push_back(PagePub {
-            node: NodeId::new(1),
-            interval: 3,
-            vector: v1,
-        });
+        ps.push_pub(NodeId::new(1), 3, &v1, 8);
         let mut v2 = VectorClock::new(4);
         v2.set_entry(NodeId::new(2), 9);
-        ps.history.push_back(PagePub {
-            node: NodeId::new(2),
-            interval: 9,
-            vector: v2,
-        });
+        ps.push_pub(NodeId::new(2), 9, &v2, 8);
 
         // Entitled to node 1's interval 3 but not node 2's interval 9: the
         // newest *entitled* record wins, whatever landed after it.
@@ -158,15 +218,42 @@ mod tests {
         mine.set_entry(NodeId::new(1), 5);
         mine.set_entry(NodeId::new(2), 8);
         let last = ps.last_entitled_pub(&mine).expect("one entitled record");
-        assert_eq!(last.node, NodeId::new(1));
-        assert_eq!(last.interval, 3);
+        assert_eq!(ps.history[last].node, NodeId::new(1));
+        assert_eq!(ps.history[last].interval, 3);
 
         // Entitled to both: the newest record wins.
         mine.set_entry(NodeId::new(2), 9);
-        assert_eq!(ps.last_entitled_pub(&mine).unwrap().node, NodeId::new(2));
+        let last = ps.last_entitled_pub(&mine).unwrap();
+        assert_eq!(ps.history[last].node, NodeId::new(2));
 
         // Entitled to neither.
         let nothing = VectorClock::new(4);
         assert!(ps.last_entitled_pub(&nothing).is_none());
+    }
+
+    #[test]
+    fn delta_chain_reconstructs_evicted_history() {
+        // Push five records through a ring of three; reconstruction must
+        // still yield each retained record's exact publish-time vector.
+        let mut ps = LrcPageState::new(3);
+        let mut clocks = Vec::new();
+        let mut v = VectorClock::new(3);
+        for i in 1..=5u32 {
+            let node = NodeId::new(i % 3);
+            v.bump(node);
+            v.set_entry(NodeId::new(2), v.entry(NodeId::new(2)) + i);
+            clocks.push(v.clone());
+            ps.push_pub(node, v.entry(node), &v, 3);
+        }
+        assert_eq!(ps.history.len(), 3);
+        // Records 0 and 1 were evicted; 2, 3, 4 remain at indices 0, 1, 2.
+        let mut out = VectorClock::new(3);
+        for (idx, want) in clocks[2..].iter().enumerate() {
+            ps.reconstruct_pub_clock(idx, &mut out);
+            assert_eq!(&out, want, "record {idx}");
+        }
+        // The anchor is the newest evicted record's vector.
+        assert_eq!(&ps.base_clock, &clocks[1]);
+        assert_eq!(&ps.head_clock, &clocks[4]);
     }
 }

@@ -19,6 +19,16 @@
 //!   processes started by a driver (`SocketRemote`, see
 //!   [`serve_transport_peer`]).
 //!
+//! Both real backends buffer per peer and move data at **epoch boundaries**:
+//! an endpoint accumulates the interval's frames and the engines call
+//! [`WireEndpoint::flush`] once per publish event, after the region locks
+//! are released — one channel send (or one `write_all` syscall, with
+//! `TCP_NODELAY` set) per peer per epoch instead of one per frame.  On the
+//! wire the frames travel in v2 form (see [`dsm_mem::wire::encode_frame_v2`]):
+//! vector clocks are [`CompactClock`] delta records against the stream's
+//! previous clock, so ordering metadata scales with what changed, not with
+//! nprocs.
+//!
 //! Cost accounting is transport-independent: the simulated clocks and
 //! statistics are charged identically under every backend, so simulated
 //! times and all goldens stay byte-identical; the backends differ only in
@@ -26,13 +36,15 @@
 //! the wire format.
 
 use std::collections::BTreeMap;
-use std::io::{self, BufWriter, Read, Write};
+use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::{mpsc, Arc};
 
 use dsm_mem::wire::{
-    fnv64_regions, read_msg, write_msg, WireFrame, WireInit, WireMsgKind, WireReport,
+    self, begin_batch, encode_frame_v2, finish_batch, fnv64_regions, frame_v2_meta_len, read_msg,
+    write_msg, BatchReader, FrameV2, WireFrame, WireInit, WireMsgKind, WireReport,
 };
+use dsm_mem::{put_varint, varint_len, BufferPool, CompactClock};
 use dsm_sim::NodeId;
 
 use crate::config::DsmConfig;
@@ -88,10 +100,19 @@ pub struct TransportReport {
     pub replicas_verified: usize,
     /// Publish frames sent (each counted once, however many receivers).
     pub frames_sent: u64,
-    /// Encoded frame bytes delivered, summed over receivers (for the channel
-    /// backend: the bytes that *would* be on a wire; the `Arc` handoff
-    /// itself copies nothing).
+    /// Bytes delivered, summed over receivers (for the channel backend: the
+    /// bytes that *would* be on a wire in v2 batch form; the `Arc` handoff
+    /// itself copies nothing).  Always `wire_bytes_payload + wire_bytes_meta`.
     pub wire_bytes: u64,
+    /// The changed-bytes part of `wire_bytes`: run payloads, summed over
+    /// receivers.
+    pub wire_bytes_payload: u64,
+    /// The ordering-metadata part of `wire_bytes`: frame headers, delta
+    /// clock records, run tables and batch framing, summed over receivers.
+    pub wire_bytes_meta: u64,
+    /// Sends saved by epoch coalescing: frames that rode in an already-open
+    /// batch instead of paying their own send (`frames_sent` minus batches).
+    pub frames_coalesced: u64,
     /// Frames applied across all replicas.
     pub frames_applied: u64,
 }
@@ -111,6 +132,9 @@ struct Replica {
     pending: Vec<BTreeMap<u64, Arc<WireFrame>>>,
     frames_applied: u64,
     bytes_received: u64,
+    /// Recycles applied frames' payload buffers back to the decode path, so
+    /// a socket peer's read loop stops allocating per frame in steady state.
+    pool: BufferPool,
 }
 
 impl Replica {
@@ -121,15 +145,16 @@ impl Replica {
             pending: init.iter().map(|_| BTreeMap::new()).collect(),
             frames_applied: 0,
             bytes_received: 0,
+            pool: BufferPool::new(),
         }
     }
 
     /// Accepts a frame, applying it — and any unblocked successors — as soon
-    /// as its region's sequence reaches it.
+    /// as its region's sequence reaches it.  Uniquely-owned applied frames
+    /// donate their payload buffer back to the pool.
     fn offer(&mut self, frame: Arc<WireFrame>) {
         let r = frame.region as usize;
         assert!(r < self.regions.len(), "frame for unknown region {r}");
-        self.bytes_received += frame.encoded_len() as u64;
         self.pending[r].insert(frame.seq, frame);
         while let Some(f) = self.pending[r].remove(&(self.applied_seq[r] + 1)) {
             assert!(
@@ -138,7 +163,16 @@ impl Replica {
             );
             self.applied_seq[r] += 1;
             self.frames_applied += 1;
+            if let Ok(owned) = Arc::try_unwrap(f) {
+                self.pool.put(owned.payload);
+            }
         }
+    }
+
+    /// Counts framed bytes (message headers included) received on node
+    /// streams; the socket peer loop calls it once per message.
+    fn note_received(&mut self, bytes: u64) {
+        self.bytes_received += bytes;
     }
 
     /// True once no frame is waiting on a missing predecessor.
@@ -159,21 +193,41 @@ impl Replica {
     }
 }
 
+/// An epoch's worth of frames, handed to a peer's inbox in one send.
+type FrameBatch = Vec<Arc<WireFrame>>;
+
+/// Flush the socket batch buffer early if it outgrows this (pathological
+/// epochs only; normal epochs are a few KiB).
+const SOCKET_BATCH_LIMIT: usize = 4 << 20;
+
 /// A worker thread's handle onto the transport: where its publish frames go.
 ///
 /// Owned by the worker's `NodeLocal` for the duration of the run (`None`
 /// under the simulated backend), handed back to the transport's
-/// [`Transport::finish`] afterwards.
+/// [`Transport::finish`] afterwards.  Publishes accumulate in a per-peer
+/// send buffer; the engines call [`WireEndpoint::flush`] at each epoch
+/// boundary (end of a publish event, after region locks are released).
 #[derive(Debug)]
 pub(crate) struct WireEndpoint {
     /// Frames this endpoint published.
     pub frames_sent: u64,
-    /// Encoded frame bytes this endpoint delivered, summed over receivers.
-    pub wire_bytes: u64,
+    /// Payload bytes delivered (changed-byte runs), summed over receivers.
+    pub wire_bytes_payload: u64,
+    /// Ordering-metadata bytes delivered (headers, delta clocks, run tables,
+    /// batch framing), summed over receivers.
+    pub wire_bytes_meta: u64,
+    /// Sends saved by coalescing: frames beyond the first in each batch.
+    pub frames_coalesced: u64,
     /// Scratch run table the engines fill while collecting a publish
     /// (borrowed out with `std::mem::take`, handed back after the frame is
     /// built, so steady-state publishes reuse its capacity).
     pub scratch_runs: Vec<(u32, u32)>,
+    /// Delta codec for this endpoint's outgoing clock stream.  Every peer
+    /// receives the identical stream, so one sender baseline serves all.
+    enc: CompactClock,
+    /// False until the first publish: the first frame of a stream carries
+    /// its clock in full mode to seed the receivers' baselines.
+    started: bool,
     inner: EndpointInner,
 }
 
@@ -182,21 +236,51 @@ enum EndpointInner {
     /// Channel backend: senders to every other node's inbox, this node's own
     /// inbox, and this node's own replica.
     Channel {
-        peers: Vec<mpsc::Sender<Arc<WireFrame>>>,
-        inbox: mpsc::Receiver<Arc<WireFrame>>,
+        peers: Vec<mpsc::Sender<FrameBatch>>,
+        inbox: mpsc::Receiver<FrameBatch>,
         replica: Replica,
+        /// Frames published since the last flush.
+        pending: FrameBatch,
+        /// Scratch for sizing the would-be-on-wire delta clock record.
+        clock_scratch: Vec<u8>,
     },
-    /// Socket backend: one buffered stream per replica peer.
+    /// Socket backend: one raw TCP stream per replica peer (`TCP_NODELAY`
+    /// set; batching makes the writes large, so Nagle only adds latency).
     Socket {
-        conns: Vec<BufWriter<TcpStream>>,
-        scratch: Vec<u8>,
+        conns: Vec<TcpStream>,
+        /// The open batch message: header placeholder + encoded v2 frames.
+        batch: Vec<u8>,
+        batch_frames: u32,
+        batch_payload: u64,
+        /// Scratch one frame is encoded into before the length-prefixed
+        /// append to `batch`.
+        frame_buf: Vec<u8>,
     },
 }
 
 impl WireEndpoint {
-    /// Replicates one publish: region-absolute changed-byte `runs` of
-    /// `data`, totally ordered within the region by `seq` (dense, 1-based).
-    /// `clock` is the publisher's vector-clock entries (empty under EC).
+    fn new(inner: EndpointInner) -> Box<Self> {
+        Box::new(WireEndpoint {
+            frames_sent: 0,
+            wire_bytes_payload: 0,
+            wire_bytes_meta: 0,
+            frames_coalesced: 0,
+            scratch_runs: Vec::new(),
+            enc: CompactClock::new(),
+            started: false,
+            inner,
+        })
+    }
+
+    /// Total bytes this endpoint delivered, summed over receivers.
+    pub fn wire_bytes(&self) -> u64 {
+        self.wire_bytes_payload + self.wire_bytes_meta
+    }
+
+    /// Buffers one publish for replication: region-absolute changed-byte
+    /// `runs` of `data`, totally ordered within the region by `seq` (dense,
+    /// 1-based).  `clock` is the publisher's vector-clock entries (empty
+    /// under EC).  Nothing moves until [`WireEndpoint::flush`].
     pub fn publish(
         &mut self,
         region: u32,
@@ -205,47 +289,131 @@ impl WireEndpoint {
         runs: &[(u32, u32)],
         data: &[u8],
     ) {
-        let payload_len: usize = runs.iter().map(|&(_, len)| len as usize).sum();
-        let mut payload = Vec::with_capacity(payload_len);
-        for &(off, len) in runs {
-            payload.extend_from_slice(&data[off as usize..off as usize + len as usize]);
-        }
-        let frame = WireFrame {
-            region,
-            seq,
-            clock: clock.to_vec(),
-            runs: runs.to_vec(),
-            payload,
-        };
         self.frames_sent += 1;
+        let full = !self.started;
+        self.started = true;
+        let mut overflow = false;
+        match &mut self.inner {
+            EndpointInner::Channel {
+                peers,
+                pending,
+                clock_scratch,
+                ..
+            } => {
+                // Account the exact v2 wire form (the Arc handoff itself
+                // moves no bytes): delta clock record + frame meta + payload,
+                // per receiver, plus this frame's batch length prefix.
+                clock_scratch.clear();
+                let clock_rec = self.enc.encode_next(clock, full, clock_scratch);
+                let payload_len: usize = runs.iter().map(|&(_, len)| len as usize).sum();
+                let meta = frame_v2_meta_len(region, seq, clock_rec, runs);
+                let receivers = peers.len() as u64 + 1;
+                let framed_meta = (varint_len((meta + payload_len) as u64) + meta) as u64;
+                self.wire_bytes_meta += framed_meta * receivers;
+                self.wire_bytes_payload += payload_len as u64 * receivers;
+                let mut payload = Vec::with_capacity(payload_len);
+                for &(off, len) in runs {
+                    payload.extend_from_slice(&data[off as usize..(off + len) as usize]);
+                }
+                pending.push(Arc::new(WireFrame {
+                    region,
+                    seq,
+                    clock: clock.to_vec(),
+                    runs: runs.to_vec(),
+                    payload,
+                }));
+            }
+            EndpointInner::Socket {
+                batch,
+                batch_frames,
+                batch_payload,
+                frame_buf,
+                ..
+            } => {
+                frame_buf.clear();
+                let (_, payload) = encode_frame_v2(
+                    &FrameV2 {
+                        region,
+                        seq,
+                        clock,
+                        full,
+                        runs,
+                        data,
+                    },
+                    &mut self.enc,
+                    frame_buf,
+                );
+                if batch.is_empty() {
+                    begin_batch(batch);
+                }
+                put_varint(batch, frame_buf.len() as u64);
+                batch.extend_from_slice(frame_buf);
+                *batch_frames += 1;
+                *batch_payload += payload as u64;
+                overflow = batch.len() >= SOCKET_BATCH_LIMIT;
+            }
+        }
+        if overflow {
+            self.flush();
+        }
+    }
+
+    /// Delivers everything buffered since the last flush: one batch message
+    /// per peer (one channel send, or one `write_all` per socket).  The
+    /// engines call this at each epoch boundary; a flush with nothing
+    /// pending only drains the inbox (channel) or is a no-op (socket).
+    pub fn flush(&mut self) {
         match &mut self.inner {
             EndpointInner::Channel {
                 peers,
                 inbox,
                 replica,
+                pending,
+                ..
             } => {
-                self.wire_bytes += frame.encoded_len() as u64 * (peers.len() as u64 + 1);
-                let frame = Arc::new(frame);
-                for peer in peers.iter() {
-                    peer.send(frame.clone()).expect("peer inbox closed mid-run");
+                if !pending.is_empty() {
+                    self.frames_coalesced += pending.len() as u64 - 1;
+                    self.wire_bytes_meta +=
+                        wire::BATCH_HEADER_LEN as u64 * (peers.len() as u64 + 1);
+                    for peer in peers.iter() {
+                        peer.send(pending.clone())
+                            .expect("peer inbox closed mid-run");
+                    }
+                    for f in pending.drain(..) {
+                        replica.offer(f);
+                    }
                 }
-                replica.offer(frame);
-                // Opportunistically absorb whatever peers have sent so far;
-                // the rest is drained after the run, when every send is
-                // join-ordered before the drain.
-                while let Ok(f) = inbox.try_recv() {
-                    replica.offer(f);
+                // Absorb whatever peers have flushed so far; the rest is
+                // drained after the run, when every send is join-ordered
+                // before the drain.
+                while let Ok(batch) = inbox.try_recv() {
+                    for f in batch {
+                        replica.offer(f);
+                    }
                 }
             }
-            EndpointInner::Socket { conns, scratch } => {
-                scratch.clear();
-                frame.encode_into(scratch);
+            EndpointInner::Socket {
+                conns,
+                batch,
+                batch_frames,
+                batch_payload,
+                ..
+            } => {
+                if *batch_frames == 0 {
+                    return;
+                }
+                finish_batch(batch, *batch_frames);
                 for conn in conns.iter_mut() {
-                    write_msg(conn, WireMsgKind::Frame, scratch)
+                    conn.write_all(batch)
                         .expect("replica peer connection lost mid-run");
                 }
-                // Body plus the 5-byte message header, per receiving peer.
-                self.wire_bytes += (scratch.len() as u64 + 5) * conns.len() as u64;
+                let nconns = conns.len() as u64;
+                self.wire_bytes_meta += (batch.len() as u64 - *batch_payload) * nconns;
+                self.wire_bytes_payload += *batch_payload * nconns;
+                self.frames_coalesced += *batch_frames as u64 - 1;
+                batch.clear();
+                *batch_frames = 0;
+                *batch_payload = 0;
             }
         }
     }
@@ -261,8 +429,9 @@ pub(crate) trait Transport: Send {
     /// backend replicates nothing (simulated).
     fn take_endpoint(&mut self, node: NodeId) -> Option<Box<WireEndpoint>>;
 
-    /// Completes the run: drains and verifies every replica against the
-    /// engines' final `master` copies and summarizes the traffic.
+    /// Completes the run: flushes every endpoint, drains and verifies every
+    /// replica against the engines' final `master` copies and summarizes the
+    /// traffic.
     ///
     /// Panics if any replica's contents diverge from the master — that is a
     /// transport bug, never a legal outcome.
@@ -284,6 +453,29 @@ pub(crate) fn build_transport(cfg: &DsmConfig, init: &[Vec<u8>]) -> Box<dyn Tran
     }
 }
 
+fn empty_report(backend: &'static str, master: &[Vec<u8>]) -> TransportReport {
+    TransportReport {
+        backend,
+        master_fnv: fnv64_regions(master.iter().map(|r| r.as_slice())),
+        replicas_verified: 0,
+        frames_sent: 0,
+        wire_bytes: 0,
+        wire_bytes_payload: 0,
+        wire_bytes_meta: 0,
+        frames_coalesced: 0,
+        frames_applied: 0,
+    }
+}
+
+/// Folds one finished endpoint's counters into the report.
+fn absorb_endpoint(report: &mut TransportReport, ep: &WireEndpoint) {
+    report.frames_sent += ep.frames_sent;
+    report.wire_bytes_payload += ep.wire_bytes_payload;
+    report.wire_bytes_meta += ep.wire_bytes_meta;
+    report.wire_bytes += ep.wire_bytes();
+    report.frames_coalesced += ep.frames_coalesced;
+}
+
 /// The default backend: no endpoints, no replication, no bytes.  Publishes
 /// stay exactly the branch-free accounting they were before the transport
 /// layer existed.
@@ -300,31 +492,25 @@ impl Transport for SimulatedTransport {
     }
 
     fn finish(&mut self, _endpoints: Vec<WireEndpoint>, master: &[Vec<u8>]) -> TransportReport {
-        TransportReport {
-            backend: self.label(),
-            master_fnv: fnv64_regions(master.iter().map(|r| r.as_slice())),
-            replicas_verified: 0,
-            frames_sent: 0,
-            wire_bytes: 0,
-            frames_applied: 0,
-        }
+        empty_report(self.label(), master)
     }
 }
 
 /// In-process channel backend: every node owns a full replica and an inbox;
-/// a publish `Arc`-clones one frame into every other node's inbox.
+/// a flush `Arc`-clones the epoch's frames into every other node's inbox in
+/// one send.
 #[derive(Debug)]
 struct ChannelTransport {
     endpoints: Vec<Option<Box<WireEndpoint>>>,
 }
 
 /// One node's frame channel: the sender peers clone, the node's own inbox.
-type FrameChannel = (mpsc::Sender<Arc<WireFrame>>, mpsc::Receiver<Arc<WireFrame>>);
+type BatchChannel = (mpsc::Sender<FrameBatch>, mpsc::Receiver<FrameBatch>);
 
 impl ChannelTransport {
     fn new(nprocs: usize, init: &[Vec<u8>]) -> Self {
-        let channels: Vec<FrameChannel> = (0..nprocs).map(|_| mpsc::channel()).collect();
-        let senders: Vec<mpsc::Sender<Arc<WireFrame>>> =
+        let channels: Vec<BatchChannel> = (0..nprocs).map(|_| mpsc::channel()).collect();
+        let senders: Vec<mpsc::Sender<FrameBatch>> =
             channels.iter().map(|(tx, _)| tx.clone()).collect();
         let endpoints = channels
             .into_iter()
@@ -336,15 +522,12 @@ impl ChannelTransport {
                     .filter(|&(q, _)| q != p)
                     .map(|(_, tx)| tx.clone())
                     .collect();
-                Some(Box::new(WireEndpoint {
-                    frames_sent: 0,
-                    wire_bytes: 0,
-                    scratch_runs: Vec::new(),
-                    inner: EndpointInner::Channel {
-                        peers,
-                        inbox,
-                        replica: Replica::new(init),
-                    },
+                Some(WireEndpoint::new(EndpointInner::Channel {
+                    peers,
+                    inbox,
+                    replica: Replica::new(init),
+                    pending: Vec::new(),
+                    clock_scratch: Vec::new(),
                 }))
             })
             .collect();
@@ -361,19 +544,15 @@ impl Transport for ChannelTransport {
         self.endpoints[node.index()].take()
     }
 
-    fn finish(&mut self, endpoints: Vec<WireEndpoint>, master: &[Vec<u8>]) -> TransportReport {
-        let master_fnv = fnv64_regions(master.iter().map(|r| r.as_slice()));
-        let mut report = TransportReport {
-            backend: self.label(),
-            master_fnv,
-            replicas_verified: 0,
-            frames_sent: 0,
-            wire_bytes: 0,
-            frames_applied: 0,
-        };
+    fn finish(&mut self, mut endpoints: Vec<WireEndpoint>, master: &[Vec<u8>]) -> TransportReport {
+        // Flush every endpoint before draining any replica: a replica's
+        // inbox is complete only once all of its peers have flushed.
+        for ep in endpoints.iter_mut() {
+            ep.flush();
+        }
+        let mut report = empty_report(self.label(), master);
         for ep in endpoints {
-            report.frames_sent += ep.frames_sent;
-            report.wire_bytes += ep.wire_bytes;
+            absorb_endpoint(&mut report, &ep);
             let EndpointInner::Channel {
                 inbox, mut replica, ..
             } = ep.inner
@@ -383,13 +562,15 @@ impl Transport for ChannelTransport {
             // Every worker thread has been joined, so every send
             // happens-before this drain: the inbox holds the complete
             // remainder of the run's frames.
-            while let Ok(f) = inbox.try_recv() {
-                replica.offer(f);
+            while let Ok(batch) = inbox.try_recv() {
+                for f in batch {
+                    replica.offer(f);
+                }
             }
             assert!(replica.drained(), "replica is missing publish frames");
             assert_eq!(
                 replica.fnv(),
-                master_fnv,
+                report.master_fnv,
                 "channel replica diverged from the engines' master copies"
             );
             report.frames_applied += replica.frames_applied;
@@ -449,6 +630,7 @@ impl SocketTransport {
         let mut controls = Vec::with_capacity(addrs.len());
         for addr in addrs {
             let mut conn = TcpStream::connect(addr).expect("connect to replica peer");
+            conn.set_nodelay(true).expect("set TCP_NODELAY");
             conn.write_all(b"C").expect("send control role");
             write_msg(&mut conn, WireMsgKind::Init, &init_body).expect("send init");
             controls.push(conn);
@@ -459,18 +641,17 @@ impl SocketTransport {
                     .iter()
                     .map(|addr| {
                         let mut conn = TcpStream::connect(addr).expect("connect to replica peer");
+                        conn.set_nodelay(true).expect("set TCP_NODELAY");
                         conn.write_all(b"N").expect("send node role");
-                        BufWriter::new(conn)
+                        conn
                     })
                     .collect();
-                Some(Box::new(WireEndpoint {
-                    frames_sent: 0,
-                    wire_bytes: 0,
-                    scratch_runs: Vec::new(),
-                    inner: EndpointInner::Socket {
-                        conns,
-                        scratch: Vec::new(),
-                    },
+                Some(WireEndpoint::new(EndpointInner::Socket {
+                    conns,
+                    batch: Vec::new(),
+                    batch_frames: 0,
+                    batch_payload: 0,
+                    frame_buf: Vec::new(),
                 }))
             })
             .collect();
@@ -491,26 +672,20 @@ impl Transport for SocketTransport {
         self.endpoints[node.index()].take()
     }
 
-    fn finish(&mut self, endpoints: Vec<WireEndpoint>, master: &[Vec<u8>]) -> TransportReport {
-        let master_fnv = fnv64_regions(master.iter().map(|r| r.as_slice()));
-        let mut report = TransportReport {
-            backend: self.label(),
-            master_fnv,
-            replicas_verified: 0,
-            frames_sent: 0,
-            wire_bytes: 0,
-            frames_applied: 0,
-        };
-        // Close every node stream cleanly: Fin, flush, drop.
+    fn finish(&mut self, mut endpoints: Vec<WireEndpoint>, master: &[Vec<u8>]) -> TransportReport {
+        let mut report = empty_report(self.label(), master);
+        // Flush any leftover batch, then close every node stream cleanly:
+        // Fin, drop.
+        for ep in endpoints.iter_mut() {
+            ep.flush();
+        }
         for ep in endpoints {
-            report.frames_sent += ep.frames_sent;
-            report.wire_bytes += ep.wire_bytes;
+            absorb_endpoint(&mut report, &ep);
             let EndpointInner::Socket { mut conns, .. } = ep.inner else {
                 unreachable!("socket transport only hands out socket endpoints");
             };
             for conn in conns.iter_mut() {
                 write_msg(conn, WireMsgKind::Fin, &[]).expect("send fin");
-                conn.flush().expect("flush node stream");
             }
         }
         // Every peer now sees nprocs Fins and reports back.
@@ -521,7 +696,7 @@ impl Transport for SocketTransport {
             assert_eq!(kind, Some(WireMsgKind::Report), "peer sent a non-report");
             let peer = WireReport::decode(&body).expect("malformed peer report");
             assert_eq!(
-                peer.contents_fnv, master_fnv,
+                peer.contents_fnv, report.master_fnv,
                 "socket replica diverged from the engines' master copies"
             );
             report.frames_applied += peer.frames_applied;
@@ -544,10 +719,17 @@ impl Transport for SocketTransport {
 /// Protocol: every inbound connection announces its role with one byte —
 /// `C` for the single control connection, which immediately carries an
 /// `Init` message (number of node streams to expect, initial region
-/// images), or `N` for a node stream carrying `Frame` messages and a final
-/// `Fin`.  Once every node stream has finished, the peer writes its
-/// [`WireReport`] (contents fingerprint, frames applied, bytes received)
-/// back on the control connection.
+/// images), or `N` for a node stream carrying `Batch` (or legacy `Frame`)
+/// messages and a final `Fin`.  One reader thread serves each node stream
+/// end to end: it owns the stream's receive-side [`CompactClock`] baseline
+/// (the delta clock records of a stream replay against it in order) and a
+/// reusable message buffer, reads through a [`io::BufReader`], and applies
+/// decoded frames straight into the shared replica under a mutex — no
+/// cross-thread handoff, no per-message allocation (payload buffers come
+/// from the replica's [`BufferPool`], which recycles applied frames).  Once
+/// every node stream has finished, the peer writes its [`WireReport`]
+/// (contents fingerprint, frames applied, bytes received) back on the
+/// control connection.
 ///
 /// # Errors
 ///
@@ -570,6 +752,7 @@ pub fn serve_transport_peer(listener: TcpListener) -> io::Result<()> {
             }
         }
         let (mut conn, _) = listener.accept()?;
+        conn.set_nodelay(true)?;
         let mut role = [0u8; 1];
         conn.read_exact(&mut role)?;
         match role[0] {
@@ -587,51 +770,59 @@ pub fn serve_transport_peer(listener: TcpListener) -> io::Result<()> {
     let init = init.expect("loop exits only with init");
     let mut control = control.expect("init arrived on the control connection");
 
-    // One reader thread per node stream, funneling decoded frames into the
-    // replica; the reorder buffer restores per-region publish order.
-    let mut replica = Replica::new(&init.regions);
+    // One reader thread per node stream, each decoding and applying its own
+    // stream directly (the reorder buffer restores per-region publish
+    // order, so streams can interleave freely under the replica mutex).
+    let replica = std::sync::Mutex::new(Replica::new(&init.regions));
     std::thread::scope(|scope| -> io::Result<()> {
-        let (tx, rx) = mpsc::channel::<io::Result<Option<WireFrame>>>();
-        for mut conn in nodes {
-            let tx = tx.clone();
-            scope.spawn(move || {
-                let mut body = Vec::new();
-                loop {
-                    let event = match read_msg(&mut conn, &mut body) {
-                        Ok(Some(WireMsgKind::Frame)) => match WireFrame::decode(&body) {
-                            Some(frame) => Ok(Some(frame)),
-                            None => Err(io::Error::new(
-                                io::ErrorKind::InvalidData,
-                                "malformed frame",
-                            )),
-                        },
-                        Ok(Some(WireMsgKind::Fin)) | Ok(None) => Ok(None),
-                        Ok(Some(_)) => Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            "unexpected message on a node stream",
-                        )),
-                        Err(e) => Err(e),
-                    };
-                    let done = !matches!(event, Ok(Some(_)));
-                    if tx.send(event).is_err() || done {
-                        return;
+        let handles: Vec<_> = nodes
+            .into_iter()
+            .map(|conn| {
+                let replica = &replica;
+                scope.spawn(move || -> io::Result<()> {
+                    // Receive side of this stream's delta clock codec, and a
+                    // message buffer reused across the whole stream.
+                    let mut codec = CompactClock::new();
+                    let mut body = Vec::new();
+                    let mut conn = io::BufReader::new(conn);
+                    loop {
+                        match read_msg(&mut conn, &mut body)? {
+                            Some(WireMsgKind::Batch) => {
+                                let mut r = sync_lock(replica);
+                                r.note_received(body.len() as u64 + 5);
+                                let mut frames = BatchReader::new(&body)
+                                    .ok_or_else(|| bad("batch lacks a frame count"))?;
+                                while frames.remaining() > 0 {
+                                    let frame = frames
+                                        .next(&mut codec, &mut r.pool)
+                                        .ok_or_else(|| bad("malformed frame in batch"))?;
+                                    r.offer(Arc::new(frame));
+                                }
+                                if !frames.finished() {
+                                    return Err(bad("trailing bytes after the last batch frame"));
+                                }
+                            }
+                            Some(WireMsgKind::Frame) => {
+                                let frame = WireFrame::decode(&body)
+                                    .ok_or_else(|| bad("malformed frame"))?;
+                                let mut r = sync_lock(replica);
+                                r.note_received(body.len() as u64 + 5);
+                                r.offer(Arc::new(frame));
+                            }
+                            Some(WireMsgKind::Fin) | None => return Ok(()),
+                            Some(_) => return Err(bad("unexpected message on a node stream")),
+                        }
                     }
-                }
-            });
-        }
-        drop(tx);
-        let mut fins = 0u32;
-        while fins < init.nprocs {
-            match rx.recv() {
-                Ok(Ok(Some(frame))) => replica.offer(Arc::new(frame)),
-                Ok(Ok(None)) => fins += 1,
-                Ok(Err(e)) => return Err(e),
-                Err(_) => return Err(bad("node stream reader died")),
-            }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("node stream reader panicked")?;
         }
         Ok(())
     })?;
 
+    let replica = replica.into_inner().expect("readers joined cleanly");
     if !replica.drained() {
         return Err(bad("stream ended with frames waiting on missing sequences"));
     }
@@ -639,6 +830,12 @@ pub fn serve_transport_peer(listener: TcpListener) -> io::Result<()> {
     replica.report().encode_into(&mut body);
     write_msg(&mut control, WireMsgKind::Report, &body)?;
     Ok(())
+}
+
+/// Locks a mutex, propagating a poisoned-lock panic (a reader thread died
+/// mid-apply; the replica is unusable anyway).
+fn sync_lock<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().expect("replica mutex poisoned")
 }
 
 #[cfg(test)]
@@ -681,6 +878,15 @@ mod tests {
     }
 
     #[test]
+    fn replica_recycles_applied_payload_buffers() {
+        let mut r = Replica::new(&[vec![0u8; 8]]);
+        // Uniquely-owned frames donate their payloads back to the pool.
+        r.offer(frame(0, 1, 0, 1));
+        r.offer(frame(0, 2, 1, 2));
+        assert_eq!(r.pool.idle(), 2);
+    }
+
+    #[test]
     #[should_panic(expected = "outside region")]
     fn replica_rejects_out_of_range_runs() {
         let mut r = Replica::new(&[vec![0u8; 4]]);
@@ -699,7 +905,8 @@ mod tests {
         master[0][8] = 9;
         b.publish(0, 2, &[1, 1], &[(8, 1)], &master[0]);
         assert_eq!(a.frames_sent, 1);
-        assert!(a.wire_bytes > 0);
+        assert!(a.wire_bytes() > 0, "accounted at publish");
+        assert_eq!(a.wire_bytes_payload, 4 * 2, "4 payload bytes × 2 receivers");
         let report = t.finish(vec![*a, *b], &master);
         assert_eq!(report.backend, "channel");
         assert_eq!(report.replicas_verified, 2);
@@ -707,9 +914,34 @@ mod tests {
         // Both replicas applied both frames.
         assert_eq!(report.frames_applied, 4);
         assert_eq!(
+            report.wire_bytes,
+            report.wire_bytes_payload + report.wire_bytes_meta
+        );
+        assert_eq!(
             report.master_fnv,
             fnv64_regions(master.iter().map(|r| r.as_slice()))
         );
+    }
+
+    #[test]
+    fn channel_flush_coalesces_an_epochs_frames() {
+        let init = vec![vec![0u8; 16], vec![0u8; 16]];
+        let mut t = ChannelTransport::new(2, &init);
+        let mut a = t.take_endpoint(NodeId::new(0)).expect("endpoint");
+        let b = t.take_endpoint(NodeId::new(1)).expect("endpoint");
+        let mut master = init.clone();
+        master[0][0] = 1;
+        master[1][0] = 2;
+        // Two frames in one epoch ride one batch: one send per peer.
+        a.publish(0, 1, &[1, 0], &[(0, 1)], &master[0]);
+        a.publish(1, 1, &[1, 0], &[(0, 1)], &master[1]);
+        assert_eq!(a.frames_coalesced, 0, "nothing moved before the flush");
+        a.flush();
+        assert_eq!(a.frames_coalesced, 1);
+        let report = t.finish(vec![*a, *b], &master);
+        assert_eq!(report.frames_sent, 2);
+        assert_eq!(report.frames_coalesced, 1);
+        assert_eq!(report.frames_applied, 4);
     }
 
     #[test]
@@ -741,6 +973,39 @@ mod tests {
         assert_eq!(report.frames_sent, 2);
         assert_eq!(report.frames_applied, 4);
         assert!(report.wire_bytes > 0);
+        assert_eq!(
+            report.wire_bytes_payload,
+            5 * 2,
+            "5 payload bytes × 2 peers"
+        );
+        assert_eq!(
+            report.wire_bytes,
+            report.wire_bytes_payload + report.wire_bytes_meta
+        );
+    }
+
+    #[test]
+    fn socket_batches_with_vector_clocks_round_trip() {
+        let init = vec![vec![0u8; 64]];
+        let mut t = SocketTransport::new_local(1, 1, &init);
+        let mut a = t.take_endpoint(NodeId::new(0)).expect("endpoint");
+        let mut master = init.clone();
+        // Three epochs of two frames each, with advancing clocks: exercises
+        // the delta codec (full first record, deltas after) and coalescing.
+        for epoch in 1..=3u64 {
+            let clock = [epoch as u32, epoch as u32 * 2];
+            master[0][epoch as usize] = epoch as u8;
+            a.publish(0, epoch * 2 - 1, &clock, &[(epoch as u32, 1)], &master[0]);
+            master[0][32 + epoch as usize] = epoch as u8;
+            a.publish(0, epoch * 2, &clock, &[(32 + epoch as u32, 1)], &master[0]);
+            a.flush();
+        }
+        assert_eq!(a.frames_coalesced, 3, "one per two-frame epoch");
+        let report = t.finish(vec![*a], &master);
+        assert_eq!(report.replicas_verified, 1);
+        assert_eq!(report.frames_sent, 6);
+        assert_eq!(report.frames_applied, 6);
+        assert_eq!(report.frames_coalesced, 3);
     }
 
     #[test]

@@ -32,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 
 mod bitset;
+mod cclock;
 mod diff;
 mod granularity;
 mod interval;
@@ -45,6 +46,10 @@ mod vclock;
 pub mod wire;
 
 pub use bitset::{BitRuns, BitSet};
+pub use cclock::{
+    get_varint, put_varint, varint_len, zigzag_decode, zigzag_encode, ClockDelta, CompactClock,
+    DeltaRun,
+};
 pub use diff::{changed_word_runs, Diff, DiffRun, DiffRuns};
 pub use granularity::BlockGranularity;
 pub use interval::{IntervalId, WriteNotice};

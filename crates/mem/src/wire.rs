@@ -17,8 +17,17 @@
 //! | `Diff`         | `u8 gran` · `u32 nruns` · `nruns × (u32 off, u32 len)` · payload   |
 //! | `FlatUpdate`   | `u32 nruns` · `nruns × (u32 start, u32 len, u64 stamp)`            |
 //! | [`WireFrame`]  | `u32 region` · `u64 seq` · clock · `u32 nruns` · runs · payload    |
+//! | frame v2       | varints: `region` · `seq` · `u8 mode` · clock record · runs · payload |
+//! | batch body     | `u32 nframes` · `nframes × (varint len, frame v2)`                 |
 //! | [`WireInit`]   | `u32 nprocs` · `u32 nregions` · `nregions × (u32 len, bytes)`      |
 //! | [`WireReport`] | `u64 fnv` · `u64 frames` · `u64 bytes`                             |
+//!
+//! The v2 frame (see [`encode_frame_v2`]) is the compact form the real
+//! backends batch per epoch: the clock travels as a [`CompactClock`] delta
+//! record against the stream's previous clock (`mode` 1 = encoded from the
+//! all-zero clock, required on the first frame of a stream), and run offsets
+//! are gap-encoded varints.  The v1 [`WireFrame`] record stays as the
+//! stateless per-frame form (and the simulated backend's cost model).
 //!
 //! Malformed input decodes to `None` (in-memory records) or
 //! `io::ErrorKind::InvalidData` (streamed messages); a corrupt peer must not
@@ -26,7 +35,8 @@
 
 use std::io::{self, Read, Write};
 
-use crate::{BlockGranularity, Diff, FlatRun, FlatUpdate, VectorClock};
+use crate::cclock::{get_varint, put_varint, varint_len, CompactClock};
+use crate::{BlockGranularity, BufferPool, Diff, FlatRun, FlatUpdate, VectorClock};
 use dsm_sim::NodeId;
 
 /// Upper bound on one framed message, as a sanity check against corrupt
@@ -310,6 +320,8 @@ pub enum WireMsgKind {
     Fin = 2,
     /// Replica's end-of-run [`WireReport`].
     Report = 3,
+    /// An epoch's worth of v2 frames, coalesced (see [`BatchReader`]).
+    Batch = 4,
 }
 
 impl WireMsgKind {
@@ -319,8 +331,224 @@ impl WireMsgKind {
             1 => Some(WireMsgKind::Frame),
             2 => Some(WireMsgKind::Fin),
             3 => Some(WireMsgKind::Report),
+            4 => Some(WireMsgKind::Batch),
             _ => None,
         }
+    }
+}
+
+/// `mode` byte of a v2 frame: the clock record is a delta against the
+/// stream's previous clock.
+pub const CLOCK_MODE_DELTA: u8 = 0;
+/// `mode` byte of a v2 frame: the clock record is encoded from the all-zero
+/// clock (first frame of a stream, or after a receiver reset).
+pub const CLOCK_MODE_FULL: u8 = 1;
+
+/// Borrowed view of one publish, as [`encode_frame_v2`] consumes it: the
+/// engines' run table plus the region's master copy the payload is cut from.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameV2<'a> {
+    /// Dense index of the region the frame belongs to.
+    pub region: u32,
+    /// Per-region publish sequence number (1-based, dense).
+    pub seq: u64,
+    /// The publisher's vector-clock entries (empty under EC).
+    pub clock: &'a [u32],
+    /// Encode the clock in full mode (required on a stream's first frame).
+    pub full: bool,
+    /// Region-absolute changed-byte `(offset, len)` runs, in increasing
+    /// offset order, non-overlapping.
+    pub runs: &'a [(u32, u32)],
+    /// The region's master copy; payload bytes are copied out at the run
+    /// offsets.
+    pub data: &'a [u8],
+}
+
+/// Appends one v2 frame body to `out`, advancing `codec`'s baseline:
+/// varint `region` · varint `seq` · `u8 mode` · clock record ·
+/// varint `nruns` · `nruns × (varint gap, varint len)` · payload.
+///
+/// Run offsets are gap-encoded (distance from the previous run's end), so
+/// overlap is unrepresentable on the wire.  Returns
+/// `(meta_bytes, payload_bytes)` appended — the split the transport report
+/// surfaces.
+pub fn encode_frame_v2(
+    f: &FrameV2<'_>,
+    codec: &mut CompactClock,
+    out: &mut Vec<u8>,
+) -> (usize, usize) {
+    let start = out.len();
+    put_varint(out, f.region as u64);
+    put_varint(out, f.seq);
+    out.push(if f.full {
+        CLOCK_MODE_FULL
+    } else {
+        CLOCK_MODE_DELTA
+    });
+    codec.encode_next(f.clock, f.full, out);
+    put_varint(out, f.runs.len() as u64);
+    let mut prev_end = 0u64;
+    for &(off, len) in f.runs {
+        debug_assert!(off as u64 >= prev_end, "unsorted or overlapping runs");
+        put_varint(out, off as u64 - prev_end);
+        put_varint(out, len as u64);
+        prev_end = off as u64 + len as u64;
+    }
+    let meta = out.len() - start;
+    for &(off, len) in f.runs {
+        out.extend_from_slice(&f.data[off as usize..(off + len) as usize]);
+    }
+    (meta, out.len() - start - meta)
+}
+
+/// Meta bytes [`encode_frame_v2`] would append for a frame with this shape —
+/// everything except the payload — given the clock record's encoded size
+/// (see [`CompactClock::peek_record_len`]).  Lets the channel backend
+/// account exact would-be wire bytes without serializing.
+pub fn frame_v2_meta_len(
+    region: u32,
+    seq: u64,
+    clock_record_len: usize,
+    runs: &[(u32, u32)],
+) -> usize {
+    let mut n = varint_len(region as u64) + varint_len(seq) + 1 + clock_record_len;
+    n += varint_len(runs.len() as u64);
+    let mut prev_end = 0u64;
+    for &(off, len) in runs {
+        n += varint_len(off as u64 - prev_end) + varint_len(len as u64);
+        prev_end = off as u64 + len as u64;
+    }
+    n
+}
+
+/// Decodes one v2 frame body (the buffer must contain exactly one frame),
+/// advancing `codec`'s baseline.  The payload buffer is drawn from `pool`
+/// so a replica's read loop recycles instead of allocating per frame.
+pub fn decode_frame_v2(
+    buf: &[u8],
+    codec: &mut CompactClock,
+    pool: &mut BufferPool,
+) -> Option<WireFrame> {
+    let mut at = 0usize;
+    let next = |at: &mut usize| -> Option<u64> {
+        let (v, n) = get_varint(buf.get(*at..)?)?;
+        *at += n;
+        Some(v)
+    };
+    let region = u32::try_from(next(&mut at)?).ok()?;
+    let seq = next(&mut at)?;
+    let mode = *buf.get(at)?;
+    at += 1;
+    let full = match mode {
+        CLOCK_MODE_DELTA => false,
+        CLOCK_MODE_FULL => true,
+        _ => return None,
+    };
+    at += codec.decode_next(buf.get(at..)?, full)?;
+    let nruns = next(&mut at)?;
+    if nruns as usize > MAX_WIRE_MSG / 2 {
+        return None;
+    }
+    let mut runs = Vec::with_capacity(nruns as usize);
+    let mut payload_len = 0usize;
+    let mut prev_end = 0u64;
+    for _ in 0..nruns {
+        let gap = next(&mut at)?;
+        let len = next(&mut at)?;
+        let off = prev_end.checked_add(gap)?;
+        prev_end = off.checked_add(len)?;
+        if len == 0 || prev_end > u32::MAX as u64 {
+            return None;
+        }
+        payload_len = payload_len.checked_add(len as usize)?;
+        runs.push((off as u32, len as u32));
+    }
+    let end = at.checked_add(payload_len)?;
+    let bytes = buf.get(at..end)?;
+    if end != buf.len() {
+        return None; // trailing garbage
+    }
+    let mut payload = pool.take_empty(payload_len);
+    payload.extend_from_slice(bytes);
+    Some(WireFrame {
+        region,
+        seq,
+        clock: codec.baseline().to_vec(),
+        runs,
+        payload,
+    })
+}
+
+/// Byte length of the batch message header [`begin_batch`] reserves:
+/// `u32 msg_len` · `u8 kind` · `u32 nframes`, all backpatched by
+/// [`finish_batch`].
+pub const BATCH_HEADER_LEN: usize = 9;
+
+/// Starts a batch message in an empty buffer by reserving
+/// [`BATCH_HEADER_LEN`] placeholder bytes.  The caller appends each frame as
+/// varint `len` + v2 body, then calls [`finish_batch`]; the completed buffer
+/// is one framed message, written to a stream verbatim.
+pub fn begin_batch(out: &mut Vec<u8>) {
+    debug_assert!(out.is_empty(), "batch buffer must start empty");
+    out.resize(BATCH_HEADER_LEN, 0);
+}
+
+/// Backpatches the batch header: the message length prefix, the
+/// [`WireMsgKind::Batch`] kind byte and the frame count.
+pub fn finish_batch(out: &mut [u8], nframes: u32) {
+    let len = out.len() - 4; // kind byte + body, per the message framing
+    out[0..4].copy_from_slice(&(len as u32).to_le_bytes());
+    out[4] = WireMsgKind::Batch as u8;
+    out[5..9].copy_from_slice(&nframes.to_le_bytes());
+}
+
+/// Iterates the v2 frames of one [`WireMsgKind::Batch`] body
+/// (`u32 nframes` · `nframes × (varint len, frame body)`).
+///
+/// Call [`BatchReader::next`] until [`BatchReader::remaining`] hits zero,
+/// then check [`BatchReader::finished`] — a batch with leftover bytes after
+/// its last frame is malformed.
+#[derive(Debug)]
+pub struct BatchReader<'a> {
+    buf: &'a [u8],
+    at: usize,
+    remaining: u32,
+}
+
+impl<'a> BatchReader<'a> {
+    /// Wraps a batch message body; `None` if it lacks the frame count.
+    pub fn new(body: &'a [u8]) -> Option<Self> {
+        let count = body.get(..4)?;
+        Some(BatchReader {
+            buf: body,
+            at: 4,
+            remaining: u32::from_le_bytes(count.try_into().expect("4 bytes")),
+        })
+    }
+
+    /// Frames not yet decoded.
+    pub fn remaining(&self) -> u32 {
+        self.remaining
+    }
+
+    /// Decodes the next frame, or `None` if the batch is exhausted *or*
+    /// malformed (distinguish with [`BatchReader::remaining`]).
+    pub fn next(&mut self, codec: &mut CompactClock, pool: &mut BufferPool) -> Option<WireFrame> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let (flen, n) = get_varint(self.buf.get(self.at..)?)?;
+        let flen = usize::try_from(flen).ok().filter(|&l| l <= MAX_WIRE_MSG)?;
+        let start = self.at + n;
+        let frame = decode_frame_v2(self.buf.get(start..start + flen)?, codec, pool)?;
+        self.at = start + flen;
+        self.remaining -= 1;
+        Some(frame)
+    }
+
+    /// True once every frame decoded and no bytes trail the last one.
+    pub fn finished(&self) -> bool {
+        self.remaining == 0 && self.at == self.buf.len()
     }
 }
 
@@ -594,6 +822,187 @@ mod tests {
             None,
             "clean EOF"
         );
+    }
+
+    #[test]
+    fn frame_v2_round_trip_through_a_batch() {
+        let data = {
+            let mut d = vec![0u8; 64];
+            for (i, b) in d.iter_mut().enumerate() {
+                *b = i as u8;
+            }
+            d
+        };
+        type TestFrame = (u32, u64, Vec<u32>, Vec<(u32, u32)>);
+        let frames: [TestFrame; 3] = [
+            (0, 1, vec![1, 0, 0], vec![(0, 4), (8, 8)]),
+            (2, 1, vec![2, 0, 0], vec![(60, 4)]),
+            (0, 2, vec![2, 1, 1], vec![(4, 2)]),
+        ];
+        let mut enc = CompactClock::new();
+        let mut batch = Vec::new();
+        begin_batch(&mut batch);
+        let mut frame_buf = Vec::new();
+        for (i, (region, seq, clock, runs)) in frames.iter().enumerate() {
+            frame_buf.clear();
+            let (meta, payload) = encode_frame_v2(
+                &FrameV2 {
+                    region: *region,
+                    seq: *seq,
+                    clock,
+                    full: i == 0,
+                    runs,
+                    data: &data,
+                },
+                &mut enc,
+                &mut frame_buf,
+            );
+            assert_eq!(meta + payload, frame_buf.len());
+            assert_eq!(
+                meta,
+                frame_v2_meta_len(
+                    *region,
+                    *seq,
+                    {
+                        let mut probe = CompactClock::new();
+                        if i > 0 {
+                            probe.encode_next(&frames[i - 1].2, true, &mut Vec::new());
+                        }
+                        probe.peek_record_len(clock, i == 0)
+                    },
+                    runs
+                )
+            );
+            put_varint(&mut batch, frame_buf.len() as u64);
+            batch.extend_from_slice(&frame_buf);
+        }
+        finish_batch(&mut batch, frames.len() as u32);
+
+        // The completed buffer is a well-formed framed message.
+        let mut stream = &batch[..];
+        let mut body = Vec::new();
+        assert_eq!(
+            read_msg(&mut stream, &mut body).expect("read"),
+            Some(WireMsgKind::Batch)
+        );
+        let mut dec = CompactClock::new();
+        let mut pool = BufferPool::new();
+        let mut reader = BatchReader::new(&body).expect("frame count");
+        assert_eq!(reader.remaining(), 3);
+        for (region, seq, clock, runs) in &frames {
+            let f = reader.next(&mut dec, &mut pool).expect("frame decodes");
+            assert_eq!(f.region, *region);
+            assert_eq!(f.seq, *seq);
+            assert_eq!(&f.clock, clock);
+            assert_eq!(&f.runs, runs);
+            let expect: Vec<u8> = runs
+                .iter()
+                .flat_map(|&(off, len)| data[off as usize..(off + len) as usize].to_vec())
+                .collect();
+            assert_eq!(f.payload, expect);
+        }
+        assert!(reader.finished());
+        assert!(reader.next(&mut dec, &mut pool).is_none(), "exhausted");
+    }
+
+    #[test]
+    fn frame_v2_decode_rejects_malformed_input() {
+        let data = vec![7u8; 32];
+        let mut enc = CompactClock::new();
+        let mut buf = Vec::new();
+        encode_frame_v2(
+            &FrameV2 {
+                region: 1,
+                seq: 1,
+                clock: &[3, 0],
+                full: true,
+                runs: &[(0, 8)],
+                data: &data,
+            },
+            &mut enc,
+            &mut buf,
+        );
+        let mut pool = BufferPool::new();
+        let fresh = || CompactClock::new();
+        assert!(decode_frame_v2(&buf, &mut fresh(), &mut pool).is_some());
+        assert!(
+            decode_frame_v2(&buf[..buf.len() - 1], &mut fresh(), &mut pool).is_none(),
+            "truncated payload"
+        );
+        let mut extra = buf.clone();
+        extra.push(0);
+        assert!(
+            decode_frame_v2(&extra, &mut fresh(), &mut pool).is_none(),
+            "trailing garbage"
+        );
+        let mut bad_mode = buf.clone();
+        bad_mode[2] = 9; // region and seq are one varint byte each here
+        assert!(
+            decode_frame_v2(&bad_mode, &mut fresh(), &mut pool).is_none(),
+            "unknown clock mode"
+        );
+        // A delta-mode first frame decodes against an empty baseline — legal
+        // for the codec — but a zero-length run is not.
+        let mut zrun = Vec::new();
+        let mut enc2 = CompactClock::new();
+        encode_frame_v2(
+            &FrameV2 {
+                region: 0,
+                seq: 1,
+                clock: &[],
+                full: true,
+                runs: &[],
+                data: &data,
+            },
+            &mut enc2,
+            &mut zrun,
+        );
+        let nruns_at = zrun.len() - 1;
+        zrun[nruns_at] = 1; // claim one run, provide no run table
+        assert!(
+            decode_frame_v2(&zrun, &mut fresh(), &mut pool).is_none(),
+            "missing run table"
+        );
+    }
+
+    #[test]
+    fn batch_reader_rejects_truncation() {
+        let data = vec![1u8; 16];
+        let mut enc = CompactClock::new();
+        let mut batch = Vec::new();
+        begin_batch(&mut batch);
+        let mut frame_buf = Vec::new();
+        encode_frame_v2(
+            &FrameV2 {
+                region: 0,
+                seq: 1,
+                clock: &[5],
+                full: true,
+                runs: &[(0, 4)],
+                data: &data,
+            },
+            &mut enc,
+            &mut frame_buf,
+        );
+        put_varint(&mut batch, frame_buf.len() as u64);
+        batch.extend_from_slice(&frame_buf);
+        finish_batch(&mut batch, 1);
+        let body = &batch[5..]; // strip the message len + kind
+
+        let mut pool = BufferPool::new();
+        assert!(BatchReader::new(&body[..3]).is_none(), "no frame count");
+        // Truncated inside the frame: next() fails with frames remaining.
+        let mut r = BatchReader::new(&body[..body.len() - 2]).expect("count");
+        assert!(r.next(&mut CompactClock::new(), &mut pool).is_none());
+        assert_eq!(r.remaining(), 1, "failure, not exhaustion");
+        assert!(!r.finished());
+        // Trailing garbage after the last frame: finished() stays false.
+        let mut long = body.to_vec();
+        long.push(0);
+        let mut r = BatchReader::new(&long).expect("count");
+        assert!(r.next(&mut CompactClock::new(), &mut pool).is_some());
+        assert_eq!(r.remaining(), 0);
+        assert!(!r.finished(), "trailing garbage detected");
     }
 
     #[test]
