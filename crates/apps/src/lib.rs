@@ -22,6 +22,12 @@
 //!
 //! The [`runner`] module provides a uniform entry point used by the benchmark
 //! harness and the integration tests.
+//!
+//! Beyond the paper's suite, the [`mixed`] module provides a synthetic
+//! three-phase mixed-sharing workload (false sharing, single writer,
+//! migratory lock) built to exercise the adaptive LRC data policy; it is not
+//! part of [`App`] and is driven directly by the `adaptive` benchmark and the
+//! adaptive determinism tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +35,7 @@
 pub mod barnes_hut;
 pub mod fft;
 pub mod is;
+pub mod mixed;
 pub mod params;
 pub mod quicksort;
 pub mod runner;

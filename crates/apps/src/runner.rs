@@ -4,7 +4,7 @@
 use std::fmt;
 
 use dsm_core::{CostModel, ImplKind, SimTime, TransportKind, TransportReport};
-use dsm_sim::{ClusterStats, TrafficReport};
+use dsm_sim::{ClusterStats, RegionSharing, TrafficReport};
 
 use crate::params::{AppParams, Scale};
 use crate::{barnes_hut, fft, is, quicksort, sor, water};
@@ -75,6 +75,11 @@ pub struct AppReport {
     pub seq_time: SimTime,
     /// Traffic statistics (messages, bytes, misses, ...).
     pub traffic: TrafficReport,
+    /// Per-region page-sharing aggregates (publishes, misses, diff bytes,
+    /// distinct writers) — the adaptive policy's decision inputs, surfaced
+    /// for the bench bins' JSON rows.  Empty under the EC engines, which
+    /// track sharing per bound object rather than per page.
+    pub sharing: Vec<RegionSharing>,
     /// Full per-node statistics.
     pub stats: ClusterStats,
     /// Whether the parallel output matched the sequential version.
@@ -147,6 +152,7 @@ pub fn run_app_on(
         time: result.time,
         seq_time,
         traffic: result.traffic,
+        sharing: result.sharing,
         stats: result.stats,
         verified,
         wire: result.wire,

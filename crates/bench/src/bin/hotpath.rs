@@ -36,6 +36,7 @@ struct Row {
     accesses: u64,
     pool_recycled: u64,
     pool_allocated: u64,
+    sharing: dsm_sim::SharingSummary,
     wall_ms: f64,
 }
 
@@ -44,7 +45,8 @@ impl Row {
         println!(
             "{{\"bench\":\"hotpath\",\"impl\":\"{}\",\"op\":\"{}\",\"api\":\"{}\",\
              \"scale\":\"{}\",\"procs\":{},\"accesses\":{},\"wall_ms\":{:.3},\
-             \"accesses_per_sec\":{:.0},\"pool_recycled\":{},\"pool_allocated\":{}}}",
+             \"accesses_per_sec\":{:.0},\"pool_recycled\":{},\"pool_allocated\":{},\
+             {}}}",
             self.kind.name(),
             self.op,
             self.api,
@@ -55,8 +57,19 @@ impl Row {
             self.accesses as f64 / (self.wall_ms / 1e3),
             self.pool_recycled,
             self.pool_allocated,
+            sharing_fields(&self.sharing),
         );
     }
+}
+
+/// The per-region sharing aggregates as JSON fields (no braces), shared by
+/// every row shape this binary emits.
+fn sharing_fields(s: &dsm_sim::SharingSummary) -> String {
+    format!(
+        "\"sharing_publishes\":{},\"sharing_misses\":{},\
+         \"sharing_diff_bytes\":{},\"max_region_writers\":{}",
+        s.publishes, s.misses, s.diff_bytes, s.max_region_writers
+    )
 }
 
 /// One timed run: every processor sweeps the whole region (reads) or its own
@@ -66,6 +79,7 @@ fn measure(kind: ImplKind, nprocs: usize, iters: usize, op: &'static str, slices
     let mut best = f64::INFINITY;
     let mut accesses = 0u64;
     let mut totals = dsm_sim::NodeStats::new();
+    let mut sharing = dsm_sim::SharingSummary::default();
     for _ in 0..3 {
         let mut dsm = Dsm::new(DsmConfig::with_procs(kind, nprocs)).expect("valid config");
         let region = dsm.alloc_array::<u32>("hot", ELEMS, BlockGranularity::Word);
@@ -115,6 +129,7 @@ fn measure(kind: ImplKind, nprocs: usize, iters: usize, op: &'static str, slices
         best = best.min(wall_ms);
         totals = result.stats.total();
         accesses = totals.shared_accesses;
+        sharing = result.traffic.sharing;
     }
     Row {
         kind,
@@ -123,6 +138,7 @@ fn measure(kind: ImplKind, nprocs: usize, iters: usize, op: &'static str, slices
         accesses,
         pool_recycled: totals.pool_recycled,
         pool_allocated: totals.pool_allocated,
+        sharing,
         wall_ms: best,
     }
 }
@@ -137,10 +153,15 @@ fn measure(kind: ImplKind, nprocs: usize, iters: usize, op: &'static str, slices
 /// publish and apply through the same cycle (the grant applies the bound
 /// data).  Returns the total number of publish events (releases) and the
 /// best wall time of 3 repetitions.
-fn measure_epoch(kind: ImplKind, nprocs: usize, iters: usize) -> (u64, dsm_sim::NodeStats, f64) {
+fn measure_epoch(
+    kind: ImplKind,
+    nprocs: usize,
+    iters: usize,
+) -> (u64, dsm_sim::NodeStats, dsm_sim::SharingSummary, f64) {
     const WORDS_PER_PAGE: usize = 1024;
     let mut best = f64::INFINITY;
     let mut totals = dsm_sim::NodeStats::new();
+    let mut sharing = dsm_sim::SharingSummary::default();
     for _ in 0..3 {
         let mut dsm = Dsm::new(DsmConfig::with_procs(kind, nprocs)).expect("valid config");
         let region = dsm.alloc_array::<u32>("hot", ELEMS, BlockGranularity::Word);
@@ -169,17 +190,18 @@ fn measure_epoch(kind: ImplKind, nprocs: usize, iters: usize) -> (u64, dsm_sim::
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         best = best.min(wall_ms);
         totals = result.stats.total();
+        sharing = result.traffic.sharing;
     }
-    ((iters * nprocs) as u64, totals, best)
+    ((iters * nprocs) as u64, totals, sharing, best)
 }
 
 fn print_epoch(kind: ImplKind, scale_name: &str, nprocs: usize, iters: usize) {
-    let (publishes, totals, wall_ms) = measure_epoch(kind, nprocs, iters);
+    let (publishes, totals, sharing, wall_ms) = measure_epoch(kind, nprocs, iters);
     println!(
         "{{\"bench\":\"hotpath\",\"impl\":\"{}\",\"op\":\"epoch\",\"api\":\"slice\",\
          \"scale\":\"{}\",\"procs\":{},\"epochs\":{},\"publishes\":{},\"accesses\":{},\
          \"wall_ms\":{:.3},\"publishes_per_sec\":{:.0},\
-         \"pool_recycled\":{},\"pool_allocated\":{}}}",
+         \"pool_recycled\":{},\"pool_allocated\":{},{}}}",
         kind.name(),
         scale_name,
         nprocs,
@@ -190,6 +212,7 @@ fn print_epoch(kind: ImplKind, scale_name: &str, nprocs: usize, iters: usize) {
         publishes as f64 / (wall_ms / 1e3),
         totals.pool_recycled,
         totals.pool_allocated,
+        sharing_fields(&sharing),
     );
 }
 
@@ -201,10 +224,15 @@ fn main() {
         Scale::Paper => "paper",
     };
     let iters = sweeps(opts.scale);
+    dsm_bench::print_json_header(
+        "hotpath",
+        "best-of-3 wall clock; per-access read/write sweeps plus write+release+acquire epochs",
+    );
     let kinds = opts.filter_nonempty(&[
         ImplKind::ec_time(),
         ImplKind::lrc_diff(),
         ImplKind::hlrc_diff(),
+        ImplKind::adaptive_diff(),
     ]);
     for kind in kinds {
         for op in ["read", "write"] {

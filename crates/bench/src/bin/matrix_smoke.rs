@@ -1,20 +1,26 @@
-//! CI matrix smoke: one small application under all nine implementations.
+//! CI matrix smoke: one small application under all twelve implementations.
 //!
 //! Runs SOR at tiny scale on 4 processors under every [`ImplKind`], asserts
 //! each run verifies against the sequential output, prints one canonical line
-//! per implementation, and diffs the three homeless-LRC lines against the
-//! committed golden file (`tests/golden/matrix_smoke_lrc.txt`, shared with
-//! the integration-test goldens) — regenerate with `DSM_BLESS_GOLDEN=1`
-//! after an intentional behaviour change.  SOR under the LRC family is
-//! barrier-structured, so its report is deterministic at any processor count
-//! (see `DESIGN.md`, "Determinism").
+//! per implementation, and diffs the three homeless-LRC lines and the three
+//! adaptive-LRC lines against their committed golden files
+//! (`tests/golden/matrix_smoke_lrc.txt` and
+//! `tests/golden/matrix_smoke_alrc.txt`, shared with the integration-test
+//! goldens) — regenerate with `DSM_BLESS_GOLDEN=1` after an intentional
+//! behaviour change.  SOR under the LRC family is barrier-structured, so its
+//! report is deterministic at any processor count, and the adaptive
+//! controller decides from entitlement-visible records only, so its golden is
+//! just as stable (see `DESIGN.md`, "Determinism" and "Adaptive policy").
 //!
-//! Usage: `cargo run --release -p dsm-bench --bin matrix_smoke`
+//! Honors `--impls`; a family's golden is only diffed when every member of
+//! that family actually ran (a filtered subset cannot reproduce the file).
+//!
+//! Usage: `cargo run --release -p dsm-bench --bin matrix_smoke [-- --impls NAME,...]`
 
 use std::fmt::Write as _;
 
 use dsm_apps::{run_app, App, Scale};
-use dsm_core::ImplKind;
+use dsm_core::{ImplKind, Model};
 
 const PROCS: usize = 4;
 
@@ -42,14 +48,19 @@ fn canon_line(kind: ImplKind) -> (bool, String) {
 }
 
 fn main() {
+    let opts = dsm_bench::HarnessOpts::from_args();
+    let kinds = opts.filter_nonempty(&ImplKind::all());
     let mut all_verified = true;
     let mut lrc_lines = String::new();
-    for kind in ImplKind::all() {
+    let mut alrc_lines = String::new();
+    for &kind in &kinds {
         let (verified, line) = canon_line(kind);
         print!("{line}");
         all_verified &= verified;
-        if kind.model() == dsm_core::Model::Lrc {
-            lrc_lines.push_str(&line);
+        match kind.model() {
+            Model::Lrc => lrc_lines.push_str(&line),
+            Model::Adaptive => alrc_lines.push_str(&line),
+            _ => {}
         }
     }
     assert!(
@@ -57,6 +68,19 @@ fn main() {
         "at least one implementation failed verification"
     );
 
-    dsm_tests::check_golden("matrix_smoke_lrc.txt", &lrc_lines);
-    println!("homeless-LRC output matches the committed golden file");
+    let family_complete = |model: Model| {
+        kinds.iter().filter(|k| k.model() == model).count()
+            == ImplKind::all()
+                .iter()
+                .filter(|k| k.model() == model)
+                .count()
+    };
+    if family_complete(Model::Lrc) {
+        dsm_tests::check_golden("matrix_smoke_lrc.txt", &lrc_lines);
+        println!("homeless-LRC output matches the committed golden file");
+    }
+    if family_complete(Model::Adaptive) {
+        dsm_tests::check_golden("matrix_smoke_alrc.txt", &alrc_lines);
+        println!("adaptive-LRC output matches the committed golden file");
+    }
 }

@@ -28,10 +28,15 @@ fn main() {
         Scale::Small => "small",
         Scale::Paper => "paper",
     };
+    dsm_bench::print_json_header(
+        "scaling",
+        "best-of-3 wall clock vs simulated time at 8/16/32 simulated processors",
+    );
     let kinds = opts.filter_nonempty(&[
         ImplKind::ec_time(),
         ImplKind::lrc_diff(),
         ImplKind::hlrc_diff(),
+        ImplKind::adaptive_diff(),
     ]);
     for app in [App::Sor, App::IntegerSort, App::Water] {
         for &kind in &kinds {
@@ -56,7 +61,9 @@ fn main() {
                     "{{\"bench\":\"scaling\",\"app\":\"{}\",\"impl\":\"{}\",\"scale\":\"{}\",\
                      \"procs\":{},\"wall_ms\":{:.3},\"sim_s\":{:.6},\"messages\":{},\
                      \"bytes\":{},\"lock_transfers\":{},\
-                     \"pool_recycled\":{},\"pool_allocated\":{}}}",
+                     \"pool_recycled\":{},\"pool_allocated\":{},\
+                     \"sharing_publishes\":{},\"sharing_misses\":{},\
+                     \"sharing_diff_bytes\":{},\"max_region_writers\":{}}}",
                     app.name(),
                     kind.name(),
                     scale_name,
@@ -68,6 +75,10 @@ fn main() {
                     r.traffic.lock_transfers,
                     totals.pool_recycled,
                     totals.pool_allocated,
+                    r.traffic.sharing.publishes,
+                    r.traffic.sharing.misses,
+                    r.traffic.sharing.diff_bytes,
+                    r.traffic.sharing.max_region_writers,
                 );
             }
         }

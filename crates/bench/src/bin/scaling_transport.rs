@@ -19,9 +19,11 @@
 //! node count.
 //!
 //! This binary parses its own arguments (`--scale tiny|small|paper`, default
-//! small).  With `--peer` it instead becomes a replica peer process: it binds
-//! a loopback listener, prints the port on stdout and serves one session
-//! (this is the mode the driver launches as child processes).
+//! small, and `--impls NAME[,NAME...]`, which replaces the default
+//! LRC-diff/EC-time pair).  With `--peer` it instead becomes a replica peer
+//! process: it binds a loopback listener, prints the port on stdout and
+//! serves one session (this is the mode the driver launches as child
+//! processes).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
@@ -151,6 +153,7 @@ fn main() {
         return;
     }
     let mut scale = Scale::Small;
+    let mut impls: Option<Vec<ImplKind>> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -163,7 +166,17 @@ fn main() {
                 };
                 i += 2;
             }
-            other => panic!("unknown argument '{other}' (this bin takes --scale)"),
+            "--impls" if i + 1 < args.len() => {
+                let kinds: Vec<ImplKind> = args[i + 1]
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|name| ImplKind::from_name(name.trim()).unwrap_or_else(|e| panic!("{e}")))
+                    .collect();
+                assert!(!kinds.is_empty(), "--impls takes at least one name");
+                impls = Some(kinds);
+                i += 2;
+            }
+            other => panic!("unknown argument '{other}' (this bin takes --scale and --impls)"),
         }
     }
     let (scale_name, iters, node_counts, peer_counts): (_, usize, &[usize], &[usize]) = match scale
@@ -172,11 +185,18 @@ fn main() {
         Scale::Small => ("small", 8, &[8, 16, 32, 64, 128, 256], &[2, 4, 8]),
         Scale::Paper => ("paper", 16, &[8, 16, 32, 64, 128, 256], &[2, 4, 8]),
     };
-    let kinds = [ImplKind::lrc_diff(), ImplKind::ec_time()];
+    // `--impls` replaces the default pair outright (any implementation can
+    // drive this synthetic workload, including the adaptive ones, whose
+    // control frames then ride the measured wire).
+    let kinds = impls.unwrap_or_else(|| vec![ImplKind::lrc_diff(), ImplKind::ec_time()]);
+    dsm_bench::print_json_header(
+        "scaling_transport",
+        "synthetic publish epochs over real threads (channel) and loopback sockets",
+    );
 
     // Threaded sweep: every simulated processor is an OS thread, every
     // publish hands an Arc'd frame to every peer's inbox.
-    for kind in kinds {
+    for &kind in &kinds {
         for &nprocs in node_counts {
             let (result, wall_ms) = epoch_run(kind, nprocs, iters, TransportKind::Channel);
             let p = Point {
@@ -192,7 +212,7 @@ fn main() {
     // Socket sweep, in-process peers: 8 worker nodes publishing to 2-8
     // replica peers over real loopback connections served by threads.
     const SOCKET_NODES: usize = 8;
-    for kind in kinds {
+    for &kind in &kinds {
         for &npeers in peer_counts {
             let (result, wall_ms) = epoch_run(
                 kind,
@@ -212,7 +232,7 @@ fn main() {
 
     // Socket sweep, process peers: the same sweep with every replica peer a
     // separate OS process launched by this driver.
-    for kind in kinds {
+    for &kind in &kinds {
         for &npeers in peer_counts {
             let (children, addrs): (Vec<Child>, Vec<String>) =
                 (0..npeers).map(|_| spawn_peer()).unzip();

@@ -1,17 +1,26 @@
 //! Table 6 (beyond the paper): execution times for the three home-based LRC
-//! implementations (HLRC-ci, HLRC-time, HLRC-diff).  Together with tables 4
-//! and 5 this completes the per-implementation comparison across all nine
-//! members of the protocol family.
+//! implementations (HLRC-ci, HLRC-time, HLRC-diff) and the three adaptive
+//! LRC implementations (ALRC-ci, ALRC-time, ALRC-diff).  Together with
+//! tables 4 and 5 this completes the per-implementation comparison across
+//! all twelve members of the protocol family.
 
 use dsm_bench::{check, print_family_times, table_apps, HarnessOpts};
 use dsm_core::ImplKind;
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let apps = table_apps();
     print_family_times(
         "Table 6: Execution Times for Write Trapping / Collection Combinations in HLRC",
         &ImplKind::hlrc_all(),
-        &table_apps(),
+        &apps,
+        &opts,
+        check,
+    );
+    print_family_times(
+        "Table 6 (continued): the Adaptive Data Policy (ALRC) under the Same Combinations",
+        &ImplKind::adaptive_all(),
+        &apps,
         &opts,
         check,
     );

@@ -1,16 +1,46 @@
 //! Section 7.2 traffic statistics: message counts and megabytes transferred
-//! for the best EC, best LRC and best HLRC implementation of every
-//! application (the quantities quoted in the per-application analysis, e.g.
-//! "EC-time transfers 9.5 MB while LRC-diff transfers 29.9 MB for
-//! Barnes-Hut"), plus the miss counts of the two invalidate-protocol
-//! families.
+//! for the best EC, best LRC, best HLRC and best ALRC implementation of
+//! every application (the quantities quoted in the per-application analysis,
+//! e.g. "EC-time transfers 9.5 MB while LRC-diff transfers 29.9 MB for
+//! Barnes-Hut"), plus the miss counts of the invalidate-protocol families.
+//!
+//! Before the table, one JSON row per region of each family's best report
+//! surfaces the per-page sharing aggregates (publishes, misses, diff bytes,
+//! distinct writers) the adaptive controller decides from.
 
 use dsm_apps::AppReport;
-use dsm_bench::{best, check, opt_col, print_table, run_family, table_apps, HarnessOpts};
+use dsm_bench::{
+    best, check, opt_col, print_json_header, print_table, run_family, table_apps, HarnessOpts,
+};
 use dsm_core::ImplKind;
+
+/// Emits one JSON row per region of the report with the sharing aggregates
+/// behind the table's summary numbers.
+fn print_sharing_rows(r: &AppReport, opts: &HarnessOpts) {
+    for s in &r.sharing {
+        println!(
+            "{{\"bench\":\"traffic\",\"app\":\"{}\",\"impl\":\"{}\",\"procs\":{},\
+             \"region\":\"{}\",\"pages\":{},\"publishes\":{},\"misses\":{},\
+             \"diff_bytes\":{},\"distinct_writers\":{}}}",
+            r.app.name(),
+            r.kind.name(),
+            opts.nprocs,
+            s.region,
+            s.pages,
+            s.publishes,
+            s.misses,
+            s.diff_bytes,
+            s.distinct_writers,
+        );
+    }
+}
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    print_json_header(
+        "traffic",
+        "per-region page-sharing aggregates for each family's best implementation",
+    );
     let mut rows = Vec::new();
     let name_of = |r: Option<&AppReport>| opt_col(r, |r| r.kind.name());
     let msgs_of = |r: Option<&AppReport>| opt_col(r, |r| r.traffic.messages.to_string());
@@ -20,16 +50,22 @@ fn main() {
         let ec_reports = run_family(app, &ImplKind::ec_all(), &opts);
         let lrc_reports = run_family(app, &ImplKind::lrc_all(), &opts);
         let hlrc_reports = run_family(app, &ImplKind::hlrc_all(), &opts);
+        let alrc_reports = run_family(app, &ImplKind::adaptive_all(), &opts);
         for r in ec_reports
             .iter()
             .chain(lrc_reports.iter())
             .chain(hlrc_reports.iter())
+            .chain(alrc_reports.iter())
         {
             check(r);
         }
         let ec = best(&ec_reports);
         let lrc = best(&lrc_reports);
         let hlrc = best(&hlrc_reports);
+        let alrc = best(&alrc_reports);
+        for r in [ec, lrc, hlrc, alrc].into_iter().flatten() {
+            print_sharing_rows(r, &opts);
+        }
         rows.push(vec![
             app.name().to_string(),
             name_of(ec),
@@ -43,6 +79,10 @@ fn main() {
             msgs_of(hlrc),
             mb_of(hlrc),
             misses_of(hlrc),
+            name_of(alrc),
+            msgs_of(alrc),
+            mb_of(alrc),
+            misses_of(alrc),
         ]);
     }
     print_table(
@@ -63,6 +103,10 @@ fn main() {
             "HLRC msgs",
             "HLRC MB",
             "HLRC misses",
+            "ALRC impl",
+            "ALRC msgs",
+            "ALRC MB",
+            "ALRC misses",
         ],
         &rows,
     );

@@ -7,6 +7,10 @@
 //! fingerprint of the simulated run is a golden the other backends must hit
 //! exactly.  The replicas' own contents are verified against the engines'
 //! master copies inside the transport itself, which panics on divergence.
+//! The adaptive implementation additionally broadcasts its migration
+//! decisions as control frames; the transports count and fingerprint those
+//! on both ends and panic if any replica missed one, so this smoke also
+//! round-trips the control path over real threads and real sockets.
 //!
 //! Usage: `cargo run --release -p dsm-bench --bin transport_smoke [-- --scale tiny|small|paper --procs N]`
 
@@ -20,10 +24,15 @@ fn main() {
         Scale::Small => "small",
         Scale::Paper => "paper",
     };
+    dsm_bench::print_json_header(
+        "transport_smoke",
+        "SOR over the channel and socket backends vs the simulated contents golden",
+    );
     let kinds = opts.filter_nonempty(&[
         ImplKind::ec_time(),
         ImplKind::lrc_diff(),
         ImplKind::hlrc_diff(),
+        ImplKind::adaptive_diff(),
     ]);
     for kind in kinds {
         let base = run_app(App::Sor, kind, opts.nprocs, opts.scale);

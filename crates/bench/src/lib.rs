@@ -11,21 +11,28 @@
 //! | `table3` | Table 3 — best EC vs best LRC vs best HLRC execution times (+ 1 proc.) |
 //! | `table4` | Table 4 — EC-ci / EC-time / EC-diff execution times |
 //! | `table5` | Table 5 — LRC-ci / LRC-time / LRC-diff execution times |
-//! | `table6` | beyond the paper — HLRC-ci / HLRC-time / HLRC-diff execution times |
+//! | `table6` | beyond the paper — HLRC and ALRC per-combination execution times |
 //! | `traffic` | Section 7.2 — message counts and megabytes per application |
 //! | `scaling` | host wall-clock vs simulated time at 8/16/32 processors (JSON) |
-//! | `matrix_smoke` | CI smoke — SOR under all 9 implementations + golden diff |
+//! | `adaptive` | beyond the paper — mixed-sharing workload, static vs adaptive policies (JSON) |
+//! | `matrix_smoke` | CI smoke — SOR under all 12 implementations + golden diffs |
 //! | `water_restructured` | Section 7.2 — the restructured Water experiment |
 //! | `ablation_ci_opt` | Section 8.1 — the dirty-bit loop-splitting optimisation |
 //! | `ablation_small_objects` | Section 4.2 — eager small-object twins vs page faults |
 //!
 //! All binaries accept `--scale tiny|small|paper` (default `small`) and
 //! `--procs N` (default 8).  The binaries that sweep implementations —
-//! `table3`–`table6`, `traffic`, `scaling`, `hotpath`, `matrix_smoke` — also
-//! honor `--impls NAME[,NAME...]` (a comma-separated subset of the nine
-//! implementation names, e.g. `--impls EC-time,HLRC-diff`; default: all);
-//! the parameter tables (`table1`, `table2`) and the fixed-pair experiments
+//! `table3`–`table6`, `traffic`, `scaling`, `hotpath`, `adaptive`,
+//! `matrix_smoke`, the transport bins — also honor `--impls NAME[,NAME...]`
+//! (a comma-separated subset of the twelve implementation names, e.g.
+//! `--impls EC-time,HLRC-diff,ALRC-diff`; default: all); the parameter
+//! tables (`table1`, `table2`) and the fixed-pair experiments
 //! (`water_restructured`, the ablations) ignore it.
+//!
+//! The JSON-emitting binaries all start their output with the standard
+//! header line from [`print_json_header`], so the `BENCH_*.json` trajectory
+//! files at the repo root carry a `date` and `host_note` alongside the data
+//! rows regardless of which binary produced them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -135,6 +142,43 @@ impl HarnessOpts {
 /// The applications in the order the paper's tables use.
 pub fn table_apps() -> Vec<App> {
     App::ALL.to_vec()
+}
+
+/// Prints the standard one-line JSON metadata header every JSON-emitting
+/// bench binary starts with, so the rows collected into the `BENCH_*.json`
+/// trajectory files are self-describing: which bench produced them, on what
+/// date, and under what conditions.
+pub fn print_json_header(bench: &str, host_note: &str) {
+    println!(
+        "{{\"bench\":\"{bench}\",\"row\":\"header\",\"date\":\"{}\",\"host_note\":\"{host_note}\"}}",
+        today_utc()
+    );
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, from the system clock alone (the
+/// harness takes no date-handling dependency).
+pub fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    civil_from_days((secs / 86_400) as i64)
+}
+
+/// Converts days since 1970-01-01 to a civil `YYYY-MM-DD` date (the
+/// era-decomposition algorithm commonly used for proleptic-Gregorian
+/// conversions).
+fn civil_from_days(days: i64) -> String {
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
 }
 
 /// Runs one application under every implementation of one model family
@@ -281,5 +325,22 @@ mod tests {
     #[test]
     fn secs_formats_two_decimals() {
         assert_eq!(secs(dsm_core::SimTime::from_millis(1500)), "1.50");
+    }
+
+    #[test]
+    fn civil_dates_match_known_days() {
+        assert_eq!(civil_from_days(0), "1970-01-01");
+        assert_eq!(civil_from_days(10_957), "2000-01-01");
+        assert_eq!(civil_from_days(19_782), "2024-02-29");
+        assert_eq!(civil_from_days(-1), "1969-12-31");
+    }
+
+    #[test]
+    fn today_is_a_plausible_iso_date() {
+        let d = today_utc();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.as_bytes()[4], b'-');
+        assert_eq!(d.as_bytes()[7], b'-');
+        assert!(d[..4].parse::<i32>().expect("year") >= 2024);
     }
 }

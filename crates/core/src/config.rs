@@ -22,15 +22,21 @@ pub enum Model {
     /// releasers eagerly flush their modifications to the home and an access
     /// miss fetches the whole page from the home in one round trip.
     Hlrc,
+    /// Adaptive LRC: the [`Model::Lrc`] ordering layer under an online
+    /// per-page data-policy controller that migrates each page between
+    /// homeless diffing, home-based flush (home at the dominant writer) and
+    /// single-writer pinning, driven by the page's observed sharing pattern.
+    Adaptive,
 }
 
 impl Model {
-    /// Short label ("EC" / "LRC" / "HLRC").
+    /// Short label ("EC" / "LRC" / "HLRC" / "ALRC").
     pub fn label(self) -> &'static str {
         match self {
             Model::Ec => "EC",
             Model::Lrc => "LRC",
             Model::Hlrc => "HLRC",
+            Model::Adaptive => "ALRC",
         }
     }
 }
@@ -100,7 +106,8 @@ impl fmt::Display for Collection {
 /// One of the implementations of the study: a consistency model crossed with
 /// a write-trapping and a write-collection mechanism.  The six combinations
 /// of the paper's Table 1 (EC and homeless LRC) are extended with the three
-/// home-based LRC variants, nine implementations in total.
+/// home-based LRC variants and the three adaptive LRC variants, twelve
+/// implementations in total.
 ///
 /// The combination of compiler instrumentation and diffing is rejected, as in
 /// the paper, "because its memory requirements appear prohibitive" (it would
@@ -114,8 +121,8 @@ impl fmt::Display for Collection {
 /// let ec_ci = ImplKind::new(Model::Ec, Trapping::Instrumentation, Collection::Timestamps)?;
 /// assert_eq!(ec_ci.name(), "EC-ci");
 ///
-/// // The six implementations of Table 1 plus the three HLRC variants:
-/// assert_eq!(ImplKind::all().len(), 9);
+/// // Table 1's six plus the three HLRC and three adaptive variants:
+/// assert_eq!(ImplKind::all().len(), 12);
 ///
 /// // Names round-trip through the parser used by the bench bins' --impls.
 /// for kind in ImplKind::all() {
@@ -230,9 +237,36 @@ impl ImplKind {
         }
     }
 
-    /// All nine implementations: the paper's six (Table-1 order) followed by
-    /// the three home-based LRC variants.
-    pub fn all() -> [ImplKind; 9] {
+    /// Adaptive LRC with compiler instrumentation and timestamps.
+    pub fn adaptive_ci() -> Self {
+        ImplKind {
+            model: Model::Adaptive,
+            trapping: Trapping::Instrumentation,
+            collection: Collection::Timestamps,
+        }
+    }
+
+    /// Adaptive LRC with twinning and timestamps.
+    pub fn adaptive_time() -> Self {
+        ImplKind {
+            model: Model::Adaptive,
+            trapping: Trapping::Twinning,
+            collection: Collection::Timestamps,
+        }
+    }
+
+    /// Adaptive LRC with twinning and diffs.
+    pub fn adaptive_diff() -> Self {
+        ImplKind {
+            model: Model::Adaptive,
+            trapping: Trapping::Twinning,
+            collection: Collection::Diffs,
+        }
+    }
+
+    /// All twelve implementations: the paper's six (Table-1 order) followed
+    /// by the three home-based and the three adaptive LRC variants.
+    pub fn all() -> [ImplKind; 12] {
         [
             Self::ec_ci(),
             Self::ec_time(),
@@ -243,6 +277,9 @@ impl ImplKind {
             Self::hlrc_ci(),
             Self::hlrc_time(),
             Self::hlrc_diff(),
+            Self::adaptive_ci(),
+            Self::adaptive_time(),
+            Self::adaptive_diff(),
         ]
     }
 
@@ -261,8 +298,17 @@ impl ImplKind {
         [Self::hlrc_ci(), Self::hlrc_time(), Self::hlrc_diff()]
     }
 
+    /// The three adaptive LRC implementations.
+    pub fn adaptive_all() -> [ImplKind; 3] {
+        [
+            Self::adaptive_ci(),
+            Self::adaptive_time(),
+            Self::adaptive_diff(),
+        ]
+    }
+
     /// Parses an implementation from its table name (`EC-ci`, `LRC-diff`,
-    /// `HLRC-time`, ...), the inverse of [`ImplKind::name`]/`Display`.  Used
+    /// `ALRC-time`, ...), the inverse of [`ImplKind::name`]/`Display`.  Used
     /// by the bench bins' `--impls` filter.  Matching is case-insensitive
     /// (`lrc-diff` and `HLRC-TIME` both parse), so shell users never trip
     /// over the tables' mixed-case spellings.
@@ -270,7 +316,7 @@ impl ImplKind {
     /// # Errors
     ///
     /// Returns [`DsmError::InvalidConfig`] naming the valid spellings if
-    /// `name` matches none of the nine implementations.
+    /// `name` matches none of the twelve implementations.
     pub fn from_name(name: &str) -> Result<Self, DsmError> {
         Self::all()
             .into_iter()
@@ -300,8 +346,8 @@ impl ImplKind {
     }
 
     /// The name used in the paper's tables: `EC-ci`, `EC-time`, `EC-diff`,
-    /// `LRC-ci`, `LRC-time`, `LRC-diff`, plus `HLRC-ci`, `HLRC-time` and
-    /// `HLRC-diff` for the home-based family.
+    /// `LRC-ci`, `LRC-time`, `LRC-diff`, plus `HLRC-*` for the home-based
+    /// family and `ALRC-*` for the adaptive family.
     pub fn name(self) -> String {
         let suffix = match (self.trapping, self.collection) {
             (Trapping::Instrumentation, _) => "ci",
@@ -323,7 +369,7 @@ impl fmt::Display for ImplKind {
 pub struct DsmConfig {
     /// Number of simulated processors (the paper uses 8).
     pub nprocs: usize,
-    /// Which of the nine implementations to run.
+    /// Which of the twelve implementations to run.
     pub kind: ImplKind,
     /// The cost model converting protocol events into simulated time.
     pub cost: CostModel,
@@ -406,7 +452,7 @@ mod tests {
 
     #[test]
     fn ci_plus_diff_is_rejected() {
-        for model in [Model::Ec, Model::Lrc, Model::Hlrc] {
+        for model in [Model::Ec, Model::Lrc, Model::Hlrc, Model::Adaptive] {
             let err = ImplKind::new(model, Trapping::Instrumentation, Collection::Diffs);
             assert!(matches!(err, Err(DsmError::UnsupportedCombination)));
         }
@@ -426,7 +472,10 @@ mod tests {
                 "LRC-diff",
                 "HLRC-ci",
                 "HLRC-time",
-                "HLRC-diff"
+                "HLRC-diff",
+                "ALRC-ci",
+                "ALRC-time",
+                "ALRC-diff"
             ]
         );
     }
@@ -466,6 +515,9 @@ mod tests {
         assert!(ImplKind::hlrc_all()
             .iter()
             .all(|k| k.model() == Model::Hlrc));
+        assert!(ImplKind::adaptive_all()
+            .iter()
+            .all(|k| k.model() == Model::Adaptive));
     }
 
     #[test]

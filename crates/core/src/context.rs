@@ -407,7 +407,7 @@ impl<'a> ProcessContext<'a> {
         }
 
         let slot = self.global.sync.barrier_slot(barrier.index());
-        let (release_time, released_vector) = {
+        let (release_time, released_vector, commit_payload) = {
             let mut b = sync::lock(&slot.sync);
             let my_gen = b.generation;
             b.pending_max = b.pending_max.max(arrive_t);
@@ -415,6 +415,13 @@ impl<'a> ProcessContext<'a> {
             b.arrived += 1;
 
             if b.arrived == nprocs {
+                // Commit point: every node has arrived (their intervals are
+                // published and no region lock is held), so the engine's
+                // barrier-time controller runs here, exactly once per
+                // episode, on inputs that all happen-before this barrier —
+                // which node ran it cannot matter.  Any broadcast bytes it
+                // produces ride every departer's release message.
+                b.commit_payload = self.global.engine.barrier_commit(&mut self.local);
                 b.release_time = b.pending_max;
                 b.released_vector = b.pending_vector.clone();
                 b.generation = b.generation.wrapping_add(1);
@@ -427,12 +434,13 @@ impl<'a> ProcessContext<'a> {
                     b = sync::wait(&slot.cv, b);
                 }
             }
-            (b.release_time, b.released_vector.clone())
+            (b.release_time, b.released_vector.clone(), b.commit_payload)
         };
         self.local.clock.sync_to(release_time);
 
-        let depart_payload =
-            self.global
+        let depart_payload = commit_payload
+            + self
+                .global
                 .engine
                 .barrier_depart(&mut self.local, &old_vector, &released_vector);
         if !is_mgr {

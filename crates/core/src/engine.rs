@@ -17,14 +17,14 @@
 //! independent locks and regions run concurrently.  See `DESIGN.md` for the
 //! sharding layout and the lock-ordering rules.
 
-use dsm_mem::{MemRange, RegionDesc, VectorClock};
-use dsm_sim::NodeId;
+use dsm_mem::{MemRange, PageModeChange, RegionDesc, VectorClock};
+use dsm_sim::{NodeId, RegionSharing};
 
 use crate::config::{DsmConfig, Model};
 use crate::ec::EcEngine;
 use crate::ids::{LockId, LockMode};
 use crate::local::{HeldLock, NodeLocal};
-use crate::lrc::{HomeBasedLrcEngine, HomelessLrcEngine};
+use crate::lrc::{AdaptiveLrcEngine, HomeBasedLrcEngine, HomelessLrcEngine};
 
 /// Size of a small control message payload (lock request/forward, barrier
 /// bookkeeping) in bytes.
@@ -130,6 +130,27 @@ pub(crate) trait ProtocolEngine: Send + Sync + std::fmt::Debug {
 
     /// The final published contents of every region, in region order.
     fn final_regions(&self) -> Vec<Vec<u8>>;
+
+    /// Commit-side barrier work, run exactly once per barrier episode by the
+    /// last arriver while every other node is blocked in the rendezvous (the
+    /// adaptive policy migrates page modes here); returns the extra payload
+    /// (in bytes) every departer's release message must carry.  No-op for
+    /// engines without a barrier-time controller.
+    fn barrier_commit(&self, _local: &mut NodeLocal) -> usize {
+        0
+    }
+
+    /// The committed page-mode migration decisions in commit order (empty
+    /// for every engine without an adaptive controller).
+    fn migration_trace(&self) -> Vec<PageModeChange> {
+        Vec::new()
+    }
+
+    /// Per-region aggregates of the page sharing statistics the engine
+    /// accumulated (empty for engines that do not track them, i.e. EC).
+    fn sharing_report(&self) -> Vec<RegionSharing> {
+        Vec::new()
+    }
 }
 
 /// Builds the engine for a run.  This is the single place the consistency
@@ -143,6 +164,7 @@ pub(crate) fn build_engine(
         Model::Ec => Box::new(EcEngine::new(cfg, regions, init)),
         Model::Lrc => Box::new(HomelessLrcEngine::new(cfg, regions, init)),
         Model::Hlrc => Box::new(HomeBasedLrcEngine::new(cfg, regions, init)),
+        Model::Adaptive => Box::new(AdaptiveLrcEngine::new(cfg, regions, init)),
     }
 }
 

@@ -7,13 +7,13 @@
 //! two consistency models crossed with two write-trapping mechanisms
 //! (compiler instrumentation, twinning) and two write-collection mechanisms
 //! (timestamps, diffs), minus the prohibitive instrumentation+diffs
-//! combination — plus the three home-based LRC (HLRC) variants, nine
-//! implementations in total:
+//! combination — plus the three home-based LRC (HLRC) variants and the three
+//! adaptive LRC (ALRC) variants, twelve implementations in total:
 //!
 //! | | compiler instrumentation | twinning |
 //! |---|---|---|
-//! | **timestamps** | `EC-ci`, `LRC-ci`, `HLRC-ci` | `EC-time`, `LRC-time`, `HLRC-time` |
-//! | **diffs** | — | `EC-diff`, `LRC-diff`, `HLRC-diff` |
+//! | **timestamps** | `EC-ci`, `LRC-ci`, `HLRC-ci`, `ALRC-ci` | `EC-time`, `LRC-time`, `HLRC-time`, `ALRC-time` |
+//! | **diffs** | — | `EC-diff`, `LRC-diff`, `HLRC-diff`, `ALRC-diff` |
 //!
 //! # Architecture
 //!
@@ -43,9 +43,16 @@
 //! one per concurrent writer, at the price of an eager flush per remote
 //! release and whole-page replies.  Entry consistency (`EC-*`) remains the
 //! choice when the program can name its sharing — data bound to locks moves
-//! on the grant, and nothing else moves at all.  The two LRC policies share
-//! their ordering layer, so switching between them never changes program
-//! results, only traffic and timing.
+//! on the grant, and nothing else moves at all.  When no single static
+//! policy fits — the common case, per the paper's §5 — adaptive LRC
+//! (`ALRC-*`) decides *per page, online*: it watches each page's publishes,
+//! misses, diff bytes and writer set and migrates the page between homeless
+//! diffing, a home at its dominant writer, and single-writer pinning (which
+//! suppresses twin/diff work entirely until a second sharer appears).  The
+//! LRC policies all share their ordering layer, so switching between them
+//! never changes program results, only traffic and timing; see
+//! [`RunResult::migrations`] and [`RunResult::sharing`] for the adaptive
+//! controller's trace and the per-region sharing profile behind it.
 //!
 //! Applications are written SPMD-style against [`Dsm`] and
 //! [`ProcessContext`]; the runtime executes them on simulated processors,
@@ -125,5 +132,5 @@ pub use scalar::Scalar;
 pub use transport::{serve_transport_peer, TransportKind, TransportReport};
 
 // Re-export the vocabulary types callers need to use the API.
-pub use dsm_mem::{BlockGranularity, MemRange};
-pub use dsm_sim::{CostModel, SimTime, Work};
+pub use dsm_mem::{BlockGranularity, MemRange, PageMode, PageModeChange};
+pub use dsm_sim::{CostModel, RegionSharing, SharingSummary, SimTime, Work};

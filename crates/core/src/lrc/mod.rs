@@ -13,22 +13,32 @@
 //! * **Home-based** (`HLRC-*`): every page has a static round-robin home;
 //!   releasers eagerly flush diffs to the home, and a miss is one whole-page
 //!   round trip to one node.
+//! * **Adaptive** (`ALRC-*`): an online controller picks per page, from its
+//!   observed sharing pattern, between homeless diffing, a home at the
+//!   dominant writer, and single-writer pinning (see the `adaptive` module).
 //!
 //! Choosing a policy: homeless LRC sends less data when pages are rarely
 //! shared (only the diffs move, only on demand) but a multi-writer page costs
 //! a faulting node one round trip *per concurrent writer*.  Home-based LRC
 //! pays an eager flush per release and ships whole pages, but caps every miss
 //! at a single round trip however many writers raced on the page — the
-//! classic trade for write-shared (falsely shared) data.  Both policies run
-//! the same ordering layer, so their memory contents are identical on
-//! data-race-free programs; `tests/tests/hlrc_equivalence.rs` pins that, and
-//! pins the homeless policy byte-for-byte (traffic and per-node statistics
-//! included) against the pre-refactor monolithic engine.
+//! classic trade for write-shared (falsely shared) data.  When a workload
+//! mixes those patterns (the common case: the paper's §5 finds no static
+//! winner), the adaptive policy migrates each page to whichever mode its own
+//! sharing statistics argue for, and additionally pins pages only one node
+//! ever touches so they generate no protocol work at all.  All three policies
+//! run the same ordering layer, so their memory contents are identical on
+//! data-race-free programs; `tests/tests/hlrc_equivalence.rs` pins that (and
+//! pins the homeless policy byte-for-byte against the pre-refactor monolithic
+//! engine), while `tests/tests/adaptive_determinism.rs` pins the adaptive
+//! migration traces across repeated runs and processor counts.
 
+mod adaptive;
 mod ordering;
 mod policy;
 mod state;
 
+use adaptive::Adaptive;
 use ordering::LrcEngine;
 use policy::{HomeBased, Homeless};
 
@@ -37,3 +47,6 @@ pub(crate) type HomelessLrcEngine = LrcEngine<Homeless>;
 
 /// The home-based engine: `HLRC-ci`, `HLRC-time`, `HLRC-diff`.
 pub(crate) type HomeBasedLrcEngine = LrcEngine<HomeBased>;
+
+/// The adaptive engine: `ALRC-ci`, `ALRC-time`, `ALRC-diff`.
+pub(crate) type AdaptiveLrcEngine = LrcEngine<Adaptive>;

@@ -18,8 +18,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
 
-use dsm_mem::{pages_in, MemRange, RegionDesc, VectorClock, WriteNotice};
-use dsm_sim::NodeId;
+use dsm_mem::{pages_in, MemRange, PageModeChange, RegionDesc, VectorClock, WriteNotice};
+use dsm_sim::{NodeId, RegionSharing};
 
 use crate::config::{Collection, DsmConfig, Trapping};
 use crate::engine::{ProtocolEngine, PublishRec};
@@ -178,6 +178,12 @@ impl<P: DataPolicy> LrcEngine<P> {
         pub_clock.set_entry(me, next_interval);
 
         for &(ridx, page) in &dirty {
+            // A pinned page's owner does no protocol work: its diff/twin
+            // costs and statistics are suppressed below.  Only accounting is
+            // affected — master updates, stamps, history records and replica
+            // frames are emitted regardless, so contents stay
+            // policy-independent.  (Always false for the static policies.)
+            let suppress = self.policy.suppress_publish(me, ridx, page);
             let track = wire.is_some();
             let mut frame_runs = match wire.as_deref_mut() {
                 Some(w) => std::mem::take(&mut w.scratch_runs),
@@ -262,20 +268,32 @@ impl<P: DataPolicy> LrcEngine<P> {
                 lp.applied[me_idx] = next_interval;
                 if trapping == Trapping::Twinning {
                     if let Some(twin) = lp.twin.take() {
-                        reprotects += 1;
+                        if !suppress {
+                            reprotects += 1;
+                        }
                         local.pool.put(twin);
                     }
                 }
                 lp.clear_interval_state();
             }
 
-            total_compare_words += compare_words as u64;
+            if !suppress {
+                total_compare_words += compare_words as u64;
+            }
 
             if changed_words > 0 {
-                published_pages += 1;
-                local.stats.diff_words += changed_words as u64;
-                if collection == Collection::Diffs {
-                    local.stats.diffs_created += 1;
+                if !suppress {
+                    // A pinned page's owner broadcasts no write notice either
+                    // (nobody else holds a copy to invalidate): the page does
+                    // not count toward this interval's notice payload.  The
+                    // history records below still carry the stamps, so a
+                    // surprise reader's miss — which breaks the pin — is
+                    // detected regardless.
+                    published_pages += 1;
+                    local.stats.diff_words += changed_words as u64;
+                    if collection == Collection::Diffs {
+                        local.stats.diffs_created += 1;
+                    }
                 }
                 // Commit the publish to the region's generation while the
                 // write lock is still held, so a concurrent freshness check
@@ -295,6 +313,19 @@ impl<P: DataPolicy> LrcEngine<P> {
                     );
                 }
                 let ps = &mut rs.pages[page];
+                // Sharing statistics for the adaptive controller, recorded
+                // before the history append: the publish is *serial* if the
+                // page's previous record is already covered by our vector
+                // (the writers synchronized in between — migratory data), a
+                // fact read off the entitlement-visible history alone.  The
+                // unsuppressed encoded size is recorded so the controller's
+                // signal does not depend on the page's current mode.
+                let serial = ps
+                    .history
+                    .back()
+                    .map_or(true, |r| r.interval <= local.vector.entry(r.node));
+                let encoded_size = changed_words * 4 + runs * 8;
+                ps.sharing.record_publish(me_idx, encoded_size, serial);
                 ps.latest[me_idx] = next_interval;
                 // New stamps landed: any cached flattened snapshot of this
                 // page is now stale.
@@ -306,13 +337,16 @@ impl<P: DataPolicy> LrcEngine<P> {
                 let mut rec = PublishRec {
                     stamp: next_interval as u64,
                     node: me,
-                    encoded_size: changed_words * 4 + runs * 8,
-                    compare_words,
-                    creation_charged: collection == Collection::Timestamps
+                    encoded_size: if suppress { 0 } else { encoded_size },
+                    compare_words: if suppress { 0 } else { compare_words },
+                    creation_charged: suppress
+                        || collection == Collection::Timestamps
                         || trapping == Trapping::Instrumentation,
                 };
-                self.policy
-                    .on_publish(&self.cfg, local, ridx, page, &mut rec);
+                if !suppress {
+                    self.policy
+                        .on_publish(&self.cfg, local, ridx, page, &mut rec);
+                }
                 let ps = &mut rs.pages[page];
                 ps.diffs.push_back(rec);
                 while ps.diffs.len() > diff_ring {
@@ -422,6 +456,19 @@ impl<P: DataPolicy> LrcEngine<P> {
                 out.push((q, lp.applied[q], upto));
             }
         }
+    }
+
+    /// Test-only view of the configuration and region table (the policy
+    /// modules' unit tests build `NodeLocal`s against them).
+    #[cfg(test)]
+    pub(crate) fn parts(&self) -> (&DsmConfig, &[RegionDesc]) {
+        (&self.cfg, &self.regions)
+    }
+
+    /// Test-only access to the data policy.
+    #[cfg(test)]
+    pub(crate) fn policy(&self) -> &P {
+        &self.policy
     }
 
     /// True if the page has applied *every* publish made to it (not merely
@@ -603,6 +650,7 @@ impl<P: DataPolicy> ProtocolEngine for LrcEngine<P> {
 
         local.stats.access_misses += 1;
         local.stats.pages_invalidated += 1;
+        rs.pages[page].sharing.record_miss();
         local.clock.advance(cost.page_fault());
 
         let span = local.regions[ridx].page_span(page);
@@ -747,6 +795,7 @@ impl<P: DataPolicy> ProtocolEngine for LrcEngine<P> {
                 .advance(cost.instrumented_writes(factor).times(count as u64));
         }
 
+        let me = local.node;
         let region = &mut local.regions[ridx];
         let region_len = region.data.len();
         dsm_mem::for_each_page(off, len, |page, bytes| {
@@ -755,12 +804,17 @@ impl<P: DataPolicy> ProtocolEngine for LrcEngine<P> {
                 let words = span.len().div_ceil(4) as u64;
                 let copy = local.pool.take_copy(&region.data[span]);
                 region.pages[page].twin = Some(copy);
-                local.stats.write_faults += 1;
-                local.stats.twins_created += 1;
-                local.stats.twin_words += words;
-                local
-                    .clock
-                    .advance(cost.page_fault() + cost.twin_copy(words) + cost.mprotect());
+                // A pinned page's owner writes without protocol work: the
+                // twin is still made (content mechanics are policy-free) but
+                // the fault's costs and statistics are suppressed.
+                if self.policy.charge_write_fault(me, ridx, page) {
+                    local.stats.write_faults += 1;
+                    local.stats.twins_created += 1;
+                    local.stats.twin_words += words;
+                    local
+                        .clock
+                        .advance(cost.page_fault() + cost.twin_copy(words) + cost.mprotect());
+                }
             }
             let base_word = (page * dsm_mem::PAGE_SIZE) / 4;
             let lp = &mut region.pages[page];
@@ -782,6 +836,47 @@ impl<P: DataPolicy> ProtocolEngine for LrcEngine<P> {
         self.region_state
             .iter()
             .map(|r| sync::read(r).master.clone())
+            .collect()
+    }
+
+    fn barrier_commit(&self, local: &mut NodeLocal) -> usize {
+        self.policy
+            .barrier_commit(&self.cfg, &self.regions, &self.region_state, local)
+    }
+
+    fn migration_trace(&self) -> Vec<PageModeChange> {
+        self.policy.migration_trace()
+    }
+
+    /// Per-region roll-up of the page sharing accumulators.  Shared by every
+    /// LRC-family engine: the statistics are recorded by the ordering core,
+    /// so the homeless and home-based engines report them too even though
+    /// only the adaptive policy acts on them.
+    fn sharing_report(&self) -> Vec<RegionSharing> {
+        self.regions
+            .iter()
+            .enumerate()
+            .map(|(ridx, d)| {
+                let rs = sync::read(&self.region_state[ridx]);
+                let mut out = RegionSharing {
+                    region: d.name.clone(),
+                    pages: rs.pages.len() as u64,
+                    ..RegionSharing::default()
+                };
+                let mut wrote = vec![false; self.cfg.nprocs];
+                for ps in &rs.pages {
+                    out.publishes += ps.sharing.total_publishes;
+                    out.misses += ps.sharing.total_misses;
+                    out.diff_bytes += ps.sharing.total_diff_bytes;
+                    for (q, &latest) in ps.latest.iter().enumerate() {
+                        if latest > 0 {
+                            wrote[q] = true;
+                        }
+                    }
+                }
+                out.distinct_writers = wrote.iter().filter(|&&w| w).count() as u32;
+                out
+            })
             .collect()
     }
 }

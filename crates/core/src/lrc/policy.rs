@@ -21,7 +21,9 @@
 //! policy-independent, which is what makes the two policies content-equivalent
 //! by construction and lets the equivalence tests compare them byte for byte.
 
-use dsm_mem::{BlockGranularity, IntervalId, RegionDesc};
+use std::sync::RwLock;
+
+use dsm_mem::{BlockGranularity, IntervalId, PageModeChange, RegionDesc};
 use dsm_sim::{MsgKind, NodeId};
 
 use crate::config::{Collection, DsmConfig, Trapping};
@@ -79,6 +81,96 @@ pub(crate) trait DataPolicy: Send + Sync + 'static {
         rs: &mut LrcRegionState,
         miss: &MissInfo<'_>,
     );
+
+    /// Whether `node`'s write fault on the page should be charged (twin
+    /// creation cost and `write_faults`/`twins_created` statistics).  The
+    /// adaptive policy answers `false` for a pinned page's owner — no
+    /// protocol work until a second writer shows up — while *recording* the
+    /// fault so the pin can be broken deterministically at the next barrier.
+    /// The twin itself is still made either way: pinning suppresses costs,
+    /// never content mechanics.
+    fn charge_write_fault(&self, _node: NodeId, _ridx: usize, _page: usize) -> bool {
+        true
+    }
+
+    /// Whether `node`'s publish of the page should skip the diff-creation
+    /// accounting (`diffs_created`/`diff_words` statistics, encode sizes,
+    /// compare costs).  `true` only for the pinned owner under the adaptive
+    /// policy; master-copy updates, write-notice history and replica frames
+    /// are emitted regardless, so contents stay policy-independent.
+    fn suppress_publish(&self, _node: NodeId, _ridx: usize, _page: usize) -> bool {
+        false
+    }
+
+    /// Barrier-commit hook, run exactly once per barrier episode by the last
+    /// arriver while every node is blocked in the barrier.  The adaptive
+    /// policy closes each page's observation window here and commits mode
+    /// migrations; the return value is the extra per-departer payload (in
+    /// bytes) the barrier release must carry to broadcast those decisions.
+    fn barrier_commit(
+        &self,
+        _cfg: &DsmConfig,
+        _regions: &[RegionDesc],
+        _region_state: &[RwLock<LrcRegionState>],
+        _local: &mut NodeLocal,
+    ) -> usize {
+        0
+    }
+
+    /// The committed migration decisions, in commit order (empty for the
+    /// static policies).
+    fn migration_trace(&self) -> Vec<PageModeChange> {
+        Vec::new()
+    }
+}
+
+/// Accounts a home-based eager flush of one published page: diff creation is
+/// charged to the releaser and the encoded modifications travel to `home`
+/// unless the releaser *is* the home.  Shared by [`HomeBased`] (static
+/// round-robin homes) and the adaptive policy (homes follow the dominant
+/// writer), so both account flushes identically.
+pub(crate) fn home_publish(
+    cfg: &DsmConfig,
+    local: &mut NodeLocal,
+    home: NodeId,
+    rec: &mut PublishRec,
+) {
+    // Eager flush: the releaser ships the encoded modifications to the
+    // page's home at the end of the interval, so diff creation is always
+    // charged eagerly to the releaser (the homeless policy defers it to
+    // the first fetch under diff collection).
+    if !rec.creation_charged {
+        rec.creation_charged = true;
+        local
+            .clock
+            .advance(cfg.cost.diff_compare(rec.compare_words as u64));
+    }
+    if home != local.node {
+        // Home flushes are data-reply-class traffic, paid at release time
+        // instead of at the next reader's miss.
+        local.stats.record_msg(MsgKind::DataReply, rec.encoded_size);
+        local.clock.advance(cfg.cost.message(rec.encoded_size));
+    }
+}
+
+/// Accounts a home-based miss: one whole-page round trip to `home` (free when
+/// the faulting node is the home), however many writers raced on the page.
+/// Shared by [`HomeBased`] and the adaptive policy.
+pub(crate) fn home_miss(cfg: &DsmConfig, local: &mut NodeLocal, home: NodeId, m: &MissInfo<'_>) {
+    local.stats.words_applied += m.applied_words as u64;
+    local.clock.advance(cfg.cost.apply_words(m.nwords as u64));
+    if home == local.node {
+        // The home itself holds the authoritative copy: the fault is
+        // served from local state without any message.
+        return;
+    }
+    let req_bytes = local.vector.wire_size();
+    let reply_bytes = m.nwords * 4;
+    local.stats.record_msg(MsgKind::DataRequest, req_bytes);
+    local.stats.record_msg(MsgKind::DataReply, reply_bytes);
+    local
+        .clock
+        .advance(cfg.cost.round_trip(req_bytes, reply_bytes));
 }
 
 /// The homeless (TreadMarks) data policy: data moves lazily, from the
@@ -253,23 +345,7 @@ impl DataPolicy for HomeBased {
         page: usize,
         rec: &mut PublishRec,
     ) {
-        // Eager flush: the releaser ships the encoded modifications to the
-        // page's home at the end of the interval, so diff creation is always
-        // charged eagerly to the releaser (the homeless policy defers it to
-        // the first fetch under diff collection).
-        if !rec.creation_charged {
-            rec.creation_charged = true;
-            local
-                .clock
-                .advance(cfg.cost.diff_compare(rec.compare_words as u64));
-        }
-        let home = self.home_of(ridx, page);
-        if home != local.node {
-            // Home flushes are data-reply-class traffic, paid at release time
-            // instead of at the next reader's miss.
-            local.stats.record_msg(MsgKind::DataReply, rec.encoded_size);
-            local.clock.advance(cfg.cost.message(rec.encoded_size));
-        }
+        home_publish(cfg, local, self.home_of(ridx, page), rec);
     }
 
     fn on_miss(
@@ -282,20 +358,6 @@ impl DataPolicy for HomeBased {
         // The home has every flushed diff applied, so one whole-page round
         // trip to one node replaces the homeless per-writer diff collection —
         // however many writers raced on the page.
-        local.stats.words_applied += m.applied_words as u64;
-        local.clock.advance(cfg.cost.apply_words(m.nwords as u64));
-        let home = self.home_of(m.ridx, m.page);
-        if home == local.node {
-            // The home itself holds the authoritative copy: the fault is
-            // served from local state without any message.
-            return;
-        }
-        let req_bytes = local.vector.wire_size();
-        let reply_bytes = m.nwords * 4;
-        local.stats.record_msg(MsgKind::DataRequest, req_bytes);
-        local.stats.record_msg(MsgKind::DataReply, reply_bytes);
-        local
-            .clock
-            .advance(cfg.cost.round_trip(req_bytes, reply_bytes));
+        home_miss(cfg, local, self.home_of(m.ridx, m.page), m);
     }
 }

@@ -8,7 +8,7 @@
 
 use std::collections::VecDeque;
 
-use dsm_mem::{ClockDelta, FlatUpdate, VectorClock};
+use dsm_mem::{ClockDelta, FlatUpdate, PageSharing, VectorClock};
 use dsm_sim::NodeId;
 
 use crate::engine::PublishRec;
@@ -95,6 +95,12 @@ pub(crate) struct LrcPageState {
     pub snap: FlatUpdate,
     /// The `stamp_ver` the snapshot was built at (`u64::MAX` = never built).
     pub snap_ver: u64,
+    /// Sharing-statistics accumulator: publish/miss/diff-byte counts per
+    /// observation window plus run totals.  Every LRC-family policy records
+    /// into it (the totals feed [`TrafficReport`](dsm_sim::TrafficReport)
+    /// sharing roll-ups); only the adaptive policy closes windows and acts
+    /// on them.  Recorded strictly under the region write lock.
+    pub sharing: PageSharing,
 }
 
 impl LrcPageState {
@@ -110,6 +116,7 @@ impl LrcPageState {
             stamp_ver: 0,
             snap: FlatUpdate::new(),
             snap_ver: u64::MAX,
+            sharing: PageSharing::new(nprocs),
         }
     }
 

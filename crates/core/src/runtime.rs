@@ -1,7 +1,7 @@
 //! The DSM runtime: region allocation, initialisation, and SPMD execution.
 
-use dsm_mem::{BlockGranularity, MemRange, RegionDesc, RegionId};
-use dsm_sim::{ClusterStats, SimTime, TrafficReport};
+use dsm_mem::{BlockGranularity, MemRange, PageModeChange, RegionDesc, RegionId};
+use dsm_sim::{ClusterStats, RegionSharing, SimTime, TrafficReport};
 
 use crate::api::SharedArray;
 use crate::config::DsmConfig;
@@ -84,6 +84,12 @@ pub struct RunResult {
     /// how many replicas were verified byte-identical to the master copies,
     /// and the frame/byte traffic on the real backends.
     pub wire: TransportReport,
+    /// Per-region sharing profile (publishes, misses, diff bytes, distinct
+    /// writers) under the LRC family; empty under EC.
+    pub sharing: Vec<RegionSharing>,
+    /// The adaptive policy's committed per-page mode changes, in commit
+    /// order; empty for every static policy.
+    pub migrations: Vec<PageModeChange>,
     region_data: Vec<Vec<u8>>,
 }
 
@@ -340,6 +346,15 @@ impl Dsm {
         let stats = ClusterStats::from_nodes(locals.iter().map(|l| l.stats.clone()).collect());
         let mut traffic = stats.traffic();
         traffic.lock_transfers = global.sync.total_lock_transfers();
+        let sharing = global.engine.sharing_report();
+        for r in &sharing {
+            traffic.sharing.publishes += r.publishes;
+            traffic.sharing.misses += r.misses;
+            traffic.sharing.diff_bytes += r.diff_bytes;
+            traffic.sharing.max_region_writers =
+                traffic.sharing.max_region_writers.max(r.distinct_writers);
+        }
+        let migrations = global.engine.migration_trace();
         let region_data = global.engine.final_regions();
         let wire = transport.finish(wires, &region_data);
 
@@ -349,6 +364,8 @@ impl Dsm {
             stats,
             traffic,
             wire,
+            sharing,
+            migrations,
             region_data,
         }
     }
@@ -402,6 +419,36 @@ mod tests {
         let mut cfg = DsmConfig::paper(ImplKind::ec_ci());
         cfg.nprocs = 0;
         assert!(Dsm::new(cfg).is_err());
+    }
+
+    #[test]
+    fn sharing_report_reaches_the_run_result() {
+        let mut dsm = Dsm::new(DsmConfig::with_procs(ImplKind::lrc_diff(), 2)).unwrap();
+        let r = dsm
+            .alloc_array::<u32>("shared", 4, BlockGranularity::Word)
+            .region();
+        let result = dsm.run(|ctx| {
+            if ctx.node() == 0 {
+                ctx.update::<u32>(r, 0, |v| v + 1);
+            }
+            ctx.barrier(crate::BarrierId::new(0));
+            if ctx.node() == 1 {
+                assert_eq!(ctx.read::<u32>(r, 0), 1);
+            }
+            ctx.barrier(crate::BarrierId::new(1));
+        });
+        assert_eq!(result.sharing.len(), 1);
+        assert_eq!(result.sharing[0].region, "shared");
+        assert!(result.sharing[0].publishes >= 1);
+        assert!(result.sharing[0].distinct_writers >= 1);
+        assert_eq!(
+            result.traffic.sharing.publishes,
+            result.sharing[0].publishes
+        );
+        assert!(
+            result.migrations.is_empty(),
+            "static policies never migrate"
+        );
     }
 
     #[test]

@@ -168,6 +168,10 @@ pub(crate) struct BarrierSync {
     pub release_time: SimTime,
     /// Vector released by the last completed episode (LRC).
     pub released_vector: VectorClock,
+    /// Extra release-payload bytes produced by the engine's barrier-commit
+    /// hook for the last completed episode (adaptive LRC's migration
+    /// broadcast; zero for every other engine).
+    pub commit_payload: usize,
 }
 
 impl BarrierSync {
@@ -179,6 +183,7 @@ impl BarrierSync {
             pending_vector: VectorClock::new(nprocs),
             release_time: SimTime::ZERO,
             released_vector: VectorClock::new(nprocs),
+            commit_payload: 0,
         }
     }
 }

@@ -41,8 +41,8 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::{mpsc, Arc};
 
 use dsm_mem::wire::{
-    self, begin_batch, encode_frame_v2, finish_batch, fnv64_regions, frame_v2_meta_len, read_msg,
-    write_msg, BatchReader, FrameV2, WireFrame, WireInit, WireMsgKind, WireReport,
+    self, begin_batch, encode_frame_v2, finish_batch, fnv64, fnv64_regions, frame_v2_meta_len,
+    read_msg, write_msg, BatchReader, FrameV2, WireFrame, WireInit, WireMsgKind, WireReport,
 };
 use dsm_mem::{put_varint, varint_len, BufferPool, CompactClock};
 use dsm_sim::NodeId;
@@ -115,7 +115,16 @@ pub struct TransportReport {
     pub frames_coalesced: u64,
     /// Frames applied across all replicas.
     pub frames_applied: u64,
+    /// Engine control broadcasts sent (adaptive LRC's migration commits;
+    /// zero for every static policy).  Each replica's received count and
+    /// XOR-FNV fingerprint are verified against the senders' totals.
+    pub ctrl_frames: u64,
 }
+
+/// Sentinel region index marking an in-process control frame (the channel
+/// backend's counterpart of [`WireMsgKind::Ctrl`]): replicas fingerprint the
+/// payload instead of applying it.
+const CTRL_REGION: u32 = u32::MAX;
 
 /// One replica of the shared regions, rebuilt purely from publish frames.
 ///
@@ -132,6 +141,9 @@ struct Replica {
     pending: Vec<BTreeMap<u64, Arc<WireFrame>>>,
     frames_applied: u64,
     bytes_received: u64,
+    /// Control frames received and their order-independent fingerprint.
+    ctrl_frames: u64,
+    ctrl_fnv: u64,
     /// Recycles applied frames' payload buffers back to the decode path, so
     /// a socket peer's read loop stops allocating per frame in steady state.
     pool: BufferPool,
@@ -145,14 +157,26 @@ impl Replica {
             pending: init.iter().map(|_| BTreeMap::new()).collect(),
             frames_applied: 0,
             bytes_received: 0,
+            ctrl_frames: 0,
+            ctrl_fnv: 0,
             pool: BufferPool::new(),
         }
+    }
+
+    /// Folds one control payload into the replica's count and fingerprint.
+    fn take_ctrl(&mut self, payload: &[u8]) {
+        self.ctrl_frames += 1;
+        self.ctrl_fnv ^= fnv64(payload);
     }
 
     /// Accepts a frame, applying it — and any unblocked successors — as soon
     /// as its region's sequence reaches it.  Uniquely-owned applied frames
     /// donate their payload buffer back to the pool.
     fn offer(&mut self, frame: Arc<WireFrame>) {
+        if frame.region == CTRL_REGION {
+            self.take_ctrl(&frame.payload);
+            return;
+        }
         let r = frame.region as usize;
         assert!(r < self.regions.len(), "frame for unknown region {r}");
         self.pending[r].insert(frame.seq, frame);
@@ -189,6 +213,8 @@ impl Replica {
             contents_fnv: self.fnv(),
             frames_applied: self.frames_applied,
             bytes_received: self.bytes_received,
+            ctrl_frames: self.ctrl_frames,
+            ctrl_fnv: self.ctrl_fnv,
         }
     }
 }
@@ -218,6 +244,10 @@ pub(crate) struct WireEndpoint {
     pub wire_bytes_meta: u64,
     /// Sends saved by coalescing: frames beyond the first in each batch.
     pub frames_coalesced: u64,
+    /// Control broadcasts this endpoint sent (see [`WireEndpoint::send_ctrl`]).
+    pub ctrl_sent: u64,
+    /// XOR of the [`fnv64`] of every control payload this endpoint sent.
+    pub ctrl_fnv: u64,
     /// Scratch run table the engines fill while collecting a publish
     /// (borrowed out with `std::mem::take`, handed back after the frame is
     /// built, so steady-state publishes reuse its capacity).
@@ -265,6 +295,8 @@ impl WireEndpoint {
             wire_bytes_payload: 0,
             wire_bytes_meta: 0,
             frames_coalesced: 0,
+            ctrl_sent: 0,
+            ctrl_fnv: 0,
             scratch_runs: Vec::new(),
             enc: CompactClock::new(),
             started: false,
@@ -355,6 +387,47 @@ impl WireEndpoint {
         }
         if overflow {
             self.flush();
+        }
+    }
+
+    /// Broadcasts one engine control payload (opaque bytes) to every replica,
+    /// immediately — control frames bypass the epoch batch so they never
+    /// perturb the data plane's coalescing accounting.  Replicas do not apply
+    /// the payload; they count it and fold it into an order-independent
+    /// XOR-FNV fingerprint that [`Transport::finish`] verifies against the
+    /// senders' totals, proving every replica observed every broadcast.
+    pub fn send_ctrl(&mut self, payload: &[u8]) {
+        self.ctrl_sent += 1;
+        self.ctrl_fnv ^= fnv64(payload);
+        match &mut self.inner {
+            EndpointInner::Channel { peers, replica, .. } => {
+                let frame = Arc::new(WireFrame {
+                    region: CTRL_REGION,
+                    seq: self.ctrl_sent,
+                    clock: Vec::new(),
+                    runs: Vec::new(),
+                    payload: payload.to_vec(),
+                });
+                // Would-be wire form is one Ctrl message per receiver:
+                // u32 length prefix + kind byte + body.
+                self.wire_bytes_meta += (payload.len() as u64 + 5) * (peers.len() as u64 + 1);
+                for peer in peers.iter() {
+                    peer.send(vec![Arc::clone(&frame)])
+                        .expect("peer inbox closed mid-run");
+                }
+                replica.offer(frame);
+            }
+            EndpointInner::Socket { conns, .. } => {
+                // Written directly to each stream; the open data batch (if
+                // any) is still unsent, so the Ctrl message simply precedes
+                // it on the wire — replicas treat control frames as
+                // order-free.
+                for conn in conns.iter_mut() {
+                    write_msg(conn, WireMsgKind::Ctrl, payload)
+                        .expect("replica peer connection lost mid-run");
+                }
+                self.wire_bytes_meta += (payload.len() as u64 + 5) * conns.len() as u64;
+            }
         }
     }
 
@@ -464,6 +537,7 @@ fn empty_report(backend: &'static str, master: &[Vec<u8>]) -> TransportReport {
         wire_bytes_meta: 0,
         frames_coalesced: 0,
         frames_applied: 0,
+        ctrl_frames: 0,
     }
 }
 
@@ -474,6 +548,17 @@ fn absorb_endpoint(report: &mut TransportReport, ep: &WireEndpoint) {
     report.wire_bytes_meta += ep.wire_bytes_meta;
     report.wire_bytes += ep.wire_bytes();
     report.frames_coalesced += ep.frames_coalesced;
+    report.ctrl_frames += ep.ctrl_sent;
+}
+
+/// The control-broadcast totals a set of finished endpoints implies: every
+/// replica must have received `count` control frames whose XOR-FNV
+/// fingerprint is `fnv`.  Which endpoint sent each broadcast is
+/// timing-dependent (the barrier's last arriver), but the totals are not.
+fn expected_ctrl(endpoints: &[WireEndpoint]) -> (u64, u64) {
+    endpoints
+        .iter()
+        .fold((0, 0), |(n, f), ep| (n + ep.ctrl_sent, f ^ ep.ctrl_fnv))
 }
 
 /// The default backend: no endpoints, no replication, no bytes.  Publishes
@@ -550,6 +635,7 @@ impl Transport for ChannelTransport {
         for ep in endpoints.iter_mut() {
             ep.flush();
         }
+        let (ctrl_count, ctrl_fnv) = expected_ctrl(&endpoints);
         let mut report = empty_report(self.label(), master);
         for ep in endpoints {
             absorb_endpoint(&mut report, &ep);
@@ -572,6 +658,11 @@ impl Transport for ChannelTransport {
                 replica.fnv(),
                 report.master_fnv,
                 "channel replica diverged from the engines' master copies"
+            );
+            assert_eq!(
+                (replica.ctrl_frames, replica.ctrl_fnv),
+                (ctrl_count, ctrl_fnv),
+                "channel replica missed an engine control broadcast"
             );
             report.frames_applied += replica.frames_applied;
             report.replicas_verified += 1;
@@ -679,6 +770,7 @@ impl Transport for SocketTransport {
         for ep in endpoints.iter_mut() {
             ep.flush();
         }
+        let (ctrl_count, ctrl_fnv) = expected_ctrl(&endpoints);
         for ep in endpoints {
             absorb_endpoint(&mut report, &ep);
             let EndpointInner::Socket { mut conns, .. } = ep.inner else {
@@ -698,6 +790,11 @@ impl Transport for SocketTransport {
             assert_eq!(
                 peer.contents_fnv, report.master_fnv,
                 "socket replica diverged from the engines' master copies"
+            );
+            assert_eq!(
+                (peer.ctrl_frames, peer.ctrl_fnv),
+                (ctrl_count, ctrl_fnv),
+                "socket replica missed an engine control broadcast"
             );
             report.frames_applied += peer.frames_applied;
             report.replicas_verified += 1;
@@ -808,6 +905,11 @@ pub fn serve_transport_peer(listener: TcpListener) -> io::Result<()> {
                                 let mut r = sync_lock(replica);
                                 r.note_received(body.len() as u64 + 5);
                                 r.offer(Arc::new(frame));
+                            }
+                            Some(WireMsgKind::Ctrl) => {
+                                let mut r = sync_lock(replica);
+                                r.note_received(body.len() as u64 + 5);
+                                r.take_ctrl(&body);
                             }
                             Some(WireMsgKind::Fin) | None => return Ok(()),
                             Some(_) => return Err(bad("unexpected message on a node stream")),
@@ -1006,6 +1108,57 @@ mod tests {
         assert_eq!(report.frames_sent, 6);
         assert_eq!(report.frames_applied, 6);
         assert_eq!(report.frames_coalesced, 3);
+    }
+
+    #[test]
+    fn channel_ctrl_broadcasts_reach_every_replica() {
+        let init = vec![vec![0u8; 16]];
+        let mut t = ChannelTransport::new(2, &init);
+        let mut a = t.take_endpoint(NodeId::new(0)).expect("endpoint");
+        let mut b = t.take_endpoint(NodeId::new(1)).expect("endpoint");
+        let mut master = init.clone();
+        master[0][0] = 1;
+        a.publish(0, 1, &[1, 0], &[(0, 1)], &master[0]);
+        // Control broadcasts from both sides, interleaved with data.
+        a.send_ctrl(&[1, 2, 3]);
+        b.send_ctrl(&[4, 5]);
+        assert_eq!(a.ctrl_sent, 1);
+        assert_eq!(a.frames_sent, 1, "ctrl frames are not data frames");
+        let report = t.finish(vec![*a, *b], &master);
+        assert_eq!(report.ctrl_frames, 2);
+        assert_eq!(report.replicas_verified, 2);
+        assert_eq!(report.frames_applied, 2, "one data frame × two replicas");
+    }
+
+    #[test]
+    #[should_panic(expected = "control broadcast")]
+    fn channel_ctrl_divergence_is_caught() {
+        let init = vec![vec![0u8; 8]];
+        let mut t = ChannelTransport::new(1, &init);
+        let mut a = t.take_endpoint(NodeId::new(0)).expect("endpoint");
+        // Claim a broadcast that never went out: the replica's count can't
+        // match.
+        a.ctrl_sent = 1;
+        t.finish(vec![*a], &init);
+    }
+
+    #[test]
+    fn socket_ctrl_broadcasts_reach_every_peer() {
+        let init = vec![vec![0u8; 32]];
+        let mut t = SocketTransport::new_local(2, 2, &init);
+        let mut a = t.take_endpoint(NodeId::new(0)).expect("endpoint");
+        let mut b = t.take_endpoint(NodeId::new(1)).expect("endpoint");
+        let mut master = init.clone();
+        master[0][0] = 7;
+        // A ctrl broadcast while a's data batch is still open: the peer must
+        // account both, in any order.
+        a.publish(0, 1, &[], &[(0, 1)], &master[0]);
+        a.send_ctrl(&[9, 9, 9, 9]);
+        b.send_ctrl(&[8]);
+        let report = t.finish(vec![*a, *b], &master);
+        assert_eq!(report.ctrl_frames, 2);
+        assert_eq!(report.replicas_verified, 2);
+        assert_eq!(report.frames_applied, 2);
     }
 
     #[test]

@@ -40,6 +40,7 @@ mod merge;
 mod page;
 mod pool;
 mod region;
+mod sharing;
 #[doc(hidden)]
 pub mod testutil;
 mod vclock;
@@ -57,4 +58,5 @@ pub use merge::{FlatRun, FlatUpdate, ReplyCost, UpdateMerge};
 pub use page::{for_each_page, page_of, page_range, pages_in, Protection, PAGE_SIZE};
 pub use pool::BufferPool;
 pub use region::{MemRange, RegionDesc, RegionId};
+pub use sharing::{PageMode, PageModeChange, PageSharing};
 pub use vclock::{ClockOrd, VectorClock};

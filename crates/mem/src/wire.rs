@@ -20,7 +20,7 @@
 //! | frame v2       | varints: `region` · `seq` · `u8 mode` · clock record · runs · payload |
 //! | batch body     | `u32 nframes` · `nframes × (varint len, frame v2)`                 |
 //! | [`WireInit`]   | `u32 nprocs` · `u32 nregions` · `nregions × (u32 len, bytes)`      |
-//! | [`WireReport`] | `u64 fnv` · `u64 frames` · `u64 bytes`                             |
+//! | [`WireReport`] | `u64 fnv` · `u64 frames` · `u64 bytes` · `u64 ctrl` · `u64 ctrl_fnv` |
 //!
 //! The v2 frame (see [`encode_frame_v2`]) is the compact form the real
 //! backends batch per epoch: the clock travels as a [`CompactClock`] delta
@@ -322,6 +322,11 @@ pub enum WireMsgKind {
     Report = 3,
     /// An epoch's worth of v2 frames, coalesced (see [`BatchReader`]).
     Batch = 4,
+    /// An engine control broadcast (adaptive LRC's migration commits).  The
+    /// body is opaque to the transport: replicas count the messages and fold
+    /// each body into an order-independent XOR-of-[`fnv64`] fingerprint, so
+    /// the end-of-run report proves every replica saw every control payload.
+    Ctrl = 5,
 }
 
 impl WireMsgKind {
@@ -332,6 +337,7 @@ impl WireMsgKind {
             2 => Some(WireMsgKind::Fin),
             3 => Some(WireMsgKind::Report),
             4 => Some(WireMsgKind::Batch),
+            5 => Some(WireMsgKind::Ctrl),
             _ => None,
         }
     }
@@ -604,6 +610,11 @@ pub struct WireReport {
     pub frames_applied: u64,
     /// Payload bytes the replica received (encoded frame bodies).
     pub bytes_received: u64,
+    /// [`WireMsgKind::Ctrl`] messages the replica received.
+    pub ctrl_frames: u64,
+    /// XOR of the [`fnv64`] of every control body received — order-independent,
+    /// so it is comparable however the senders' control messages interleaved.
+    pub ctrl_fnv: u64,
 }
 
 impl WireReport {
@@ -612,6 +623,8 @@ impl WireReport {
         put_u64(out, self.contents_fnv);
         put_u64(out, self.frames_applied);
         put_u64(out, self.bytes_received);
+        put_u64(out, self.ctrl_frames);
+        put_u64(out, self.ctrl_fnv);
     }
 
     /// Decodes a body; the buffer must contain exactly one record.
@@ -621,6 +634,8 @@ impl WireReport {
             contents_fnv: r.u64()?,
             frames_applied: r.u64()?,
             bytes_received: r.u64()?,
+            ctrl_frames: r.u64()?,
+            ctrl_fnv: r.u64()?,
         };
         if !r.done() {
             return None;
@@ -794,6 +809,8 @@ mod tests {
             contents_fnv: 0xdead_beef,
             frames_applied: 42,
             bytes_received: 4096,
+            ctrl_frames: 3,
+            ctrl_fnv: 0x1234,
         };
         let mut rbuf = Vec::new();
         rep.encode_into(&mut rbuf);

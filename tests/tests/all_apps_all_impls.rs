@@ -1,14 +1,18 @@
-//! Every application of the suite, under every one of the nine
-//! implementations (EC, homeless LRC and home-based LRC crossed with the
-//! trapping/collection mechanisms), must produce the same answer as its
-//! sequential version.
+//! Every application of the suite, under every one of the twelve
+//! implementations (EC, homeless LRC, home-based LRC and adaptive LRC
+//! crossed with the trapping/collection mechanisms), must produce the same
+//! answer as its sequential version.
 
 use dsm_apps::{run_app, App, Scale};
 use dsm_core::ImplKind;
 
 #[test]
 fn every_app_matches_sequential_under_every_implementation() {
-    assert_eq!(ImplKind::all().len(), 9, "the full nine-member matrix runs");
+    assert_eq!(
+        ImplKind::all().len(),
+        12,
+        "the full twelve-member matrix runs"
+    );
     for app in App::ALL {
         for kind in ImplKind::all() {
             let report = run_app(app, kind, 4, Scale::Tiny);

@@ -219,15 +219,17 @@ fn hlrc_flushes_are_data_reply_traffic_at_release() {
     assert_eq!(result.final_at(region, 0), 7);
 }
 
-/// The nine-member matrix is what the family exposes.
+/// The twelve-member matrix is what the family exposes.
 #[test]
-fn family_is_nine_wide() {
-    assert_eq!(ImplKind::all().len(), 9);
-    assert_eq!(
-        ImplKind::all()
-            .iter()
-            .filter(|k| k.model() == Model::Hlrc)
-            .count(),
-        3
-    );
+fn family_is_twelve_wide() {
+    assert_eq!(ImplKind::all().len(), 12);
+    for model in [Model::Hlrc, Model::Adaptive] {
+        assert_eq!(
+            ImplKind::all()
+                .iter()
+                .filter(|k| k.model() == model)
+                .count(),
+            3
+        );
+    }
 }

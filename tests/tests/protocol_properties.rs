@@ -90,11 +90,15 @@ fn vector_clock_lattice() {
 
 /// A randomly generated bulk-synchronous program — each processor writes a
 /// slice of a shared array each phase, with barriers in between — produces
-/// identical final contents under every implementation of the nine-member
-/// matrix (EC, homeless LRC and home-based LRC families alike).
+/// identical final contents under every implementation of the twelve-member
+/// matrix (EC, homeless, home-based and adaptive LRC families alike).
 #[test]
 fn random_bsp_program_is_model_independent() {
-    assert_eq!(ImplKind::all().len(), 9, "the full nine-member matrix runs");
+    assert_eq!(
+        ImplKind::all().len(),
+        12,
+        "the full twelve-member matrix runs"
+    );
     for seed in 0..8 {
         let mut rng = Rng::new(seed + 300);
         let nprocs = 4;

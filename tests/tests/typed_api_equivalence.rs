@@ -4,12 +4,22 @@
 //! The golden files under `tests/golden/typed_api_*` were blessed from the
 //! raw-API programs *before* the typed layer existed; the ported programs
 //! must keep reproducing them byte for byte (contents fnv, `TrafficReport`,
-//! per-node statistics), across all nine implementations at 1 and 4
-//! processors.
+//! per-node statistics), across the nine static implementations at 1 and 4
+//! processors.  The three adaptive implementations, added later, have their
+//! own `typed_api_*_alrc_*` goldens so the static files stay byte-identical
+//! to their original blessing.
 
 use dsm_apps::{run_app, App, Scale};
-use dsm_core::ImplKind;
+use dsm_core::{ImplKind, Model};
 use dsm_tests::{canon_app, canon_run, check_golden, golden_trace, golden_trace_typed};
+
+/// The nine static implementations, in `ImplKind::all()` order (the order
+/// the pre-adaptive goldens were blessed in).
+fn static_kinds() -> impl Iterator<Item = ImplKind> {
+    ImplKind::all()
+        .into_iter()
+        .filter(|k| k.model() != Model::Adaptive)
+}
 
 /// The seeded trace reproduces the pre-redesign goldens for every
 /// implementation at 1 and 4 processors — through the raw API *and* through
@@ -20,7 +30,7 @@ fn trace_matches_pre_redesign_goldens_raw_and_typed() {
     for nprocs in [1usize, 4] {
         let mut found_raw = String::new();
         let mut found_typed = String::new();
-        for kind in ImplKind::all() {
+        for kind in static_kinds() {
             let (result, regions) = golden_trace(kind, nprocs);
             found_raw.push_str(&canon_run(kind, nprocs, &result, &regions));
             let (result, regions) = golden_trace_typed(kind, nprocs);
@@ -40,11 +50,31 @@ fn trace_matches_pre_redesign_goldens_raw_and_typed() {
 fn sor_matches_pre_redesign_goldens() {
     for nprocs in [1usize, 4] {
         let mut found = String::new();
-        for kind in ImplKind::all() {
+        for kind in static_kinds() {
             let report = run_app(App::Sor, kind, nprocs, Scale::Tiny);
             assert!(report.verified, "{kind} SOR diverged from sequential");
             found.push_str(&canon_app(&report));
         }
         check_golden(&format!("typed_api_sor_p{nprocs}.txt"), &found);
+    }
+}
+
+/// The adaptive family reproduces its own goldens — same trace, same SOR,
+/// same canonical format — so its cost accounting is pinned the way the
+/// static families' is.
+#[test]
+fn adaptive_family_matches_its_own_goldens() {
+    for nprocs in [1usize, 4] {
+        let mut trace = String::new();
+        let mut sor = String::new();
+        for kind in ImplKind::adaptive_all() {
+            let (result, regions) = golden_trace(kind, nprocs);
+            trace.push_str(&canon_run(kind, nprocs, &result, &regions));
+            let report = run_app(App::Sor, kind, nprocs, Scale::Tiny);
+            assert!(report.verified, "{kind} SOR diverged from sequential");
+            sor.push_str(&canon_app(&report));
+        }
+        check_golden(&format!("typed_api_trace_alrc_p{nprocs}.txt"), &trace);
+        check_golden(&format!("typed_api_sor_alrc_p{nprocs}.txt"), &sor);
     }
 }
