@@ -379,10 +379,22 @@ pub fn run_on(
     p: &BarnesParams,
     transport: TransportKind,
 ) -> (RunResult, bool) {
+    run_opts(kind, nprocs, p, crate::runner::RunOpts::on(transport))
+}
+
+/// Like [`run_on`], but with the full option set, including a fault plan
+/// for crash-injection/recovery runs.
+pub fn run_opts(
+    kind: ImplKind,
+    nprocs: usize,
+    p: &BarnesParams,
+    opts: crate::runner::RunOpts,
+) -> (RunResult, bool) {
     let p = p.clone();
     let n = p.bodies;
     let mut cfg = DsmConfig::with_procs(kind, nprocs);
-    cfg.transport = transport;
+    cfg.transport = opts.transport;
+    cfg.fault = opts.fault;
     let mut dsm = Dsm::new(cfg).expect("valid config");
 
     let bodies = dsm.alloc_array::<f64>("bh-bodies", n * BODY_SLOTS, BlockGranularity::DoubleWord);

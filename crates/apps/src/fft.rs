@@ -225,6 +225,17 @@ pub fn run_on(
     p: &FftParams,
     transport: TransportKind,
 ) -> (RunResult, bool) {
+    run_opts(kind, nprocs, p, crate::runner::RunOpts::on(transport))
+}
+
+/// Like [`run_on`], but with the full option set, including a fault plan
+/// for crash-injection/recovery runs.
+pub fn run_opts(
+    kind: ImplKind,
+    nprocs: usize,
+    p: &FftParams,
+    opts: crate::runner::RunOpts,
+) -> (RunResult, bool) {
     let p = p.clone();
     assert!(
         p.n1 % nprocs == 0 && p.n2 % nprocs == 0,
@@ -234,7 +245,8 @@ pub fn run_on(
     );
     let n = p.points();
     let mut cfg = DsmConfig::with_procs(kind, nprocs);
-    cfg.transport = transport;
+    cfg.transport = opts.transport;
+    cfg.fault = opts.fault;
     let mut dsm = Dsm::new(cfg).expect("valid config");
     // Interleaved complex layout: element e occupies slots 2e (re) and 2e+1 (im).
     let src = dsm.alloc_array::<f64>("fft-src", 2 * n, BlockGranularity::DoubleWord);

@@ -98,9 +98,21 @@ pub fn run_on(
     p: &IsParams,
     transport: TransportKind,
 ) -> (RunResult, bool) {
+    run_opts(kind, nprocs, p, crate::runner::RunOpts::on(transport))
+}
+
+/// Like [`run_on`], but with the full option set, including a fault plan
+/// for crash-injection/recovery runs.
+pub fn run_opts(
+    kind: ImplKind,
+    nprocs: usize,
+    p: &IsParams,
+    opts: crate::runner::RunOpts,
+) -> (RunResult, bool) {
     let p = p.clone();
     let mut cfg = DsmConfig::with_procs(kind, nprocs);
-    cfg.transport = transport;
+    cfg.transport = opts.transport;
+    cfg.fault = opts.fault;
     let mut dsm = Dsm::new(cfg).expect("valid config");
     // The lock→data association is constructed in one place: under EC every
     // acquire of BUCKET_LOCK makes the bucket array consistent, under LRC

@@ -141,9 +141,24 @@ pub fn run_on(
     p: &QsParams,
     transport: TransportKind,
 ) -> (RunResult, bool) {
+    run_opts(kind, nprocs, p, crate::runner::RunOpts::on(transport))
+}
+
+/// Like [`run_on`], but with the full option set.  Note that the task-queue
+/// program is *outside* the crash-recovery determinism contract (its control
+/// flow depends on lock-ordered shared reads), so a fault plan targeting
+/// Quicksort is plumbed through for API uniformity but not supported by the
+/// recovery equivalence guarantees (`DESIGN.md` §8).
+pub fn run_opts(
+    kind: ImplKind,
+    nprocs: usize,
+    p: &QsParams,
+    opts: crate::runner::RunOpts,
+) -> (RunResult, bool) {
     let p = p.clone();
     let mut cfg = DsmConfig::with_procs(kind, nprocs);
-    cfg.transport = transport;
+    cfg.transport = opts.transport;
+    cfg.fault = opts.fault;
     let mut dsm = Dsm::new(cfg).expect("valid config");
     let array = dsm.alloc_array::<i32>("qs-array", p.n, BlockGranularity::Word);
     dsm.init_array(array, |i| p.value(i));

@@ -3,7 +3,9 @@
 
 use std::fmt;
 
-use dsm_core::{CostModel, ImplKind, SimTime, TransportKind, TransportReport};
+use dsm_core::{
+    CostModel, FaultPlan, ImplKind, RecoveryReport, SimTime, TransportKind, TransportReport,
+};
 use dsm_sim::{ClusterStats, RegionSharing, TrafficReport};
 
 use crate::params::{AppParams, Scale};
@@ -60,6 +62,31 @@ impl fmt::Display for App {
     }
 }
 
+/// Optional knobs for an application run beyond implementation, scale and
+/// processor count.
+///
+/// The default (`RunOpts::default()`) is the simulated transport with no
+/// fault plan, which leaves every run byte-identical to the plain
+/// [`run_app`] path.
+#[derive(Debug, Clone, Default)]
+pub struct RunOpts {
+    /// Transport backend carrying the publish stream.
+    pub transport: TransportKind,
+    /// Deterministic crash-injection plan (see `DESIGN.md` §8); recovery
+    /// statistics come back in [`AppReport::recovery`].
+    pub fault: FaultPlan,
+}
+
+impl RunOpts {
+    /// Options selecting only a transport backend (no fault plan).
+    pub fn on(transport: TransportKind) -> Self {
+        RunOpts {
+            transport,
+            fault: FaultPlan::None,
+        }
+    }
+}
+
 /// The outcome of one application run under one implementation.
 #[derive(Debug, Clone)]
 pub struct AppReport {
@@ -88,6 +115,9 @@ pub struct AppReport {
     /// memory contents and, for the channel/socket backends, how many replicas
     /// independently reconstructed those contents from the publish stream.
     pub wire: TransportReport,
+    /// Checkpoint/recovery statistics (all zero unless a
+    /// [`FaultPlan`] was armed via [`RunOpts::fault`]).
+    pub recovery: RecoveryReport,
 }
 
 impl AppReport {
@@ -132,18 +162,31 @@ pub fn run_app_on(
     scale: Scale,
     transport: TransportKind,
 ) -> AppReport {
+    run_app_opts(app, kind, nprocs, scale, RunOpts::on(transport))
+}
+
+/// Like [`run_app_on`], but with the full option set — in particular a
+/// [`FaultPlan`] that kills one node at a chosen barrier and recovers it
+/// from its last checkpoint (the crash/checkpoint/recover subsystem of
+/// `DESIGN.md` §8).  With `RunOpts::default()` this is exactly [`run_app`].
+pub fn run_app_opts(
+    app: App,
+    kind: ImplKind,
+    nprocs: usize,
+    scale: Scale,
+    opts: RunOpts,
+) -> AppReport {
     let p = AppParams::at(scale);
     let cost = dsm_core::DsmConfig::paper(kind).cost;
     let seq_time = sequential_time(app, scale, &cost);
-    let t = transport;
     let (result, verified) = match app {
-        App::Sor => sor::run_on(kind, nprocs, &p.sor, false, t),
-        App::SorPlus => sor::run_on(kind, nprocs, &p.sor, true, t),
-        App::Quicksort => quicksort::run_on(kind, nprocs, &p.quicksort, t),
-        App::Water => water::run_on(kind, nprocs, &p.water, t),
-        App::BarnesHut => barnes_hut::run_on(kind, nprocs, &p.barnes, t),
-        App::IntegerSort => is::run_on(kind, nprocs, &p.is, t),
-        App::Fft3d => fft::run_on(kind, nprocs, &p.fft, t),
+        App::Sor => sor::run_opts(kind, nprocs, &p.sor, false, opts),
+        App::SorPlus => sor::run_opts(kind, nprocs, &p.sor, true, opts),
+        App::Quicksort => quicksort::run_opts(kind, nprocs, &p.quicksort, opts),
+        App::Water => water::run_opts(kind, nprocs, &p.water, opts),
+        App::BarnesHut => barnes_hut::run_opts(kind, nprocs, &p.barnes, opts),
+        App::IntegerSort => is::run_opts(kind, nprocs, &p.is, opts),
+        App::Fft3d => fft::run_opts(kind, nprocs, &p.fft, opts),
     };
     AppReport {
         app,
@@ -156,6 +199,7 @@ pub fn run_app_on(
         stats: result.stats,
         verified,
         wire: result.wire,
+        recovery: result.recovery,
     }
 }
 

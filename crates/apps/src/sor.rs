@@ -164,10 +164,23 @@ pub fn run_on(
     plus: bool,
     transport: TransportKind,
 ) -> (RunResult, bool) {
+    run_opts(kind, nprocs, p, plus, crate::runner::RunOpts::on(transport))
+}
+
+/// Like [`run_on`], but with the full option set, including a fault plan
+/// for crash-injection/recovery runs.
+pub fn run_opts(
+    kind: ImplKind,
+    nprocs: usize,
+    p: &SorParams,
+    plus: bool,
+    opts: crate::runner::RunOpts,
+) -> (RunResult, bool) {
     let p = p.clone();
     let (tr, tc) = (p.total_rows(), p.total_cols());
     let mut cfg = DsmConfig::with_procs(kind, nprocs);
-    cfg.transport = transport;
+    cfg.transport = opts.transport;
+    cfg.fault = opts.fault;
     let mut dsm = Dsm::new(cfg).expect("valid config");
     let matrix = dsm.alloc_array::<f32>("sor-matrix", tr * tc, BlockGranularity::Word);
     {

@@ -239,10 +239,22 @@ pub fn run_on(
     p: &WaterParams,
     transport: TransportKind,
 ) -> (RunResult, bool) {
+    run_opts(kind, nprocs, p, crate::runner::RunOpts::on(transport))
+}
+
+/// Like [`run_on`], but with the full option set, including a fault plan
+/// for crash-injection/recovery runs.
+pub fn run_opts(
+    kind: ImplKind,
+    nprocs: usize,
+    p: &WaterParams,
+    opts: crate::runner::RunOpts,
+) -> (RunResult, bool) {
     let p = p.clone();
     let n = p.molecules;
     let mut cfg = DsmConfig::with_procs(kind, nprocs);
-    cfg.transport = transport;
+    cfg.transport = opts.transport;
+    cfg.fault = opts.fault;
     let mut dsm = Dsm::new(cfg).expect("valid config");
 
     let (mol, pos_region, force_region) = if p.restructured {

@@ -138,10 +138,21 @@ fn main() {
     if let (Some(a), false) = (adaptive, statics.is_empty()) {
         let beats_all = statics.iter().all(|s| a.bytes < s.bytes);
         let best_static = statics.iter().min_by_key(|s| s.bytes).expect("non-empty");
+        // The margin: how many bytes (and what fraction of the best static
+        // policy's traffic) adapting saved.  Signed — a regression shows up
+        // as a negative margin in the trajectory file, not just a flipped
+        // boolean.
+        let margin_bytes = best_static.bytes as i64 - a.bytes as i64;
+        let margin_pct = if best_static.bytes > 0 {
+            margin_bytes as f64 * 100.0 / best_static.bytes as f64
+        } else {
+            0.0
+        };
         println!(
             "{{\"bench\":\"adaptive\",\"row\":\"verdict\",\"scale\":\"{}\",\"procs\":{},\
              \"best_adaptive\":\"{}\",\"best_adaptive_bytes\":{},\
              \"best_static\":\"{}\",\"best_static_bytes\":{},\
+             \"margin_bytes\":{},\"margin_pct\":{:.2},\
              \"adaptive_beats_every_static\":{}}}",
             scale_name,
             opts.nprocs,
@@ -149,6 +160,8 @@ fn main() {
             a.bytes,
             best_static.kind.name(),
             best_static.bytes,
+            margin_bytes,
+            margin_pct,
             beats_all,
         );
         assert!(

@@ -4,6 +4,7 @@ use std::fmt;
 
 use dsm_sim::CostModel;
 
+use crate::recovery::FaultPlan;
 use crate::transport::TransportKind;
 use crate::DsmError;
 
@@ -393,6 +394,14 @@ pub struct DsmConfig {
     /// backends additionally rebuild replicas over channels or sockets and
     /// verify them against the engines' master copies.
     pub transport: TransportKind,
+    /// Deterministic crash schedule for the checkpoint/recovery subsystem
+    /// (see `DESIGN.md` §8 "Checkpoint & recovery").  The default
+    /// [`FaultPlan::None`] disables checkpointing entirely and keeps every
+    /// result byte-identical to a fault-free build; any other plan makes
+    /// every node checkpoint at each barrier cut and kills the named node at
+    /// the named barrier, after which the runtime rolls it back to its last
+    /// checkpoint and replays it to rejoin the waiting peers.
+    pub fault: FaultPlan,
 }
 
 impl DsmConfig {
@@ -417,6 +426,7 @@ impl DsmConfig {
             ci_loop_optimization: !naive_ci,
             diff_ring: 64,
             transport: TransportKind::Simulated,
+            fault: FaultPlan::None,
         }
     }
 
@@ -441,6 +451,14 @@ impl DsmConfig {
             return Err(DsmError::InvalidConfig(
                 "diff_ring must be at least 1".into(),
             ));
+        }
+        if let FaultPlan::KillAt { node, .. } = self.fault {
+            if node as usize >= self.nprocs {
+                return Err(DsmError::InvalidConfig(format!(
+                    "fault plan kills node {node} but the run has {} processors",
+                    self.nprocs
+                )));
+            }
         }
         Ok(())
     }
@@ -536,5 +554,20 @@ mod tests {
         let mut cfg = DsmConfig::paper(ImplKind::ec_time());
         cfg.diff_ring = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn fault_plans_are_bounds_checked() {
+        let mut cfg = DsmConfig::with_procs(ImplKind::ec_time(), 4);
+        cfg.fault = FaultPlan::KillAt {
+            node: 3,
+            barrier: 1,
+        };
+        assert!(cfg.validate().is_ok());
+        cfg.fault = FaultPlan::KillAt {
+            node: 4,
+            barrier: 1,
+        };
+        assert!(cfg.validate().is_err(), "victim must exist");
     }
 }

@@ -13,6 +13,7 @@ use crate::config::DsmConfig;
 use crate::engine::CTRL_MSG_BYTES;
 use crate::ids::{BarrierId, LockId, LockMode};
 use crate::local::{HeldLock, NodeLocal};
+use crate::recovery::{self, UndoRec};
 use crate::runtime::{Region, RunGlobal};
 use crate::scalar::Scalar;
 use crate::sync;
@@ -68,6 +69,9 @@ impl<'a> ProcessContext<'a> {
     /// Charges `work` units of application computation to this processor's
     /// simulated clock.
     pub fn compute(&mut self, work: Work) {
+        if recovery::skipping(&self.local) {
+            return;
+        }
         self.local.stats.work_units += work.units();
         let t = self.cost().work(work);
         self.local.clock.advance(t);
@@ -96,6 +100,12 @@ impl<'a> ProcessContext<'a> {
     pub fn read<T: Scalar>(&mut self, region: Region, idx: usize) -> T {
         let off = idx.saturating_mul(T::SIZE);
         self.check_bounds(region, off, T::SIZE);
+        if recovery::skipping(&self.local) {
+            // Replay of an already-checkpointed epoch: serve the restored
+            // local copy with no cost, statistic or freshness action.
+            let data = &self.local.regions[region.id().index()].data;
+            return T::read_le(&data[off..off + T::SIZE]);
+        }
         self.local.stats.shared_accesses += 1;
         self.local.clock.advance(self.cost().shared_access(1));
         let ridx = region.id().index();
@@ -118,6 +128,11 @@ impl<'a> ProcessContext<'a> {
     pub fn write<T: Scalar>(&mut self, region: Region, idx: usize, value: T) {
         let off = idx.saturating_mul(T::SIZE);
         self.check_bounds(region, off, T::SIZE);
+        if recovery::skipping(&self.local) {
+            // Replay: the restored copy already holds this epoch's outcome
+            // (it was checkpointed later); writing would clobber newer data.
+            return;
+        }
         self.local.stats.shared_accesses += 1;
         self.local.clock.advance(self.cost().shared_access(1));
         let ridx = region.id().index();
@@ -148,6 +163,11 @@ impl<'a> ProcessContext<'a> {
         let off = start.saturating_mul(T::SIZE);
         let len = out.len() * T::SIZE;
         self.check_bounds(region, off, len);
+        if recovery::skipping(&self.local) {
+            let data = &self.local.regions[region.id().index()].data;
+            T::read_slice_le(&data[off..off + len], out);
+            return;
+        }
         self.local.stats.shared_accesses += out.len() as u64;
         self.local
             .clock
@@ -181,6 +201,9 @@ impl<'a> ProcessContext<'a> {
         let off = start.saturating_mul(T::SIZE);
         let len = values.len() * T::SIZE;
         self.check_bounds(region, off, len);
+        if recovery::skipping(&self.local) {
+            return;
+        }
         self.local.stats.shared_accesses += values.len() as u64;
         self.local
             .clock
@@ -236,6 +259,9 @@ impl<'a> ProcessContext<'a> {
     /// read-only acquire is attempted under LRC (which provides only
     /// exclusive locks, as in the paper).
     pub fn acquire(&mut self, lock: LockId, mode: LockMode) {
+        if recovery::skipping(&self.local) {
+            return;
+        }
         assert!(
             !self.local.held.contains_key(&lock.0),
             "lock {lock} acquired twice by {}",
@@ -292,11 +318,20 @@ impl<'a> ProcessContext<'a> {
 
             if l.last_owner != Some(me) {
                 l.transfers += 1;
+                self.local
+                    .undo(|| UndoRec::LockTransfer { lock: lock.index() });
             }
             match mode {
                 LockMode::Exclusive => {
+                    let prev = l.last_owner;
                     l.exclusive_holder = Some(me);
                     l.last_owner = Some(me);
+                    if prev != Some(me) {
+                        self.local.undo(|| UndoRec::LockOwner {
+                            lock: lock.index(),
+                            prev,
+                        });
+                    }
                 }
                 LockMode::ReadOnly => {
                     l.readers += 1;
@@ -338,6 +373,9 @@ impl<'a> ProcessContext<'a> {
     ///
     /// Panics if the lock is not held.
     pub fn release(&mut self, lock: LockId) {
+        if recovery::skipping(&self.local) {
+            return;
+        }
         assert!(
             self.local.held.contains_key(&lock.0),
             "release of lock {lock} that {} does not hold",
@@ -376,6 +414,9 @@ impl<'a> ProcessContext<'a> {
     /// because neither side knows which part of it the acquirer already has
     /// (Section 7.1, "Rebinding").
     pub fn rebind(&mut self, lock: LockId, ranges: impl IntoIterator<Item = MemRange>) {
+        if recovery::skipping(&self.local) {
+            return;
+        }
         self.global
             .engine
             .rebind(lock, ranges.into_iter().collect());
@@ -387,6 +428,19 @@ impl<'a> ProcessContext<'a> {
     /// completed before it, and each node leaves with the global maximum
     /// vector.
     pub fn barrier(&mut self, barrier: BarrierId) {
+        if let Some(r) = self.local.recovery.as_deref_mut() {
+            if r.skip > 0 {
+                // Replay: the restored statistics and epoch already count
+                // this barrier, and the peers are past it (they block in the
+                // rendezvous of the *crash* barrier) — just consume it.
+                r.skip -= 1;
+                return;
+            }
+        }
+        // An injected crash fires before any cost, statistic or arrival is
+        // recorded, so the crash epoch's interval is never published and the
+        // barrier slot never counts the doomed arrival.
+        recovery::maybe_fire(&mut self.local);
         let cost = self.cost().clone();
         self.local.clock.advance(cost.barrier_overhead());
         self.local.stats.barriers += 1;
@@ -450,5 +504,45 @@ impl<'a> ProcessContext<'a> {
             self.local.clock.advance(cost.message(depart_payload));
         }
         self.local.epoch += 1;
+        recovery::checkpoint_if_armed(&mut self.local, &cost);
+    }
+
+    /// Rolls this processor back to its last barrier-cut checkpoint after an
+    /// injected crash: unwinds the crash epoch's mutations to shared state
+    /// (lock table here, engine-owned rings and accumulators via the
+    /// engine's hook), then restores the private state and enters replay
+    /// mode.  Called by the runtime's supervisor between `catch_unwind` and
+    /// the worker's re-invocation.
+    pub(crate) fn recover_from_crash(&mut self) {
+        let undo = {
+            let state = self
+                .local
+                .recovery
+                .as_deref_mut()
+                .expect("injected crash without an armed fault plan");
+            std::mem::take(&mut state.undo)
+        };
+        let me = self.local.node;
+        for rec in undo.iter().rev() {
+            match *rec {
+                UndoRec::LockTransfer { lock } => {
+                    let slot = self.global.sync.lock_slot(lock);
+                    let mut l = sync::lock(&slot.sync);
+                    l.transfers = l.transfers.saturating_sub(1);
+                }
+                UndoRec::LockOwner { lock, prev } => {
+                    let slot = self.global.sync.lock_slot(lock);
+                    let mut l = sync::lock(&slot.sync);
+                    // A peer may have legitimately acquired the lock since;
+                    // its ownership must survive the rollback.
+                    if l.last_owner == Some(me) {
+                        l.last_owner = prev;
+                    }
+                }
+                _ => {} // engine-owned records, handled below
+            }
+        }
+        self.global.engine.rollback_undo(me, &undo);
+        recovery::restore(&mut self.local, &self.global.cfg.cost, undo.len());
     }
 }

@@ -23,6 +23,7 @@ use crate::config::{Collection, DsmConfig, Trapping};
 use crate::engine::{ProtocolEngine, PublishRec, CTRL_MSG_BYTES};
 use crate::ids::{LockId, LockMode};
 use crate::local::{HeldLock, NodeLocal};
+use crate::recovery::UndoRec;
 use crate::sync::{self, SlotTable};
 
 /// Per-lock entry-consistency state.
@@ -222,7 +223,8 @@ impl ProtocolEngine for EcEngine {
         // "applied through" value to record below.
         let publish_seq = meta.last_seq;
         let seen = meta.seen_seq[me];
-        let rebound = meta.seen_epoch[me] != meta.rebind_epoch;
+        let prev_seen_epoch = meta.seen_epoch[me];
+        let rebound = prev_seen_epoch != meta.rebind_epoch;
         let bound_bytes: usize = meta.bound.iter().map(|r| r.len).sum();
 
         let mut applied_words = 0usize;
@@ -304,6 +306,11 @@ impl ProtocolEngine for EcEngine {
                     if !rec.creation_charged {
                         rec.creation_charged = true;
                         creation_words += rec.compare_words as u64;
+                        let stamp = rec.stamp;
+                        local.undo(|| UndoRec::EcDiffCharge {
+                            lock: lock.index(),
+                            stamp,
+                        });
                     }
                 }
                 local.stats.diffs_applied += count;
@@ -317,6 +324,11 @@ impl ProtocolEngine for EcEngine {
             }
         };
 
+        local.undo(|| UndoRec::EcGrant {
+            lock: lock.index(),
+            prev_seen_seq: seen,
+            prev_seen_epoch,
+        });
         meta.seen_seq[me] = publish_seq;
         meta.seen_epoch[me] = meta.rebind_epoch;
         payload
@@ -417,6 +429,21 @@ impl ProtocolEngine for EcEngine {
         let bound = &meta.bound;
         for range in bound.iter() {
             let ridx = range.region.index();
+            // Armed fault-plan target only: capture the range's stamps and
+            // master bytes before the publish overwrites them, so a rollback
+            // can restore the exact pre-release state (the closure never
+            // runs otherwise).
+            local.undo(|| {
+                let rs = sync::read(&self.region_state[ridx]);
+                let blocks = range.blocks(BlockGranularity::Word);
+                let end = (blocks.end * 4).min(rs.master.len());
+                UndoRec::EcRange {
+                    ridx,
+                    start_block: blocks.start,
+                    stamps: rs.stamp[blocks.clone()].into(),
+                    master: rs.master[blocks.start * 4..end].into(),
+                }
+            });
             let crate::local::LocalRegion { data, pages } = &mut local.regions[ridx];
             let data = &data[..];
             let mut rs = sync::write(&self.region_state[ridx]);
@@ -545,6 +572,10 @@ impl ProtocolEngine for EcEngine {
                 creation_charged: collection == Collection::Timestamps
                     || trapping == Trapping::Instrumentation,
             });
+            local.undo(|| UndoRec::EcPublish {
+                lock: lock.index(),
+                stamp: seq,
+            });
             while meta.publishes.len() > diff_ring {
                 meta.publishes.pop_front();
             }
@@ -639,6 +670,55 @@ impl ProtocolEngine for EcEngine {
             .iter()
             .map(|r| sync::read(r).master.clone())
             .collect()
+    }
+
+    /// Unwinds the crash epoch's effects on the per-lock metadata — grant
+    /// watermarks and incarnations, pushed publish records and first-miss
+    /// diff charges — and on the region state: `EcRange` restores the
+    /// per-word stamps and master bytes a retracted publish overwrote, so a
+    /// replayed grant scan sees exactly the stamps (in particular the
+    /// never-published zeros) the original run saw.
+    fn rollback_undo(&self, node: dsm_sim::NodeId, undo: &[UndoRec]) {
+        let me = node.index();
+        for rec in undo.iter().rev() {
+            match rec {
+                UndoRec::EcGrant {
+                    lock,
+                    prev_seen_seq,
+                    prev_seen_epoch,
+                } => {
+                    let slot = self.locks.get(*lock);
+                    let mut meta = sync::lock(&slot);
+                    meta.seen_seq[me] = *prev_seen_seq;
+                    meta.seen_epoch[me] = *prev_seen_epoch;
+                    meta.incarnation = meta.incarnation.saturating_sub(1);
+                }
+                UndoRec::EcPublish { lock, stamp } => {
+                    let slot = self.locks.get(*lock);
+                    let mut meta = sync::lock(&slot);
+                    meta.publishes.retain(|r| r.stamp != *stamp);
+                }
+                UndoRec::EcDiffCharge { lock, stamp } => {
+                    let slot = self.locks.get(*lock);
+                    let mut meta = sync::lock(&slot);
+                    if let Some(r) = meta.publishes.iter_mut().find(|r| r.stamp == *stamp) {
+                        r.creation_charged = false;
+                    }
+                }
+                UndoRec::EcRange {
+                    ridx,
+                    start_block,
+                    stamps,
+                    master,
+                } => {
+                    let mut rs = sync::write(&self.region_state[*ridx]);
+                    rs.stamp[*start_block..*start_block + stamps.len()].copy_from_slice(stamps);
+                    let start = *start_block * 4;
+                    rs.master[start..start + master.len()].copy_from_slice(master);
+                }
+                _ => {}
+            }
+        }
     }
 }
 

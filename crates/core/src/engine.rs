@@ -151,6 +151,13 @@ pub(crate) trait ProtocolEngine: Send + Sync + std::fmt::Debug {
     fn sharing_report(&self) -> Vec<RegionSharing> {
         Vec::new()
     }
+
+    /// Unwinds the crash-epoch mutations `node` made to this engine's shared
+    /// state (publish rings, grant watermarks, sharing accumulators).  The
+    /// records are in program order; implementations apply the variants they
+    /// own **in reverse** and ignore the rest.  No-op for engines whose
+    /// shared state the generic rollback already covers.
+    fn rollback_undo(&self, _node: NodeId, _undo: &[crate::recovery::UndoRec]) {}
 }
 
 /// Builds the engine for a run.  This is the single place the consistency

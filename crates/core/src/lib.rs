@@ -117,6 +117,7 @@ mod error;
 mod ids;
 mod local;
 mod lrc;
+mod recovery;
 mod runtime;
 mod scalar;
 mod sync;
@@ -127,6 +128,7 @@ pub use config::{Collection, DsmConfig, ImplKind, Model, Trapping};
 pub use context::ProcessContext;
 pub use error::DsmError;
 pub use ids::{BarrierId, LockId, LockMode};
+pub use recovery::{FaultPlan, RecoveryReport};
 pub use runtime::{Dsm, Region, RunResult};
 pub use scalar::Scalar;
 pub use transport::{serve_transport_peer, TransportKind, TransportReport};

@@ -176,6 +176,10 @@ pub(crate) struct NodeLocal {
     /// a publish hook takes it with `Option::take` (so `self` stays
     /// borrowable) and must put it back before returning on every path.
     pub wire: Option<Box<crate::transport::WireEndpoint>>,
+    /// Checkpoint/rollback state, `Some` only while a
+    /// [`FaultPlan`](crate::FaultPlan) other than `None` is armed — the
+    /// fault-free paths pay at most one pointer test for it.
+    pub recovery: Option<Box<crate::recovery::RecoveryState>>,
 }
 
 impl NodeLocal {
@@ -203,6 +207,21 @@ impl NodeLocal {
             pool: BufferPool::new(),
             scratch_dirty: Vec::new(),
             wire: None,
+            recovery: None,
+        }
+    }
+
+    /// Appends an undo record for a crash-epoch mutation to shared state,
+    /// but only on the fault plan's target node while its crash is still
+    /// pending — every other configuration (no plan, non-target node, crash
+    /// already fired) records nothing.  The closure keeps the record's
+    /// construction off the fault-free fast path.
+    #[inline]
+    pub fn undo(&mut self, f: impl FnOnce() -> crate::recovery::UndoRec) {
+        if let Some(r) = self.recovery.as_deref_mut() {
+            if r.is_target && !r.fired {
+                r.undo.push(f());
+            }
         }
     }
 }

@@ -25,6 +25,7 @@ use crate::config::{Collection, DsmConfig, Trapping};
 use crate::engine::{ProtocolEngine, PublishRec};
 use crate::ids::{LockId, LockMode};
 use crate::local::{HeldLock, NodeLocal};
+use crate::recovery::UndoRec;
 use crate::sync::{self, SlotTable};
 
 use super::policy::{DataPolicy, MissInfo};
@@ -651,6 +652,7 @@ impl<P: DataPolicy> ProtocolEngine for LrcEngine<P> {
         local.stats.access_misses += 1;
         local.stats.pages_invalidated += 1;
         rs.pages[page].sharing.record_miss();
+        local.undo(|| UndoRec::SharingMiss { ridx, page });
         local.clock.advance(cost.page_fault());
 
         let span = local.regions[ridx].page_span(page);
@@ -878,6 +880,38 @@ impl<P: DataPolicy> ProtocolEngine for LrcEngine<P> {
                 out
             })
             .collect()
+    }
+
+    /// Unwinds the crash epoch's effects on the shared region state: sharing
+    /// miss accumulators and homeless first-miss diff charges.  Crash-epoch
+    /// *publishes* never happen — the injected crash fires before the
+    /// barrier's interval publication — so the publish history, latest
+    /// vectors and generations need no undo.
+    fn rollback_undo(&self, _node: NodeId, undo: &[UndoRec]) {
+        for rec in undo.iter().rev() {
+            match *rec {
+                UndoRec::SharingMiss { ridx, page } => {
+                    let mut rs = sync::write(&self.region_state[ridx]);
+                    rs.pages[page].sharing.unrecord_miss();
+                }
+                UndoRec::LrcDiffCharge {
+                    ridx,
+                    page,
+                    node,
+                    stamp,
+                } => {
+                    let mut rs = sync::write(&self.region_state[ridx]);
+                    if let Some(d) = rs.pages[page]
+                        .diffs
+                        .iter_mut()
+                        .find(|d| d.node == node && d.stamp == stamp)
+                    {
+                        d.creation_charged = false;
+                    }
+                }
+                _ => {}
+            }
+        }
     }
 }
 

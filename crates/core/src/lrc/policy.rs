@@ -262,6 +262,13 @@ impl DataPolicy for Homeless {
                     if !rec.creation_charged {
                         rec.creation_charged = true;
                         creation_words += rec.compare_words as u64;
+                        let (ridx, page, node, stamp) = (m.ridx, m.page, rec.node, rec.stamp);
+                        local.undo(move || crate::recovery::UndoRec::LrcDiffCharge {
+                            ridx,
+                            page,
+                            node,
+                            stamp,
+                        });
                     }
                 }
             }

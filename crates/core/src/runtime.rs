@@ -10,6 +10,7 @@ use crate::engine::{build_engine, ProtocolEngine};
 use crate::error::DsmError;
 use crate::ids::LockId;
 use crate::local::NodeLocal;
+use crate::recovery::{self, FaultPlan, RecoveryReport};
 use crate::scalar::Scalar;
 use crate::sync::SyncTables;
 use crate::transport::{build_transport, TransportReport, WireEndpoint};
@@ -90,6 +91,9 @@ pub struct RunResult {
     /// The adaptive policy's committed per-page mode changes, in commit
     /// order; empty for every static policy.
     pub migrations: Vec<PageModeChange>,
+    /// Checkpoint and rollback counters, summed over all nodes; all zero
+    /// under the default [`FaultPlan::None`](crate::FaultPlan::None).
+    pub recovery: RecoveryReport,
     region_data: Vec<Vec<u8>>,
 }
 
@@ -321,8 +325,33 @@ impl Dsm {
                     let mut local =
                         NodeLocal::new(dsm_sim::NodeId::new(p as u32), nprocs, regions, init);
                     local.wire = endpoint;
+                    let plan = global.cfg.fault;
+                    let supervised = plan != FaultPlan::None;
+                    if supervised {
+                        recovery::install_quiet_hook();
+                        recovery::arm(&mut local, plan);
+                    }
                     let mut ctx = ProcessContext::new(global, local);
-                    worker(&mut ctx);
+                    if supervised {
+                        // Supervisor: run the worker, and when it dies of the
+                        // *injected* crash, roll it back to its checkpoint and
+                        // replay it.  Genuine panics propagate as before.
+                        loop {
+                            let run =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    worker(&mut ctx)
+                                }));
+                            match run {
+                                Ok(()) => break,
+                                Err(p) if p.is::<recovery::InjectedCrash>() => {
+                                    ctx.recover_from_crash();
+                                }
+                                Err(p) => std::panic::resume_unwind(p),
+                            }
+                        }
+                    } else {
+                        worker(&mut ctx);
+                    }
                     ctx.into_local()
                 }));
             }
@@ -354,6 +383,12 @@ impl Dsm {
             traffic.sharing.max_region_writers =
                 traffic.sharing.max_region_writers.max(r.distinct_writers);
         }
+        let mut recovery_report = RecoveryReport::default();
+        for l in &locals {
+            if let Some(r) = l.recovery.as_deref() {
+                recovery_report.merge(&r.report);
+            }
+        }
         let migrations = global.engine.migration_trace();
         let region_data = global.engine.final_regions();
         let wire = transport.finish(wires, &region_data);
@@ -366,6 +401,7 @@ impl Dsm {
             wire,
             sharing,
             migrations,
+            recovery: recovery_report,
             region_data,
         }
     }

@@ -119,12 +119,28 @@ pub struct TransportReport {
     /// zero for every static policy).  Each replica's received count and
     /// XOR-FNV fingerprint are verified against the senders' totals.
     pub ctrl_frames: u64,
+    /// Checkpoint images shipped to the replicas (zero unless a
+    /// [`FaultPlan`](crate::FaultPlan) is armed); verified like control
+    /// broadcasts.
+    pub ckpt_frames: u64,
+    /// Rollback notices shipped to the replicas (zero unless an injected
+    /// crash actually fired); verified like control broadcasts.
+    pub rollback_frames: u64,
 }
 
 /// Sentinel region index marking an in-process control frame (the channel
 /// backend's counterpart of [`WireMsgKind::Ctrl`]): replicas fingerprint the
 /// payload instead of applying it.
 const CTRL_REGION: u32 = u32::MAX;
+
+/// Sentinel region index for a checkpoint image (the channel backend's
+/// counterpart of [`WireMsgKind::Ckpt`]): replicas count and fingerprint the
+/// encoded [`dsm_mem::CkptImage`] without applying it.
+const CKPT_REGION: u32 = u32::MAX - 1;
+
+/// Sentinel region index for a rollback notice ([`WireMsgKind::Rollback`]):
+/// a recovering node announcing it re-enters from its last checkpoint.
+const ROLLBACK_REGION: u32 = u32::MAX - 2;
 
 /// One replica of the shared regions, rebuilt purely from publish frames.
 ///
@@ -144,6 +160,12 @@ struct Replica {
     /// Control frames received and their order-independent fingerprint.
     ctrl_frames: u64,
     ctrl_fnv: u64,
+    /// Checkpoint images received and their order-independent fingerprint.
+    ckpt_frames: u64,
+    ckpt_fnv: u64,
+    /// Rollback notices received and their order-independent fingerprint.
+    rollback_frames: u64,
+    rollback_fnv: u64,
     /// Recycles applied frames' payload buffers back to the decode path, so
     /// a socket peer's read loop stops allocating per frame in steady state.
     pool: BufferPool,
@@ -159,6 +181,10 @@ impl Replica {
             bytes_received: 0,
             ctrl_frames: 0,
             ctrl_fnv: 0,
+            ckpt_frames: 0,
+            ckpt_fnv: 0,
+            rollback_frames: 0,
+            rollback_fnv: 0,
             pool: BufferPool::new(),
         }
     }
@@ -169,13 +195,42 @@ impl Replica {
         self.ctrl_fnv ^= fnv64(payload);
     }
 
+    /// Folds one checkpoint image into the replica's count and fingerprint.
+    /// The image must at least decode — a replica is the crash-recovery
+    /// escrow, so a malformed image is a transport bug worth failing on.
+    fn take_ckpt(&mut self, payload: &[u8]) {
+        assert!(
+            dsm_mem::CkptImage::decode(payload).is_some(),
+            "malformed checkpoint image reached a replica"
+        );
+        self.ckpt_frames += 1;
+        self.ckpt_fnv ^= fnv64(payload);
+    }
+
+    /// Folds one rollback notice into the replica's count and fingerprint.
+    fn take_rollback(&mut self, payload: &[u8]) {
+        self.rollback_frames += 1;
+        self.rollback_fnv ^= fnv64(payload);
+    }
+
     /// Accepts a frame, applying it — and any unblocked successors — as soon
     /// as its region's sequence reaches it.  Uniquely-owned applied frames
     /// donate their payload buffer back to the pool.
     fn offer(&mut self, frame: Arc<WireFrame>) {
-        if frame.region == CTRL_REGION {
-            self.take_ctrl(&frame.payload);
-            return;
+        match frame.region {
+            CTRL_REGION => {
+                self.take_ctrl(&frame.payload);
+                return;
+            }
+            CKPT_REGION => {
+                self.take_ckpt(&frame.payload);
+                return;
+            }
+            ROLLBACK_REGION => {
+                self.take_rollback(&frame.payload);
+                return;
+            }
+            _ => {}
         }
         let r = frame.region as usize;
         assert!(r < self.regions.len(), "frame for unknown region {r}");
@@ -215,6 +270,10 @@ impl Replica {
             bytes_received: self.bytes_received,
             ctrl_frames: self.ctrl_frames,
             ctrl_fnv: self.ctrl_fnv,
+            ckpt_frames: self.ckpt_frames,
+            ckpt_fnv: self.ckpt_fnv,
+            rollback_frames: self.rollback_frames,
+            rollback_fnv: self.rollback_fnv,
         }
     }
 }
@@ -248,6 +307,16 @@ pub(crate) struct WireEndpoint {
     pub ctrl_sent: u64,
     /// XOR of the [`fnv64`] of every control payload this endpoint sent.
     pub ctrl_fnv: u64,
+    /// Checkpoint images this endpoint shipped (see
+    /// [`WireEndpoint::send_ckpt`]).
+    pub ckpt_sent: u64,
+    /// XOR of the [`fnv64`] of every checkpoint image this endpoint sent.
+    pub ckpt_fnv: u64,
+    /// Rollback notices this endpoint sent (see
+    /// [`WireEndpoint::send_rollback`]).
+    pub rollback_sent: u64,
+    /// XOR of the [`fnv64`] of every rollback notice this endpoint sent.
+    pub rollback_fnv: u64,
     /// Scratch run table the engines fill while collecting a publish
     /// (borrowed out with `std::mem::take`, handed back after the frame is
     /// built, so steady-state publishes reuse its capacity).
@@ -297,6 +366,10 @@ impl WireEndpoint {
             frames_coalesced: 0,
             ctrl_sent: 0,
             ctrl_fnv: 0,
+            ckpt_sent: 0,
+            ckpt_fnv: 0,
+            rollback_sent: 0,
+            rollback_fnv: 0,
             scratch_runs: Vec::new(),
             enc: CompactClock::new(),
             started: false,
@@ -399,17 +472,47 @@ impl WireEndpoint {
     pub fn send_ctrl(&mut self, payload: &[u8]) {
         self.ctrl_sent += 1;
         self.ctrl_fnv ^= fnv64(payload);
+        self.send_oob(CTRL_REGION, WireMsgKind::Ctrl, self.ctrl_sent, payload);
+    }
+
+    /// Ships one encoded [`dsm_mem::CkptImage`] to every replica,
+    /// immediately (checkpoints cut at barrier boundaries must not wait in
+    /// an epoch batch).  Replicas validate, count and fingerprint the image
+    /// — it is the crash-recovery escrow, verified like control broadcasts.
+    pub fn send_ckpt(&mut self, payload: &[u8]) {
+        self.ckpt_sent += 1;
+        self.ckpt_fnv ^= fnv64(payload);
+        self.send_oob(CKPT_REGION, WireMsgKind::Ckpt, self.ckpt_sent, payload);
+    }
+
+    /// Announces to every replica that this node rolled back to its last
+    /// checkpoint and is replaying (its republished frames follow under
+    /// fresh sequences).
+    pub fn send_rollback(&mut self, payload: &[u8]) {
+        self.rollback_sent += 1;
+        self.rollback_fnv ^= fnv64(payload);
+        self.send_oob(
+            ROLLBACK_REGION,
+            WireMsgKind::Rollback,
+            self.rollback_sent,
+            payload,
+        );
+    }
+
+    /// Shared delivery path of the out-of-band (non-data) frame kinds:
+    /// bypasses the epoch batch so they never perturb the data plane's
+    /// coalescing accounting, and costs one message per receiver
+    /// (u32 length prefix + kind byte + body).
+    fn send_oob(&mut self, region: u32, kind: WireMsgKind, seq: u64, payload: &[u8]) {
         match &mut self.inner {
             EndpointInner::Channel { peers, replica, .. } => {
                 let frame = Arc::new(WireFrame {
-                    region: CTRL_REGION,
-                    seq: self.ctrl_sent,
+                    region,
+                    seq,
                     clock: Vec::new(),
                     runs: Vec::new(),
                     payload: payload.to_vec(),
                 });
-                // Would-be wire form is one Ctrl message per receiver:
-                // u32 length prefix + kind byte + body.
                 self.wire_bytes_meta += (payload.len() as u64 + 5) * (peers.len() as u64 + 1);
                 for peer in peers.iter() {
                     peer.send(vec![Arc::clone(&frame)])
@@ -419,12 +522,10 @@ impl WireEndpoint {
             }
             EndpointInner::Socket { conns, .. } => {
                 // Written directly to each stream; the open data batch (if
-                // any) is still unsent, so the Ctrl message simply precedes
-                // it on the wire — replicas treat control frames as
-                // order-free.
+                // any) is still unsent, so the message simply precedes it on
+                // the wire — replicas treat out-of-band frames as order-free.
                 for conn in conns.iter_mut() {
-                    write_msg(conn, WireMsgKind::Ctrl, payload)
-                        .expect("replica peer connection lost mid-run");
+                    write_msg(conn, kind, payload).expect("replica peer connection lost mid-run");
                 }
                 self.wire_bytes_meta += (payload.len() as u64 + 5) * conns.len() as u64;
             }
@@ -538,6 +639,8 @@ fn empty_report(backend: &'static str, master: &[Vec<u8>]) -> TransportReport {
         frames_coalesced: 0,
         frames_applied: 0,
         ctrl_frames: 0,
+        ckpt_frames: 0,
+        rollback_frames: 0,
     }
 }
 
@@ -549,16 +652,22 @@ fn absorb_endpoint(report: &mut TransportReport, ep: &WireEndpoint) {
     report.wire_bytes += ep.wire_bytes();
     report.frames_coalesced += ep.frames_coalesced;
     report.ctrl_frames += ep.ctrl_sent;
+    report.ckpt_frames += ep.ckpt_sent;
+    report.rollback_frames += ep.rollback_sent;
 }
 
-/// The control-broadcast totals a set of finished endpoints implies: every
-/// replica must have received `count` control frames whose XOR-FNV
-/// fingerprint is `fnv`.  Which endpoint sent each broadcast is
-/// timing-dependent (the barrier's last arriver), but the totals are not.
-fn expected_ctrl(endpoints: &[WireEndpoint]) -> (u64, u64) {
-    endpoints
-        .iter()
-        .fold((0, 0), |(n, f), ep| (n + ep.ctrl_sent, f ^ ep.ctrl_fnv))
+/// The out-of-band totals a set of finished endpoints implies, as
+/// `(count, fnv)` pairs for control broadcasts, checkpoint images and
+/// rollback notices: every replica must have received each count of frames
+/// with the matching order-independent XOR-FNV fingerprint.  Which endpoint
+/// sent each one is timing-dependent, but the totals are not.
+fn expected_oob(endpoints: &[WireEndpoint]) -> [(u64, u64); 3] {
+    endpoints.iter().fold([(0, 0); 3], |mut acc, ep| {
+        acc[0] = (acc[0].0 + ep.ctrl_sent, acc[0].1 ^ ep.ctrl_fnv);
+        acc[1] = (acc[1].0 + ep.ckpt_sent, acc[1].1 ^ ep.ckpt_fnv);
+        acc[2] = (acc[2].0 + ep.rollback_sent, acc[2].1 ^ ep.rollback_fnv);
+        acc
+    })
 }
 
 /// The default backend: no endpoints, no replication, no bytes.  Publishes
@@ -635,7 +744,7 @@ impl Transport for ChannelTransport {
         for ep in endpoints.iter_mut() {
             ep.flush();
         }
-        let (ctrl_count, ctrl_fnv) = expected_ctrl(&endpoints);
+        let [ctrl, ckpt, rollback] = expected_oob(&endpoints);
         let mut report = empty_report(self.label(), master);
         for ep in endpoints {
             absorb_endpoint(&mut report, &ep);
@@ -661,8 +770,18 @@ impl Transport for ChannelTransport {
             );
             assert_eq!(
                 (replica.ctrl_frames, replica.ctrl_fnv),
-                (ctrl_count, ctrl_fnv),
+                ctrl,
                 "channel replica missed an engine control broadcast"
+            );
+            assert_eq!(
+                (replica.ckpt_frames, replica.ckpt_fnv),
+                ckpt,
+                "channel replica missed a checkpoint image"
+            );
+            assert_eq!(
+                (replica.rollback_frames, replica.rollback_fnv),
+                rollback,
+                "channel replica missed a rollback notice"
             );
             report.frames_applied += replica.frames_applied;
             report.replicas_verified += 1;
@@ -770,7 +889,7 @@ impl Transport for SocketTransport {
         for ep in endpoints.iter_mut() {
             ep.flush();
         }
-        let (ctrl_count, ctrl_fnv) = expected_ctrl(&endpoints);
+        let [ctrl, ckpt, rollback] = expected_oob(&endpoints);
         for ep in endpoints {
             absorb_endpoint(&mut report, &ep);
             let EndpointInner::Socket { mut conns, .. } = ep.inner else {
@@ -793,8 +912,18 @@ impl Transport for SocketTransport {
             );
             assert_eq!(
                 (peer.ctrl_frames, peer.ctrl_fnv),
-                (ctrl_count, ctrl_fnv),
+                ctrl,
                 "socket replica missed an engine control broadcast"
+            );
+            assert_eq!(
+                (peer.ckpt_frames, peer.ckpt_fnv),
+                ckpt,
+                "socket replica missed a checkpoint image"
+            );
+            assert_eq!(
+                (peer.rollback_frames, peer.rollback_fnv),
+                rollback,
+                "socket replica missed a rollback notice"
             );
             report.frames_applied += peer.frames_applied;
             report.replicas_verified += 1;
@@ -910,6 +1039,16 @@ pub fn serve_transport_peer(listener: TcpListener) -> io::Result<()> {
                                 let mut r = sync_lock(replica);
                                 r.note_received(body.len() as u64 + 5);
                                 r.take_ctrl(&body);
+                            }
+                            Some(WireMsgKind::Ckpt) => {
+                                let mut r = sync_lock(replica);
+                                r.note_received(body.len() as u64 + 5);
+                                r.take_ckpt(&body);
+                            }
+                            Some(WireMsgKind::Rollback) => {
+                                let mut r = sync_lock(replica);
+                                r.note_received(body.len() as u64 + 5);
+                                r.take_rollback(&body);
                             }
                             Some(WireMsgKind::Fin) | None => return Ok(()),
                             Some(_) => return Err(bad("unexpected message on a node stream")),

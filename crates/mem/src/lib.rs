@@ -33,6 +33,7 @@
 
 mod bitset;
 mod cclock;
+mod ckpt;
 mod diff;
 mod granularity;
 mod interval;
@@ -51,6 +52,7 @@ pub use cclock::{
     get_varint, put_varint, varint_len, zigzag_decode, zigzag_encode, ClockDelta, CompactClock,
     DeltaRun,
 };
+pub use ckpt::{CkptImage, CkptRegion};
 pub use diff::{changed_word_runs, Diff, DiffRun, DiffRuns};
 pub use granularity::BlockGranularity;
 pub use interval::{IntervalId, WriteNotice};

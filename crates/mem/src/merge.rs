@@ -201,7 +201,7 @@ pub struct FlatRun {
 /// // Unpublished blocks (stamp 0) separate runs and are not covered.
 /// assert_eq!(runs, vec![(1, 3, 7), (4, 1, 9), (6, 1, 9)]);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FlatUpdate {
     runs: Vec<FlatRun>,
 }

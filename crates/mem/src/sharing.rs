@@ -188,6 +188,16 @@ impl PageSharing {
         self.total_misses += 1;
     }
 
+    /// Reverts one [`PageSharing::record_miss`].  The recovery subsystem
+    /// calls this when rolling a crashed node back to its last checkpoint:
+    /// the discarded epoch's misses must leave neither the whole-run totals
+    /// (reported traffic) nor the current window (the adaptive pin-break
+    /// signal), because the replayed epoch records them again.
+    pub fn unrecord_miss(&mut self) {
+        self.misses = self.misses.saturating_sub(1);
+        self.total_misses = self.total_misses.saturating_sub(1);
+    }
+
     /// Distinct writers observed in the current window.
     pub fn window_writers(&self) -> usize {
         self.writer_pubs.iter().filter(|&&c| c > 0).count()

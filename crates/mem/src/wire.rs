@@ -20,7 +20,7 @@
 //! | frame v2       | varints: `region` · `seq` · `u8 mode` · clock record · runs · payload |
 //! | batch body     | `u32 nframes` · `nframes × (varint len, frame v2)`                 |
 //! | [`WireInit`]   | `u32 nprocs` · `u32 nregions` · `nregions × (u32 len, bytes)`      |
-//! | [`WireReport`] | `u64 fnv` · `u64 frames` · `u64 bytes` · `u64 ctrl` · `u64 ctrl_fnv` |
+//! | [`WireReport`] | `u64 fnv` · `u64 frames` · `u64 bytes` · 3 × (`u64 count` · `u64 fnv`) for ctrl/ckpt/rollback |
 //!
 //! The v2 frame (see [`encode_frame_v2`]) is the compact form the real
 //! backends batch per epoch: the clock travels as a [`CompactClock`] delta
@@ -327,6 +327,14 @@ pub enum WireMsgKind {
     /// each body into an order-independent XOR-of-[`fnv64`] fingerprint, so
     /// the end-of-run report proves every replica saw every control payload.
     Ctrl = 5,
+    /// A checkpoint image (encoded [`CkptImage`](crate::CkptImage)) taken at
+    /// a barrier cut.  Opaque to the transport, fingerprinted like
+    /// [`WireMsgKind::Ctrl`].
+    Ckpt = 6,
+    /// A rollback announcement: a crashed node rewinding to its last
+    /// checkpoint before replaying.  Opaque to the transport, fingerprinted
+    /// like [`WireMsgKind::Ctrl`].
+    Rollback = 7,
 }
 
 impl WireMsgKind {
@@ -338,6 +346,8 @@ impl WireMsgKind {
             3 => Some(WireMsgKind::Report),
             4 => Some(WireMsgKind::Batch),
             5 => Some(WireMsgKind::Ctrl),
+            6 => Some(WireMsgKind::Ckpt),
+            7 => Some(WireMsgKind::Rollback),
             _ => None,
         }
     }
@@ -615,6 +625,14 @@ pub struct WireReport {
     /// XOR of the [`fnv64`] of every control body received — order-independent,
     /// so it is comparable however the senders' control messages interleaved.
     pub ctrl_fnv: u64,
+    /// [`WireMsgKind::Ckpt`] messages the replica received.
+    pub ckpt_frames: u64,
+    /// XOR of the [`fnv64`] of every checkpoint body received.
+    pub ckpt_fnv: u64,
+    /// [`WireMsgKind::Rollback`] messages the replica received.
+    pub rollback_frames: u64,
+    /// XOR of the [`fnv64`] of every rollback body received.
+    pub rollback_fnv: u64,
 }
 
 impl WireReport {
@@ -625,6 +643,10 @@ impl WireReport {
         put_u64(out, self.bytes_received);
         put_u64(out, self.ctrl_frames);
         put_u64(out, self.ctrl_fnv);
+        put_u64(out, self.ckpt_frames);
+        put_u64(out, self.ckpt_fnv);
+        put_u64(out, self.rollback_frames);
+        put_u64(out, self.rollback_fnv);
     }
 
     /// Decodes a body; the buffer must contain exactly one record.
@@ -636,6 +658,10 @@ impl WireReport {
             bytes_received: r.u64()?,
             ctrl_frames: r.u64()?,
             ctrl_fnv: r.u64()?,
+            ckpt_frames: r.u64()?,
+            ckpt_fnv: r.u64()?,
+            rollback_frames: r.u64()?,
+            rollback_fnv: r.u64()?,
         };
         if !r.done() {
             return None;
@@ -743,6 +769,60 @@ mod tests {
         assert_eq!(back.runs(), u.runs());
     }
 
+    /// Seeded xorshift64* — the same generator the `cclock` codec property
+    /// tests use, so failures reproduce byte-for-byte.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn flat_update_wire_round_trip_seeded_property() {
+        // Checkpoint images serialize their per-region run tables through
+        // this exact path, so it gets the full randomized treatment.
+        let mut seed = 0x9e37_79b9_7f4a_7c15u64;
+        for case in 0..256 {
+            let nwords = 1 + (xorshift(&mut seed) % 96) as usize;
+            let mut stamps = vec![0u64; nwords];
+            for s in stamps.iter_mut() {
+                if xorshift(&mut seed) % 3 != 0 {
+                    *s = 1 + xorshift(&mut seed) % 5;
+                }
+            }
+            let mut u = FlatUpdate::new();
+            u.rebuild_from_stamps(&stamps);
+            let mut buf = Vec::new();
+            encode_flat_update(&u, &mut buf);
+            let (back, used) = decode_flat_update(&buf).expect("round trip");
+            assert_eq!(used, buf.len(), "case {case}: consumed everything");
+            assert_eq!(back.runs(), u.runs(), "case {case}: runs survive");
+            // Any truncation that cuts into the run table is rejected.
+            if !u.runs().is_empty() {
+                let cut = (xorshift(&mut seed) as usize) % (buf.len() - 4) + 4;
+                assert!(
+                    decode_flat_update(&buf[..cut]).is_none(),
+                    "case {case}: truncation at {cut} rejected"
+                );
+            }
+            assert!(decode_flat_update(&buf[..3]).is_none(), "headerless");
+            // Garbage run counts (larger than the buffer could hold) are
+            // rejected by the bounds check, not by attempting the allocation.
+            let mut garbage = buf.clone();
+            garbage[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+            assert!(
+                decode_flat_update(&garbage).is_none(),
+                "case {case}: absurd run count rejected"
+            );
+            garbage[0..4].copy_from_slice(&(u.runs().len() as u32 + 1).to_le_bytes());
+            assert!(
+                decode_flat_update(&garbage).is_none(),
+                "case {case}: overstated run count rejected"
+            );
+        }
+    }
+
     #[test]
     fn frame_round_trip_and_apply() {
         let f = WireFrame {
@@ -811,10 +891,18 @@ mod tests {
             bytes_received: 4096,
             ctrl_frames: 3,
             ctrl_fnv: 0x1234,
+            ckpt_frames: 5,
+            ckpt_fnv: 0x5678,
+            rollback_frames: 1,
+            rollback_fnv: 0x9abc,
         };
         let mut rbuf = Vec::new();
         rep.encode_into(&mut rbuf);
         assert_eq!(WireReport::decode(&rbuf), Some(rep));
+        assert!(
+            WireReport::decode(&rbuf[..rbuf.len() - 1]).is_none(),
+            "short"
+        );
     }
 
     #[test]
