@@ -48,8 +48,15 @@ fn main() {
     let kinds = opts.filter_nonempty(&all);
 
     let mut rows = Vec::new();
+    // Host wall time of each implementation's whole run, pooled into one
+    // histogram so the verdict row can report the sweep's host-latency shape
+    // alongside the simulated-traffic comparison.
+    let mut host_lat = dsm_bench::LatencyHistogram::new();
     for &kind in &kinds {
+        let t0 = std::time::Instant::now();
         let (r, ok) = mixed::run(kind, opts.nprocs, &p);
+        let host = t0.elapsed();
+        host_lat.record_duration(host);
         assert!(ok, "{kind}: mixed-workload contents mismatch");
         let count = |m: fn(&PageMode) -> bool| r.migrations.iter().filter(|c| m(&c.mode)).count();
         let row = Row {
@@ -68,7 +75,8 @@ fn main() {
              \"access_misses\":{},\"lock_transfers\":{},\
              \"sharing_publishes\":{},\"sharing_misses\":{},\"sharing_diff_bytes\":{},\
              \"max_region_writers\":{},\
-             \"migrations_pinned\":{},\"migrations_homed\":{},\"migrations_homeless\":{}}}",
+             \"migrations_pinned\":{},\"migrations_homed\":{},\"migrations_homeless\":{},\
+             \"host_wall_ms\":{:.3}}}",
             kind.name(),
             scale_name,
             opts.nprocs,
@@ -86,6 +94,7 @@ fn main() {
             row.pinned,
             row.homed,
             row.unhomed,
+            host.as_secs_f64() * 1e3,
         );
         rows.push(row);
     }
@@ -153,7 +162,7 @@ fn main() {
              \"best_adaptive\":\"{}\",\"best_adaptive_bytes\":{},\
              \"best_static\":\"{}\",\"best_static_bytes\":{},\
              \"margin_bytes\":{},\"margin_pct\":{:.2},\
-             \"adaptive_beats_every_static\":{}}}",
+             \"adaptive_beats_every_static\":{},{}}}",
             scale_name,
             opts.nprocs,
             a.kind.name(),
@@ -163,6 +172,7 @@ fn main() {
             margin_bytes,
             margin_pct,
             beats_all,
+            host_lat.json_fields("host_run_"),
         );
         assert!(
             beats_all,

@@ -38,6 +38,9 @@ struct Row {
     pool_allocated: u64,
     sharing: dsm_sim::SharingSummary,
     wall_ms: f64,
+    /// Host latency of each critical section (acquire → release), merged
+    /// across processors, from the best repetition.
+    lat: dsm_bench::LatencyHistogram,
 }
 
 impl Row {
@@ -46,7 +49,7 @@ impl Row {
             "{{\"bench\":\"hotpath\",\"impl\":\"{}\",\"op\":\"{}\",\"api\":\"{}\",\
              \"scale\":\"{}\",\"procs\":{},\"accesses\":{},\"wall_ms\":{:.3},\
              \"accesses_per_sec\":{:.0},\"pool_recycled\":{},\"pool_allocated\":{},\
-             {}}}",
+             {},{}}}",
             self.kind.name(),
             self.op,
             self.api,
@@ -58,6 +61,7 @@ impl Row {
             self.pool_recycled,
             self.pool_allocated,
             sharing_fields(&self.sharing),
+            self.lat.json_fields("section_"),
         );
     }
 }
@@ -80,6 +84,7 @@ fn measure(kind: ImplKind, nprocs: usize, iters: usize, op: &'static str, slices
     let mut accesses = 0u64;
     let mut totals = dsm_sim::NodeStats::new();
     let mut sharing = dsm_sim::SharingSummary::default();
+    let mut lat = dsm_bench::LatencyHistogram::new();
     for _ in 0..3 {
         let mut dsm = Dsm::new(DsmConfig::with_procs(kind, nprocs)).expect("valid config");
         let region = dsm.alloc_array::<u32>("hot", ELEMS, BlockGranularity::Word);
@@ -89,44 +94,54 @@ fn measure(kind: ImplKind, nprocs: usize, iters: usize, op: &'static str, slices
         // are zero-cost wrappers over the raw hot path, so the measured
         // throughput is the same pipeline the apps exercise.
         let per = ELEMS / nprocs;
+        let lat_mx = std::sync::Mutex::new(dsm_bench::LatencyHistogram::new());
         let start = Instant::now();
         let result = dsm.run(|ctx| {
             let me = ctx.node();
             let mut buf = vec![0u32; per.max(1)];
             let mut sink = 0u64;
+            let mut local = dsm_bench::LatencyHistogram::new();
             for it in 0..iters {
-                let mut g = ctx.lock(LockId::new(me as u32), LockMode::Exclusive);
-                match (op, slices) {
-                    ("read", false) => {
-                        for e in 0..ELEMS {
-                            sink = sink.wrapping_add(g.get(region, e) as u64);
+                let t0 = Instant::now();
+                {
+                    let mut g = ctx.lock(LockId::new(me as u32), LockMode::Exclusive);
+                    match (op, slices) {
+                        ("read", false) => {
+                            for e in 0..ELEMS {
+                                sink = sink.wrapping_add(g.get(region, e) as u64);
+                            }
                         }
-                    }
-                    ("read", true) => {
-                        for chunk in 0..nprocs {
-                            g.read_into(region, chunk * per, &mut buf[..per]);
-                            sink = sink.wrapping_add(buf[0] as u64);
+                        ("read", true) => {
+                            for chunk in 0..nprocs {
+                                g.read_into(region, chunk * per, &mut buf[..per]);
+                                sink = sink.wrapping_add(buf[0] as u64);
+                            }
                         }
-                    }
-                    ("write", false) => {
-                        for e in 0..per {
-                            g.set(region, me * per + e, (it + e) as u32);
+                        ("write", false) => {
+                            for e in 0..per {
+                                g.set(region, me * per + e, (it + e) as u32);
+                            }
                         }
-                    }
-                    ("write", true) => {
-                        for (e, slot) in buf[..per].iter_mut().enumerate() {
-                            *slot = (it + e) as u32;
+                        ("write", true) => {
+                            for (e, slot) in buf[..per].iter_mut().enumerate() {
+                                *slot = (it + e) as u32;
+                            }
+                            g.write_from(region, me * per, &buf[..per]);
                         }
-                        g.write_from(region, me * per, &buf[..per]);
+                        _ => unreachable!("op is read|write"),
                     }
-                    _ => unreachable!("op is read|write"),
                 }
+                local.record_duration(t0.elapsed());
             }
             std::hint::black_box(sink);
+            lat_mx.lock().unwrap().merge(&local);
             ctx.barrier(BarrierId::new(0));
         });
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        best = best.min(wall_ms);
+        if wall_ms < best {
+            best = wall_ms;
+            lat = lat_mx.into_inner().unwrap();
+        }
         totals = result.stats.total();
         accesses = totals.shared_accesses;
         sharing = result.traffic.sharing;
@@ -140,6 +155,7 @@ fn measure(kind: ImplKind, nprocs: usize, iters: usize, op: &'static str, slices
         pool_allocated: totals.pool_allocated,
         sharing,
         wall_ms: best,
+        lat,
     }
 }
 
@@ -157,23 +173,33 @@ fn measure_epoch(
     kind: ImplKind,
     nprocs: usize,
     iters: usize,
-) -> (u64, dsm_sim::NodeStats, dsm_sim::SharingSummary, f64) {
+) -> (
+    u64,
+    dsm_sim::NodeStats,
+    dsm_sim::SharingSummary,
+    f64,
+    dsm_bench::LatencyHistogram,
+) {
     const WORDS_PER_PAGE: usize = 1024;
     let mut best = f64::INFINITY;
     let mut totals = dsm_sim::NodeStats::new();
     let mut sharing = dsm_sim::SharingSummary::default();
+    let mut lat = dsm_bench::LatencyHistogram::new();
     for _ in 0..3 {
         let mut dsm = Dsm::new(DsmConfig::with_procs(kind, nprocs)).expect("valid config");
         let region = dsm.alloc_array::<u32>("hot", ELEMS, BlockGranularity::Word);
         dsm.init_array(region, |i| i as u32);
         dsm.bind(LockId::new(0), [region.region().whole()]);
         let per = ELEMS / nprocs;
+        let lat_mx = std::sync::Mutex::new(dsm_bench::LatencyHistogram::new());
         let start = Instant::now();
         let result = dsm.run(|ctx| {
             let me = ctx.node();
             let mut mine = vec![0u32; per.max(1)];
             let mut sink = 0u64;
+            let mut local = dsm_bench::LatencyHistogram::new();
             for it in 0..iters {
+                let t0 = Instant::now();
                 let mut g = ctx.lock(LockId::new(0), LockMode::Exclusive);
                 for page in 0..ELEMS / WORDS_PER_PAGE {
                     sink = sink.wrapping_add(g.get(region, page * WORDS_PER_PAGE) as u64);
@@ -183,25 +209,30 @@ fn measure_epoch(
                 }
                 g.write_from(region, me * per, &mine[..per]);
                 drop(g);
+                local.record_duration(t0.elapsed());
             }
             std::hint::black_box(sink);
+            lat_mx.lock().unwrap().merge(&local);
             ctx.barrier(BarrierId::new(0));
         });
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        best = best.min(wall_ms);
+        if wall_ms < best {
+            best = wall_ms;
+            lat = lat_mx.into_inner().unwrap();
+        }
         totals = result.stats.total();
         sharing = result.traffic.sharing;
     }
-    ((iters * nprocs) as u64, totals, sharing, best)
+    ((iters * nprocs) as u64, totals, sharing, best, lat)
 }
 
 fn print_epoch(kind: ImplKind, scale_name: &str, nprocs: usize, iters: usize) {
-    let (publishes, totals, sharing, wall_ms) = measure_epoch(kind, nprocs, iters);
+    let (publishes, totals, sharing, wall_ms, lat) = measure_epoch(kind, nprocs, iters);
     println!(
         "{{\"bench\":\"hotpath\",\"impl\":\"{}\",\"op\":\"epoch\",\"api\":\"slice\",\
          \"scale\":\"{}\",\"procs\":{},\"epochs\":{},\"publishes\":{},\"accesses\":{},\
          \"wall_ms\":{:.3},\"publishes_per_sec\":{:.0},\
-         \"pool_recycled\":{},\"pool_allocated\":{},{}}}",
+         \"pool_recycled\":{},\"pool_allocated\":{},{},{}}}",
         kind.name(),
         scale_name,
         nprocs,
@@ -213,6 +244,7 @@ fn print_epoch(kind: ImplKind, scale_name: &str, nprocs: usize, iters: usize) {
         totals.pool_recycled,
         totals.pool_allocated,
         sharing_fields(&sharing),
+        lat.json_fields("epoch_"),
     );
 }
 

@@ -58,20 +58,18 @@ fn main() {
             // peer.  The socket run exercises the full serialize → TCP →
             // batch-decode → apply round-trip (the replica verification
             // above proves the decode).  LRC publishes a whole interval's
-            // dirty pages at once, so under it some frames must have ridden
-            // an already-open batch; EC publishes per bound scope and may
-            // legitimately send single-frame batches at tiny scale.
+            // dirty pages at once; EC buffers each release's grant frames
+            // until the barrier closes the epoch — so under every model some
+            // frames must have ridden an already-open batch.
             assert_eq!(
                 r.wire.wire_bytes,
                 r.wire.wire_bytes_payload + r.wire.wire_bytes_meta,
                 "SOR under {kind} over {label}: byte split does not add up"
             );
-            if kind != ImplKind::ec_time() {
-                assert!(
-                    r.wire.frames_coalesced > 0,
-                    "SOR under {kind} over {label}: no epoch coalescing happened"
-                );
-            }
+            assert!(
+                r.wire.frames_coalesced > 0,
+                "SOR under {kind} over {label}: no epoch coalescing happened"
+            );
             println!(
                 "{{\"bench\":\"transport_smoke\",\"impl\":\"{}\",\"backend\":\"{}\",\
                  \"scale\":\"{}\",\"procs\":{},\"contents_fnv\":\"{:016x}\",\

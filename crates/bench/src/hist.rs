@@ -1,0 +1,303 @@
+//! A log-bucket latency histogram: fixed memory, no allocation per record,
+//! bounded relative error.
+//!
+//! Values (nanoseconds, by convention) land in buckets laid out as octaves —
+//! one power-of-two range each — subdivided into `2^SUB_BITS` linear
+//! sub-buckets, the same shape HdrHistogram uses.  A bucket at magnitude
+//! `2^e` is `2^(e-SUB_BITS)` wide, so the quantile error is bounded by
+//! [`LatencyHistogram::RELATIVE_ERROR`] (1/32 ≈ 3.1%) at every scale from
+//! 1 ns to `u64::MAX`, and values below `2^SUB_BITS` are recorded exactly.
+//!
+//! Recording is two shifts and an increment; merging is element-wise adds.
+//! The bench bins keep one histogram per worker thread and merge at the end,
+//! so the measured hot loop never contends on a shared structure.
+
+/// Linear sub-buckets per octave, as a bit count: 32 sub-buckets.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave.
+const SUBS: u64 = 1 << SUB_BITS;
+/// Total bucket count: one exact group below `SUBS` plus one group per
+/// octave from `2^SUB_BITS` up to `2^63`.
+const BUCKETS: usize = ((64 - SUB_BITS + 1) * SUBS as u32) as usize;
+
+/// Fixed-size log-bucket histogram for latency samples.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Worst-case relative quantile error: half a sub-bucket never exceeds
+    /// this fraction of the value.
+    pub const RELATIVE_ERROR: f64 = 1.0 / SUBS as f64;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::index_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records an elapsed [`std::time::Duration`] in nanoseconds (saturating
+    /// at `u64::MAX`, ~584 years).
+    pub fn record_duration(&mut self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample (exact), or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (exact), or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (exact — the sum is kept aside), or 0.0
+    /// when empty.
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of the recorded samples: the lower
+    /// bound of the bucket holding the sample of rank `ceil(q * count)`,
+    /// clamped into `[min, max]`.  Exact whenever every sample sits on a
+    /// bucket boundary (in particular for values below `2^SUB_BITS`);
+    /// within [`Self::RELATIVE_ERROR`] otherwise.  Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::lower_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The standard percentile fields the bench rows embed — `"p50_ns":..`,
+    /// `"p99_ns":..`, `"p999_ns":..` — each key prefixed with `prefix`, as a
+    /// brace-less JSON fragment.
+    pub fn json_fields(&self, prefix: &str) -> String {
+        format!(
+            "\"{prefix}p50_ns\":{},\"{prefix}p99_ns\":{},\"{prefix}p999_ns\":{}",
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.quantile(0.999),
+        )
+    }
+
+    /// Bucket index for a value: exact below `SUBS`, then octave-grouped.
+    fn index_of(v: u64) -> usize {
+        if v < SUBS {
+            v as usize
+        } else {
+            let exp = 63 - v.leading_zeros();
+            let group = (exp - SUB_BITS + 1) as u64;
+            let sub = (v >> (exp - SUB_BITS)) - SUBS;
+            (group * SUBS + sub) as usize
+        }
+    }
+
+    /// Smallest value that lands in bucket `i` (the inverse of
+    /// [`Self::index_of`] on boundaries).
+    fn lower_bound(i: usize) -> u64 {
+        let (group, sub) = (i as u64 / SUBS, i as u64 % SUBS);
+        if group == 0 {
+            sub
+        } else {
+            (SUBS + sub) << (group - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexes_roundtrip_on_boundaries() {
+        for i in 0..BUCKETS {
+            let low = LatencyHistogram::lower_bound(i);
+            assert_eq!(
+                LatencyHistogram::index_of(low),
+                i,
+                "bucket {i} lower bound {low} maps back wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn buckets_bound_relative_error() {
+        let mut v = 1u64;
+        // A multiplicative sweep over the whole range plus the extremes.
+        let mut samples = vec![0u64, 1, 2, 3, SUBS - 1, SUBS, u64::MAX];
+        while v < u64::MAX / 3 {
+            samples.push(v);
+            samples.push(v + v / 3);
+            v = v.saturating_mul(3);
+        }
+        for &s in &samples {
+            let low = LatencyHistogram::lower_bound(LatencyHistogram::index_of(s));
+            assert!(low <= s, "lower bound {low} above sample {s}");
+            let err = (s - low) as f64;
+            assert!(
+                err <= LatencyHistogram::RELATIVE_ERROR * s as f64 + 1e-9,
+                "sample {s}: error {err} exceeds the bound"
+            );
+        }
+    }
+
+    #[test]
+    fn small_values_and_boundaries_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..SUBS {
+            h.record(v);
+        }
+        // Every value below 2^SUB_BITS has its own bucket: quantiles are
+        // exact, not approximate.
+        for v in 0..SUBS {
+            let q = (v + 1) as f64 / SUBS as f64;
+            assert_eq!(h.quantile(q), v, "q={q} must hit {v} exactly");
+        }
+        // Power-of-two boundaries stay exact at any magnitude.
+        let mut h = LatencyHistogram::new();
+        let bounds = [32u64, 64, 1 << 10, 1 << 20, 1 << 40, 1 << 62];
+        for &b in &bounds {
+            h.record(b);
+        }
+        for (i, &b) in bounds.iter().enumerate() {
+            let q = (i + 1) as f64 / bounds.len() as f64;
+            assert_eq!(h.quantile(q), b, "boundary {b} blurred");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        let mut x = 12345u64;
+        for _ in 0..10_000 {
+            // Cheap LCG over a wide range, including heavy low-end mass.
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            h.record(x >> (x % 50));
+        }
+        let mut prev = 0u64;
+        for step in 0..=1000 {
+            let q = step as f64 / 1000.0;
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile({q}) = {v} dropped below {prev}");
+            prev = v;
+        }
+        assert_eq!(h.quantile(1.0), h.max());
+        assert!(h.quantile(0.0) >= h.min());
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut c = LatencyHistogram::new();
+        for v in 0..5_000u64 {
+            let s = v * v % 777_777;
+            if v % 2 == 0 {
+                a.record(s);
+            } else {
+                b.record(s);
+            }
+            c.record(s);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.min(), c.min());
+        assert_eq!(a.max(), c.max());
+        assert_eq!(a.mean(), c.mean());
+        for step in 0..=100 {
+            let q = step as f64 / 100.0;
+            assert_eq!(a.quantile(q), c.quantile(q), "merge diverged at q={q}");
+        }
+        assert_eq!(a.json_fields(""), c.json_fields(""));
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+
+        let mut h = LatencyHistogram::new();
+        h.record_duration(std::time::Duration::from_nanos(97));
+        assert_eq!(h.count(), 1);
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 97, "a lone sample answers every quantile");
+        }
+        assert_eq!(
+            h.json_fields("kv_"),
+            "\"kv_p50_ns\":97,\"kv_p99_ns\":97,\"kv_p999_ns\":97"
+        );
+    }
+}

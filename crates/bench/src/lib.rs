@@ -15,6 +15,7 @@
 //! | `traffic` | Section 7.2 — message counts and megabytes per application |
 //! | `scaling` | host wall-clock vs simulated time at 8/16/32 processors (JSON) |
 //! | `adaptive` | beyond the paper — mixed-sharing workload, static vs adaptive policies (JSON) |
+//! | `kv` | beyond the paper — closed-loop sharded KV/cache tier, throughput + p50/p99/p999 (JSON) |
 //! | `matrix_smoke` | CI smoke — SOR under all 12 implementations + golden diffs |
 //! | `water_restructured` | Section 7.2 — the restructured Water experiment |
 //! | `ablation_ci_opt` | Section 8.1 — the dirty-bit loop-splitting optimisation |
@@ -36,6 +37,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod hist;
+
+pub use hist::LatencyHistogram;
 
 use dsm_apps::{run_app, App, AppReport, Scale};
 use dsm_core::ImplKind;

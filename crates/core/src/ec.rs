@@ -581,20 +581,31 @@ impl ProtocolEngine for EcEngine {
             }
         }
 
-        // Hand the run table back to the endpoint, flush the release's
-        // frames as one batch per peer (the epoch boundary), and hand the
-        // endpoint back to the node.
+        // Hand the run table back to the endpoint and the endpoint back to
+        // the node.  The release's frames stay in the endpoint's epoch batch:
+        // they move at the next barrier arrival (or at the transport's final
+        // flush), so a lock-churning epoch pays one send per peer instead of
+        // one per release.  Replica correctness does not depend on when the
+        // batch goes out — frames are totally ordered per region by their
+        // `publish_gen` sequence and replicas reorder on arrival — and the
+        // socket backend still flushes early if a pathological epoch outgrows
+        // its batch buffer.
         if let Some(w) = wire.as_deref_mut() {
             let mut runs = std::mem::take(&mut col.wire_runs);
             runs.clear();
             w.scratch_runs = runs;
-            w.flush();
         }
         local.wire = wire;
     }
 
-    fn barrier_arrive(&self, _local: &mut NodeLocal) -> usize {
-        // EC barriers exchange no data: consistency travels with locks.
+    fn barrier_arrive(&self, local: &mut NodeLocal) -> usize {
+        // EC barriers exchange no data — consistency travels with locks —
+        // but they are the wire's epoch boundary: every grant frame the
+        // epoch's releases buffered moves here as one batch per peer, the
+        // same begin/finish batching the LRC interval flush gets.
+        if let Some(w) = local.wire.as_deref_mut() {
+            w.flush();
+        }
         CTRL_MSG_BYTES
     }
 
